@@ -1,0 +1,188 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5). Each benchmark reports the headline quantities of its
+// artifact as custom metrics, and the first -v run prints the full rendered
+// table, so
+//
+//	go test -bench=. -benchmem
+//
+// is the one-command reproduction of the paper.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// printOnce renders each artifact a single time regardless of b.N.
+var printOnce sync.Map
+
+func logArtifact(b *testing.B, key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		b.Log("\n" + text)
+	}
+}
+
+// BenchmarkTable1 regenerates the chess movement-time comparison
+// (difficulty 7-11, smartphone vs desktop).
+func BenchmarkTable1(b *testing.B) {
+	var gap string
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(11)
+		gap = t.Rows[len(t.Rows)-1][3]
+		logArtifact(b, "table1", t.String())
+	}
+	b.ReportMetric(atof(gap), "gap_x")
+}
+
+// BenchmarkTable2 renders the Android native-code study.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logArtifact(b, "table2", experiments.Table2().String())
+	}
+}
+
+// BenchmarkTable3 regenerates the chess profiling/estimation example.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logArtifact(b, "table3", t.String())
+	}
+}
+
+// BenchmarkTable4 regenerates the per-program offload statistics.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logArtifact(b, "table4", t.String())
+	}
+}
+
+// BenchmarkTable5 renders the related-work comparison.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logArtifact(b, "table5", experiments.Table5().String())
+	}
+}
+
+// BenchmarkFig6a regenerates the normalized execution times and reports the
+// geomean speedup on the fast network (the paper's 6.42x headline).
+func BenchmarkFig6a(b *testing.B) {
+	var fasts []float64
+	for i := 0; i < b.N; i++ {
+		t, rows, err := experiments.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fasts = fasts[:0]
+		for _, r := range rows {
+			fasts = append(fasts, r.Fast)
+		}
+		logArtifact(b, "fig6a", t.String())
+	}
+	g := report.Geomean(fasts)
+	b.ReportMetric(g, "geomean_norm_time")
+	if g > 0 {
+		b.ReportMetric(1/g, "geomean_speedup_x")
+	}
+}
+
+// BenchmarkFig6b regenerates the normalized battery consumption.
+func BenchmarkFig6b(b *testing.B) {
+	var fasts, slows []float64
+	for i := 0; i < b.N; i++ {
+		t, rows, err := experiments.Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fasts, slows = fasts[:0], slows[:0]
+		for _, r := range rows {
+			fasts = append(fasts, r.Fast)
+			slows = append(slows, r.Slow)
+		}
+		logArtifact(b, "fig6b", t.String())
+	}
+	b.ReportMetric(100*(1-report.Geomean(fasts)), "battery_saving_fast_pct")
+	b.ReportMetric(100*(1-report.Geomean(slows)), "battery_saving_slow_pct")
+}
+
+// BenchmarkFig7 regenerates the overhead breakdown.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logArtifact(b, "fig7", t.String())
+	}
+}
+
+// BenchmarkFig8 regenerates the power-over-time traces.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		text, traces, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(traces) != 3 {
+			b.Fatalf("want 3 traces, got %d", len(traces))
+		}
+		logArtifact(b, "fig8", text)
+	}
+}
+
+func atof(s string) float64 {
+	var v float64
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			frac := 0.1
+			for j := i + 1; j < len(s); j++ {
+				v += float64(s[j]-'0') * frac
+				frac /= 10
+			}
+			break
+		}
+		v = v*10 + float64(s[i]-'0')
+	}
+	return v
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, rs, err := experiments.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range rs {
+			if a.Name == "remote I/O optimization off (gobmk)" && a.Baseline > 0 {
+				b.ReportMetric(a.Ablated/a.Baseline, "remoteIO_slowdown_x")
+			}
+		}
+		logArtifact(b, "ablation", t.String())
+	}
+}
+
+// BenchmarkCrossArch regenerates the big-endian-server extension table.
+func BenchmarkCrossArch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, rows, err := experiments.CrossArch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var overhead float64
+		for _, r := range rows {
+			overhead += r.BE32Sec/r.X8664Sec - 1
+		}
+		b.ReportMetric(100*overhead/float64(len(rows)), "endian_overhead_pct")
+		logArtifact(b, "crossarch", t.String())
+	}
+}

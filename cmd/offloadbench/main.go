@@ -1,0 +1,94 @@
+// Command offloadbench regenerates the tables and figures of the paper's
+// evaluation. Usage:
+//
+//	offloadbench -exp table1|table2|table3|table4|table5|fig6a|fig6b|fig7|fig8|all
+//
+// Table 1 accepts -depth to bound the most expensive chess difficulty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, or all")
+	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
+	flag.Parse()
+
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			fmt.Println(experiments.Table1(*depth))
+		case "table2":
+			fmt.Println(experiments.Table2())
+		case "table3":
+			t, err := experiments.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "table4":
+			t, err := experiments.Table4()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "table5":
+			fmt.Println(experiments.Table5())
+		case "fig6a":
+			t, _, err := experiments.Fig6a()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "fig6b":
+			t, _, err := experiments.Fig6b()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "fig7":
+			t, _, err := experiments.Fig7()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "fig8":
+			s, _, err := experiments.Fig8()
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+		case "ablation":
+			t, _, err := experiments.Ablation()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "crossarch":
+			t, _, err := experiments.CrossArch()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "table3", "table4", "table5", "fig6a", "fig6b", "fig7", "fig8", "ablation", "crossarch"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "offloadbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

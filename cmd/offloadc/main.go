@@ -1,0 +1,132 @@
+// Command offloadc runs the Native Offloader compiler over one workload and
+// prints the compile report: profiling results, candidate estimation
+// (Table 3 style), selected targets, partition statistics, and optionally
+// the partitioned IR.
+//
+// Usage:
+//
+//	offloadc -w 458.sjeng [-dump mobile|server] [-bw 650000000]
+//	offloadc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("w", "chess", "workload name (chess or a Table 4 program id)")
+	irFile := flag.String("ir", "", "compile a textual IR program file instead of a named workload")
+	stdin := flag.String("stdin", "", "comma-separated integers fed to the program's scanf calls")
+	cost := flag.Int64("cost", 1, "cost amplification for -ir programs")
+	dump := flag.String("dump", "", "dump partitioned IR: mobile or server")
+	list := flag.Bool("list", false, "list available workloads")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("chess  \tthe paper's running example (Figure 3)")
+		for _, w := range workloads.All() {
+			fmt.Printf("%s\t%s\n", w.Name, w.Desc)
+		}
+		return
+	}
+
+	fw := core.NewFramework(core.FastNetwork)
+	var mod = workloads.BuildChess(workloads.DefaultChessConfig())
+	profIO := workloads.ChessInput(8, 3)
+	fw.CostScale = workloads.ChessCostScale
+	if *irFile != "" {
+		var err error
+		mod, err = loadIR(*irFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offloadc: %v\n", err)
+			os.Exit(1)
+		}
+		profIO = stdinIO(*stdin)
+		fw.CostScale = *cost
+	} else if *name != "chess" {
+		w := workloads.ByName(*name)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "offloadc: unknown workload %q (try -list)\n", *name)
+			os.Exit(1)
+		}
+		fw = fw.WithScale(workloads.Scale, w.CostScale)
+		mod = w.Build()
+		profIO = w.ProfileIO()
+	}
+
+	prof, err := fw.Profile(mod, profIO)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offloadc: profile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(prof)
+
+	cres, err := fw.Compile(mod, prof)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offloadc: compile: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := report.New("candidate estimation (Equation 1)",
+		"Candidate", "Exec(s)", "Inv", "Mem(MB)", "Tg(s)", "Verdict")
+	for _, c := range cres.Candidates {
+		verdict := "rejected"
+		switch {
+		case c.Machine:
+			verdict = c.Reason
+		case c.Selected:
+			verdict = "SELECTED"
+		case c.Est.Tg > 0:
+			verdict = "profitable (nested)"
+		}
+		t.Add(c.Name, c.Time.Seconds(), c.Invocations, float64(c.MemBytes)/1e6, c.Est.Tg.Seconds(), verdict)
+	}
+	fmt.Println(t)
+	fmt.Println(cres.Summary())
+
+	switch *dump {
+	case "mobile":
+		fmt.Println(cres.Mobile)
+	case "server":
+		fmt.Println(cres.Server)
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "offloadc: -dump must be mobile or server\n")
+		os.Exit(1)
+	}
+}
+
+// loadIR reads and parses a textual IR program.
+func loadIR(path string) (*ir.Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Parse(string(data))
+}
+
+// stdinIO builds the scanf token stream from a comma-separated list.
+func stdinIO(csv string) *interp.StdIO {
+	io := interp.NewStdIO(nil)
+	io.MaxBuffered = 1 << 20
+	for _, tok := range strings.Split(csv, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			io.AddInput(v)
+		}
+	}
+	return io
+}

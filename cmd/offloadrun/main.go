@@ -1,0 +1,166 @@
+// Command offloadrun executes one workload locally and under the offload
+// runtime on both network environments, printing the Figure 6/7-style
+// summary for that single program.
+//
+// Usage:
+//
+//	offloadrun -w 445.gobmk
+//	offloadrun -w chess -depth 9 -turns 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/offrt"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("w", "chess", "workload name (chess or a Table 4 program id)")
+	irFile := flag.String("ir", "", "run a textual IR program file instead of a named workload")
+	stdin := flag.String("stdin", "", "comma-separated integers fed to the program's scanf calls")
+	cost := flag.Int64("cost", 1, "cost amplification for -ir programs")
+	depth := flag.Int64("depth", 9, "chess difficulty (chess workload only)")
+	turns := flag.Int64("turns", 2, "chess game turns (chess workload only)")
+	showOut := flag.Bool("output", false, "print program output")
+	flag.Parse()
+
+	if *irFile != "" {
+		runIRFile(*irFile, *stdin, *cost, *showOut)
+		return
+	}
+	if *name == "chess" {
+		runChess(*depth, *turns, *showOut)
+		return
+	}
+	w := workloads.ByName(*name)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "offloadrun: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	r, err := experiments.RunProgram(w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offloadrun: %v\n", err)
+		os.Exit(1)
+	}
+	t := report.New(w.Name+" — "+w.Desc,
+		"Run", "Time(s)", "Normalized", "Energy(mJ)", "Traffic(MB)", "Offloaded")
+	t.Add("local (mobile only)", r.Local.Time.Seconds(), 1.0, r.Local.EnergyMJ, 0, "-")
+	add := func(label string, off *core.OffloadResult, m energy.PowerModel) {
+		mb := float64(off.Stats.TotalBytes()) * float64(workloads.Scale) / 1e6
+		t.Add(label, off.Time.Seconds(), off.NormalizedTime(r.Local),
+			off.Recorder.EnergyMJ(m), mb, fmt.Sprintf("%v", off.Offloaded()))
+	}
+	add("offload slow (802.11n)", r.Slow, energy.SlowModel())
+	add("offload fast (802.11ac)", r.Fast, energy.FastModel())
+	t.Note("speedup on fast network: %.2fx; coverage %.1f%%", r.Fast.Speedup(r.Local), 100*r.Coverage())
+	fmt.Println(t)
+	if *showOut {
+		fmt.Println(r.Local.Output)
+	}
+}
+
+func runChess(depth, turns int64, showOut bool) {
+	fw := core.NewFramework(core.FastNetwork)
+	fw.CostScale = workloads.ChessCostScale
+	mod := workloads.BuildChess(workloads.DefaultChessConfig())
+	prof, err := fw.Profile(mod, workloads.ChessInput(depth-2, turns))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun:", err)
+		os.Exit(1)
+	}
+	cres, err := fw.Compile(mod, prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun:", err)
+		os.Exit(1)
+	}
+	local, err := fw.RunLocal(mod, workloads.ChessInput(depth, turns))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun:", err)
+		os.Exit(1)
+	}
+	off, err := fw.RunOffloaded(cres, workloads.ChessInput(depth, turns), offrt.Policy{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chess depth %d, %d turns\n", depth, turns)
+	fmt.Printf("  local:    %v  (%.0f mJ)\n", local.Time, local.EnergyMJ)
+	fmt.Printf("  offload:  %v  (%.0f mJ)  speedup %.2fx, battery %.0f%% saved\n",
+		off.Time, off.EnergyMJ, off.Speedup(local), 100*(1-off.NormalizedEnergy(local)))
+	for id, st := range off.PerTask {
+		fmt.Printf("  task %d: %d offloads, %d declines, %.1f KB traffic, %d faults\n",
+			id, st.Offloads, st.Declines, float64(st.TrafficBytes)/1024, st.Faults)
+	}
+	if showOut {
+		fmt.Println(off.Output)
+	}
+}
+
+// runIRFile profiles, compiles and executes a user-written IR program.
+func runIRFile(path, stdin string, cost int64, showOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun:", err)
+		os.Exit(1)
+	}
+	mod, err := ir.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun:", err)
+		os.Exit(1)
+	}
+	mkIO := func() *interp.StdIO {
+		io := interp.NewStdIO(nil)
+		io.MaxBuffered = 1 << 20
+		for _, tok := range strings.Split(stdin, ",") {
+			if v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64); err == nil {
+				io.AddInput(v)
+			}
+		}
+		return io
+	}
+	fw := core.NewFramework(core.FastNetwork)
+	fw.CostScale = cost
+	prof, err := fw.Profile(mod, mkIO())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun: profile:", err)
+		os.Exit(1)
+	}
+	cres, err := fw.Compile(mod, prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun: compile:", err)
+		os.Exit(1)
+	}
+	local, err := fw.RunLocal(mod, mkIO())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun: local:", err)
+		os.Exit(1)
+	}
+	off, err := fw.RunOffloaded(cres, mkIO(), offrt.Policy{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offloadrun: offload:", err)
+		os.Exit(1)
+	}
+	match := "identical"
+	if off.Output != local.Output {
+		match = "MISMATCH"
+	}
+	fmt.Printf("%s: local %v -> offloaded %v (%.2fx speedup, outputs %s)\n",
+		mod.Name, local.Time, off.Time, off.Speedup(local), match)
+	for id, st := range off.PerTask {
+		fmt.Printf("  task %d: %d offloads, %.1f KB traffic\n", id, st.Offloads, float64(st.TrafficBytes)/1024)
+	}
+	if showOut {
+		fmt.Print(off.Output)
+	}
+}

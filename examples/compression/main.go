@@ -1,0 +1,62 @@
+// Compression: the dynamic estimator in action.
+//
+// The 164.gzip-style compressor moves its entire input and output across
+// the network, so Equation 1 only pays off when the link is fast. This
+// example runs the same offloading-enabled binary on 802.11n and 802.11ac:
+// the runtime's dynamic performance estimation declines to offload on the
+// slow network (the starred bar of Figure 6) and offloads on the fast one.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/offrt"
+	"repro/internal/workloads"
+)
+
+func main() {
+	w := workloads.ByName("164.gzip")
+
+	fast := core.NewFramework(core.FastNetwork).WithScale(workloads.Scale, w.CostScale)
+	slow := core.NewFramework(core.SlowNetwork).WithScale(workloads.Scale, w.CostScale)
+
+	mod := w.Build()
+	prof, err := fast.Profile(mod, w.ProfileIO())
+	if err != nil {
+		log.Fatalf("profile: %v", err)
+	}
+	cres, err := fast.Compile(mod, prof)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	local, err := fast.RunLocal(mod, w.EvalIO())
+	if err != nil {
+		log.Fatalf("local: %v", err)
+	}
+
+	for _, env := range []struct {
+		name string
+		fw   *core.Framework
+	}{{"802.11n (slow)", slow}, {"802.11ac (fast)", fast}} {
+		off, err := env.fw.RunOffloaded(cres, w.EvalIO(), offrt.Policy{})
+		if err != nil {
+			log.Fatalf("%s: %v", env.name, err)
+		}
+		verdict := "OFFLOADED"
+		if !off.Offloaded() {
+			verdict = "declined by the dynamic estimator (ran locally)"
+		}
+		fmt.Printf("%-16s %v vs local %v (%.2fx) — %s\n",
+			env.name, off.Time, local.Time, off.Speedup(local), verdict)
+		for _, st := range off.PerTask {
+			if st.Declines > 0 {
+				fmt.Printf("%-16s   estimator: %d declines — the %0.f MB transfer would cost more than the compute saves\n",
+					"", st.Declines, float64(w.Paper.TrafficMB))
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the paper's running example end to end.
+//
+// This example builds the Figure 3 chess game, profiles it on the mobile
+// architecture, compiles it into the offloading-enabled mobile/server
+// binary pair, and plays a game both locally and under the offload runtime
+// on 802.11ac, printing the Table 1-style movement times and the speedup.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/offrt"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fw := core.NewFramework(core.FastNetwork)
+	fw.CostScale = workloads.ChessCostScale
+
+	// The "front end" output: the chess game's IR module.
+	mod := workloads.BuildChess(workloads.DefaultChessConfig())
+
+	// 1. Profile with a training input (difficulty 7, one turn).
+	prof, err := fw.Profile(mod, workloads.ChessInput(7, 1))
+	if err != nil {
+		log.Fatalf("profile: %v", err)
+	}
+	fmt.Println("hot candidates on the profiling input:")
+	fmt.Println(prof)
+
+	// 2. Compile: target selection, memory unification, partitioning,
+	// server-specific optimization.
+	cres, err := fw.Compile(mod, prof)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	fmt.Println(cres.Summary())
+
+	// 3. Play the same game (difficulty 10, two turns) locally and
+	// offloaded.
+	local, err := fw.RunLocal(mod, workloads.ChessInput(10, 2))
+	if err != nil {
+		log.Fatalf("local run: %v", err)
+	}
+	off, err := fw.RunOffloaded(cres, workloads.ChessInput(10, 2), offrt.Policy{})
+	if err != nil {
+		log.Fatalf("offloaded run: %v", err)
+	}
+
+	if local.Output != off.Output {
+		log.Fatalf("outputs differ — the unified address space is broken")
+	}
+	fmt.Printf("difficulty 10, smartphone only:  %v  (%8.0f mJ)\n", local.Time, local.EnergyMJ)
+	fmt.Printf("difficulty 10, with offloading:  %v  (%8.0f mJ)\n", off.Time, off.EnergyMJ)
+	fmt.Printf("speedup %.2fx, battery saving %.0f%%, traffic %.1f KB\n",
+		off.Speedup(local), 100*(1-off.NormalizedEnergy(local)),
+		float64(off.Stats.TotalBytes())/1024)
+	fmt.Println("\ngame output (identical in both runs):")
+	fmt.Print(off.Output)
+}

@@ -1,0 +1,65 @@
+package arch
+
+// Op classifies IR operations for the cost model. The interpreter charges
+// Cost.Cycles(op) cycles per executed operation; multiplied by the machine's
+// CyclePS this yields simulated execution time, the quantity the paper's
+// profiler (Section 3.1) and performance estimator (Equation 1) consume.
+type Op int
+
+const (
+	OpIntALU     Op = iota // add/sub/logic/compare on integers
+	OpIntMul               // integer multiply
+	OpIntDiv               // integer divide / remainder
+	OpFloatALU             // float add/sub/compare
+	OpFloatMul             // float multiply
+	OpFloatDiv             // float divide
+	OpLoad                 // memory load
+	OpStore                // memory store
+	OpBranch               // taken or fall-through branch
+	OpCall                 // direct call (frame setup)
+	OpCallInd              // indirect call through a function pointer
+	OpAlloca               // stack allocation
+	OpConvert              // width/kind conversion
+	OpEndianSwap           // inserted endianness translation (Section 3.2)
+	OpPtrConvert           // inserted address size conversion (Section 3.2)
+	OpFptrMap              // function pointer map lookup (Section 3.4)
+	OpIOByte               // one byte of local I/O
+	numOps
+)
+
+// CostTable maps operation classes to their cycle cost.
+type CostTable struct {
+	cycles [numOps]int64
+}
+
+// Cycles reports the cycle cost of op.
+func (t *CostTable) Cycles(op Op) int64 { return t.cycles[op] }
+
+// Set overrides the cycle cost of op; used by calibration tests.
+func (t *CostTable) Set(op Op, cycles int64) { t.cycles[op] = cycles }
+
+// DefaultCosts returns a cost table with latencies in the usual relative
+// proportions of a scalar in-order pipeline. Absolute program durations are
+// additionally shaped by each workload's cost scale (see internal/workloads),
+// so only the relative magnitudes matter here.
+func DefaultCosts() CostTable {
+	var t CostTable
+	t.cycles[OpIntALU] = 1
+	t.cycles[OpIntMul] = 3
+	t.cycles[OpIntDiv] = 20
+	t.cycles[OpFloatALU] = 3
+	t.cycles[OpFloatMul] = 5
+	t.cycles[OpFloatDiv] = 15
+	t.cycles[OpLoad] = 4
+	t.cycles[OpStore] = 4
+	t.cycles[OpBranch] = 2
+	t.cycles[OpCall] = 10
+	t.cycles[OpCallInd] = 14
+	t.cycles[OpAlloca] = 2
+	t.cycles[OpConvert] = 1
+	t.cycles[OpEndianSwap] = 1
+	t.cycles[OpPtrConvert] = 1
+	t.cycles[OpFptrMap] = 40 // hash lookup + indirection; visible in Fig. 7
+	t.cycles[OpIOByte] = 30
+	return t
+}

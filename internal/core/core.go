@@ -1,0 +1,260 @@
+// Package core is the public face of the Native Offloader reproduction: a
+// Framework that profiles a native program, compiles it into an
+// offloading-enabled mobile/server binary pair, and executes it under the
+// cooperative runtime, reporting execution time, energy, traffic, and the
+// Figure 7 overhead breakdown.
+//
+// Typical use (see examples/quickstart):
+//
+//	fw := core.NewFramework(core.FastNetwork)
+//	prog := func() *ir.Module { ... } // front-end output
+//	prof, _ := fw.Profile(prog(), profilingInput)
+//	cres, _ := fw.Compile(prog(), prof)
+//	local, _ := fw.RunLocal(prog(), evalInput)
+//	off, _ := fw.RunOffloaded(cres, evalInput, offrt.Policy{})
+//	fmt.Println(local.Time, off.Time, off.Speedup(local))
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/energy"
+	"repro/internal/estimate"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/offrt"
+	"repro/internal/profile"
+	"repro/internal/simtime"
+)
+
+// Network selects one of the paper's two evaluation environments.
+type Network int
+
+const (
+	SlowNetwork Network = iota // 802.11n
+	FastNetwork                // 802.11ac
+)
+
+// Framework bundles the architectures, network and power models of one
+// evaluation setup.
+type Framework struct {
+	Mobile *arch.Spec
+	Server *arch.Spec
+	Link   *netsim.Link
+	Power  energy.PowerModel
+
+	// CostScale amplifies interpreter costs so small kernels model
+	// paper-scale execution times; Scale divides network bandwidth to
+	// match memory footprints shrunk by the same factor.
+	CostScale int64
+	Scale     int
+
+	// RemoteIO toggles the Section 3.4 remote I/O optimization.
+	RemoteIO bool
+}
+
+// NewFramework returns the default evaluation setup on the given network:
+// ARM32 mobile, x86-64 server.
+func NewFramework(n Network) *Framework {
+	fw := &Framework{
+		Mobile:    arch.ARM32(),
+		Server:    arch.X8664(),
+		CostScale: 1,
+		Scale:     1,
+		RemoteIO:  true,
+	}
+	switch n {
+	case SlowNetwork:
+		fw.Link = netsim.Slow80211N()
+		fw.Power = energy.SlowModel()
+	default:
+		fw.Link = netsim.Fast80211AC()
+		fw.Power = energy.FastModel()
+	}
+	return fw
+}
+
+// WithScale applies the common memory/bandwidth scale factor (workloads
+// shrink footprints by Scale; the link shrinks bandwidth to match, so all
+// time ratios are preserved).
+func (fw *Framework) WithScale(scale int, costScale int64) *Framework {
+	fw.Scale = scale
+	fw.CostScale = costScale
+	fw.Link = fw.Link.Scaled(scale)
+	return fw
+}
+
+func (fw *Framework) estParams() estimate.Params {
+	return estimate.Params{
+		R:            arch.PerformanceRatio(fw.Mobile, fw.Server),
+		BandwidthBps: fw.Link.BandwidthBps,
+		RTT:          2 * (fw.Link.Latency + fw.Link.PerMessage),
+	}
+}
+
+// Profile runs mod on the mobile machine with the profiling input and
+// returns the hot function/loop report (Section 3.1).
+func (fw *Framework) Profile(mod *ir.Module, io *interp.StdIO) (*profile.Report, error) {
+	work := mod.Clone("profile:" + mod.Name)
+	ir.Lower(work, fw.Mobile, fw.Mobile)
+	m, err := interp.NewMachine(interp.Config{
+		Name: "profiler", Spec: fw.Mobile, Mod: work,
+		IO: io, CostScale: fw.CostScale, InitUVAGlobals: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return profile.Run(m)
+}
+
+// Compile partitions mod into the offloading-enabled binary pair using the
+// profiling report.
+func (fw *Framework) Compile(mod *ir.Module, prof *profile.Report) (*compiler.Result, error) {
+	opt := compiler.Default(fw.Link.BandwidthBps)
+	opt.Mobile = fw.Mobile
+	opt.Server = fw.Server
+	opt.Est = fw.estParams()
+	opt.RemoteIO = fw.RemoteIO
+	return compiler.Compile(mod, prof, opt)
+}
+
+// LocalResult is a plain mobile-only execution.
+type LocalResult struct {
+	Code     int32
+	Time     simtime.PS
+	EnergyMJ float64
+	Output   string
+}
+
+// RunLocal executes the unmodified program on the mobile device — the
+// paper's normalization baseline.
+func (fw *Framework) RunLocal(mod *ir.Module, io *interp.StdIO) (*LocalResult, error) {
+	work := mod.Clone("local:" + mod.Name)
+	ir.Lower(work, fw.Mobile, fw.Mobile)
+	m, err := interp.NewMachine(interp.Config{
+		Name: "mobile", Spec: fw.Mobile, Mod: work,
+		IO: io, CostScale: fw.CostScale, InitUVAGlobals: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	code, err := m.RunMain()
+	if err != nil {
+		return nil, err
+	}
+	return &LocalResult{
+		Code:     code,
+		Time:     m.Clock,
+		EnergyMJ: energy.LocalEnergyMJ(fw.Power, m.Clock),
+		Output:   io.Out.String(),
+	}, nil
+}
+
+// OffloadResult is one cooperative mobile+server execution.
+type OffloadResult struct {
+	Code     int32
+	Time     simtime.PS
+	EnergyMJ float64
+	Output   string
+
+	// Comp is the Figure 7 breakdown: compute / fptr / remoteIO / comm.
+	Comp [interp.NumComponents]simtime.PS
+	// ServerCompute is the offloaded tasks' compute time at server speed.
+	ServerCompute simtime.PS
+	// Stats is the traffic accounting; PerTask the per-target numbers.
+	Stats   netsim.Stats
+	PerTask map[int]*offrt.TaskStats
+	// Recorder holds the power timeline for Figure 8.
+	Recorder *energy.Recorder
+}
+
+// Speedup returns local.Time / off.Time.
+func (r *OffloadResult) Speedup(local *LocalResult) float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(local.Time) / float64(r.Time)
+}
+
+// NormalizedTime returns off.Time / local.Time (Figure 6(a)'s y-axis).
+func (r *OffloadResult) NormalizedTime(local *LocalResult) float64 {
+	if local.Time == 0 {
+		return 0
+	}
+	return float64(r.Time) / float64(local.Time)
+}
+
+// NormalizedEnergy returns off/local battery use (Figure 6(b)'s y-axis).
+func (r *OffloadResult) NormalizedEnergy(local *LocalResult) float64 {
+	if local.EnergyMJ == 0 {
+		return 0
+	}
+	return r.EnergyMJ / local.EnergyMJ
+}
+
+// IdealTime is the execution time without any overhead (communication,
+// translation, remote I/O): the pure-compute component of the run.
+func (r *OffloadResult) IdealTime() simtime.PS {
+	return r.Comp[interp.CompCompute]
+}
+
+// Offloaded reports whether any task was actually offloaded (the dynamic
+// estimator may decline everything, the starred bars of Figure 6).
+func (r *OffloadResult) Offloaded() bool {
+	for _, st := range r.PerTask {
+		if st.Offloads > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunOffloaded executes the compiled pair under the runtime.
+func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol offrt.Policy) (*OffloadResult, error) {
+	mobile, err := interp.NewMachine(interp.Config{
+		Name: "mobile", Spec: fw.Mobile, Std: fw.Mobile, Mod: cres.Mobile,
+		FuncBase: mem.FuncBaseMobile, InitUVAGlobals: true,
+		IO: io, CostScale: fw.CostScale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: mobile machine: %w", err)
+	}
+	server, err := interp.NewMachine(interp.Config{
+		Name: "server", Spec: fw.Server, Std: fw.Mobile, Mod: cres.Server,
+		FuncBase: mem.FuncBaseServer, ShuffleFuncs: true, ShuffleGlobals: true,
+		CostScale: fw.CostScale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: server machine: %w", err)
+	}
+
+	var tasks []offrt.TaskSpec
+	for _, t := range cres.Targets {
+		tasks = append(tasks, offrt.TaskSpec{
+			TaskID:            t.TaskID,
+			Name:              t.Name,
+			TimePerInvocation: t.TimePerInvocation,
+			MemBytes:          t.MemBytes,
+		})
+	}
+	sess := offrt.New(mobile, server, fw.Link, tasks, pol)
+	code, err := sess.RunMobile()
+	if err != nil {
+		return nil, err
+	}
+	return &OffloadResult{
+		Code:          code,
+		Time:          mobile.Clock,
+		EnergyMJ:      sess.Recorder.EnergyMJ(fw.Power),
+		Output:        io.Out.String(),
+		Comp:          sess.Comp,
+		ServerCompute: sess.ServerCompute,
+		Stats:         sess.Stats,
+		PerTask:       sess.PerTask,
+		Recorder:      sess.Recorder,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/offrt"
+)
+
+// TestHandWrittenIRProgram runs the shipped matmul.ir through the whole
+// toolchain: parse -> profile -> compile -> offload, with output checked
+// against local execution. This is the downstream-user path (offloadc -ir /
+// offloadrun -ir).
+func TestHandWrittenIRProgram(t *testing.T) {
+	data, err := os.ReadFile("../../examples/irprogram/matmul.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ir.Parse(string(data))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mkIO := func() *interp.StdIO {
+		io := interp.NewStdIO([]int64{120})
+		io.MaxBuffered = 1 << 20
+		return io
+	}
+	fw := NewFramework(FastNetwork)
+	fw.CostScale = 2000
+
+	prof, err := fw.Profile(mod, mkIO())
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	cres, err := fw.Compile(mod, prof)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var names []string
+	for _, tg := range cres.Targets {
+		names = append(names, tg.Name)
+	}
+	if len(names) == 0 || names[0] != "multiply" {
+		t.Fatalf("targets = %v, want multiply first", names)
+	}
+
+	local, err := fw.RunLocal(mod, mkIO())
+	if err != nil {
+		t.Fatalf("local: %v", err)
+	}
+	off, err := fw.RunOffloaded(cres, mkIO(), offrt.Policy{})
+	if err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	if off.Output != local.Output {
+		t.Errorf("outputs differ:\nlocal: %q\noffload: %q", local.Output, off.Output)
+	}
+	if !off.Offloaded() {
+		t.Error("matmul should offload")
+	}
+	if off.Speedup(local) < 3 {
+		t.Errorf("speedup = %.2f, want > 3", off.Speedup(local))
+	}
+}

@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestEnergyIntegration(t *testing.T) {
+	m := FastModel()
+	r := NewRecorder(0, Compute)
+	r.Transition(2*simtime.Second, Wait)
+	r.Transition(3*simtime.Second, TX)
+	r.Finish(4 * simtime.Second)
+
+	want := m.MW[Compute]*2 + m.MW[Wait]*1 + m.MW[TX]*1
+	if got := r.EnergyMJ(m); math.Abs(got-want) > 1e-6 {
+		t.Errorf("EnergyMJ = %f, want %f", got, want)
+	}
+	if r.Duration() != 4*simtime.Second {
+		t.Errorf("Duration = %v, want 4s", r.Duration())
+	}
+}
+
+func TestPulseReturnsToPreviousState(t *testing.T) {
+	r := NewRecorder(0, Wait)
+	r.Pulse(1*simtime.Second, 500*simtime.Millisecond, TX)
+	r.Finish(3 * simtime.Second)
+	if got := r.TimeIn(TX); got != 500*simtime.Millisecond {
+		t.Errorf("TX time = %v, want 500ms", got)
+	}
+	if got := r.TimeIn(Wait); got != 2500*simtime.Millisecond {
+		t.Errorf("Wait time = %v, want 2.5s", got)
+	}
+}
+
+func TestOutOfOrderTransitionClamped(t *testing.T) {
+	r := NewRecorder(simtime.Second, Compute)
+	r.Transition(500*simtime.Millisecond, Wait) // earlier than current time
+	r.Finish(2 * simtime.Second)
+	for _, s := range r.Segments() {
+		if s.End < s.Start {
+			t.Errorf("negative segment %+v", s)
+		}
+	}
+}
+
+func TestModelsMatchPaperConstants(t *testing.T) {
+	fast, slow := FastModel(), SlowModel()
+	if fast.MW[Idle] != 300 || fast.MW[Wait] != 1350 || fast.MW[RX] != 2000 {
+		t.Error("fast model constants drifted from Section 5.2")
+	}
+	// Remote I/O service: 2000 mW fast vs 1700 mW slow (Figure 8(b)/(c)).
+	if fast.MW[IOServe] <= slow.MW[IOServe] {
+		t.Error("IOServe must draw more on the fast network")
+	}
+	// TX peaks in the paper's 2000-5000 mW band.
+	for _, m := range []PowerModel{fast, slow} {
+		if m.MW[TX] < 2000 || m.MW[TX] > 5000 {
+			t.Errorf("%s TX=%f outside 2000-5000 mW", m.Name, m.MW[TX])
+		}
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	m := FastModel()
+	r := NewRecorder(0, Compute)
+	r.Transition(simtime.Second, Wait)
+	r.Finish(2 * simtime.Second)
+	tr := r.Trace(m, 100*simtime.Millisecond)
+	if len(tr) != 20 {
+		t.Fatalf("trace has %d samples, want 20", len(tr))
+	}
+	if tr[0] != m.MW[Compute] || tr[19] != m.MW[Wait] {
+		t.Errorf("trace endpoints = %f, %f", tr[0], tr[19])
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	s := RenderTrace([]float64{0, 1000, 5000, 2500}, 5000, 4)
+	if len([]rune(s)) != 4 {
+		t.Errorf("rendered width = %d, want 4 (%q)", len([]rune(s)), s)
+	}
+}
+
+func TestLocalEnergyBaseline(t *testing.T) {
+	m := SlowModel()
+	if got := LocalEnergyMJ(m, 10*simtime.Second); got != 22000 {
+		t.Errorf("local baseline = %f, want 22000 mJ", got)
+	}
+}
+
+func TestSummaryIncludesStates(t *testing.T) {
+	r := NewRecorder(0, Compute)
+	r.Finish(simtime.Second)
+	s := r.Summary(FastModel())
+	if len(s) == 0 {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,75 @@
+// Package estimate implements the paper's performance estimation,
+// Equation 1:
+//
+//	Tg = (Tm - Ts) - Tc = Tm*(1 - 1/R) - 2*(M/BW)*Ninvo
+//
+// where Tm is the task's mobile execution time, R the server/mobile
+// performance ratio, M the task's memory usage, BW the network bandwidth and
+// Ninvo the invocation count. The *static* estimator (Section 3.1) applies
+// it to profile data to pick compile-time offload targets; the *dynamic*
+// estimator (Section 4) re-evaluates it per invocation with run-time values,
+// which is how gzip-class tasks avoid offloading over a slow network
+// (the starred entries of Figure 6).
+package estimate
+
+import (
+	"repro/internal/simtime"
+)
+
+// Params holds the environment the estimator assumes.
+type Params struct {
+	// R is the server/mobile performance ratio (Table 1 measures ~5.8; the
+	// paper's Table 3 example uses 5).
+	R float64
+	// BandwidthBps is the network bandwidth in bits per second.
+	BandwidthBps int64
+	// RTT is the fixed per-invocation communication overhead (round-trip
+	// latency plus message framing). Equation 1 as printed is
+	// bandwidth-only; without this term a task that touches no memory
+	// at all would look free to offload at any invocation count.
+	RTT simtime.PS
+}
+
+// CommTime returns Tc for moving memBytes twice (mobile->server and back),
+// invocations times.
+func (p Params) CommTime(memBytes int64, invocations int) simtime.PS {
+	rtt := p.RTT * simtime.PS(invocations)
+	if p.BandwidthBps <= 0 {
+		return rtt
+	}
+	secs := 2 * float64(memBytes) * 8 / float64(p.BandwidthBps) * float64(invocations)
+	return simtime.FromSeconds(secs) + rtt
+}
+
+// IdealGain returns Tm*(1-1/R): the gain with free communication.
+func (p Params) IdealGain(tm simtime.PS) simtime.PS {
+	if p.R <= 0 {
+		return 0
+	}
+	return simtime.PS(float64(tm) * (1 - 1/p.R))
+}
+
+// Gain evaluates Equation 1.
+func (p Params) Gain(tm simtime.PS, memBytes int64, invocations int) simtime.PS {
+	return p.IdealGain(tm) - p.CommTime(memBytes, invocations)
+}
+
+// Profitable reports whether Equation 1 predicts a positive gain.
+func (p Params) Profitable(tm simtime.PS, memBytes int64, invocations int) bool {
+	return p.Gain(tm, memBytes, invocations) > 0
+}
+
+// Estimate is the per-candidate result the target selector records
+// (Table 3's right-hand columns).
+type Estimate struct {
+	Tideal simtime.PS // ideal gain
+	Tc     simtime.PS // communication cost
+	Tg     simtime.PS // net gain
+}
+
+// Evaluate fills an Estimate for one candidate.
+func (p Params) Evaluate(tm simtime.PS, memBytes int64, invocations int) Estimate {
+	ideal := p.IdealGain(tm)
+	tc := p.CommTime(memBytes, invocations)
+	return Estimate{Tideal: ideal, Tc: tc, Tg: ideal - tc}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/interp"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+// Fig6aRow is one program's bars in Figure 6(a).
+type Fig6aRow struct {
+	Name          string
+	Ideal         float64
+	Slow          float64
+	Fast          float64
+	SlowOffloaded bool // false = starred (declined by the dynamic gate)
+	FastOffloaded bool
+}
+
+// Fig6a reproduces the normalized execution times.
+func Fig6a() (*report.Table, []Fig6aRow, error) {
+	rs, err := Sweep()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Figure 6(a): execution time normalized to local execution",
+		"Program", "Ideal", "Slow(802.11n)", "Fast(802.11ac)", "SpeedupFast", "")
+	var rows []Fig6aRow
+	var slows, fasts, ideals []float64
+	for _, r := range rs {
+		row := Fig6aRow{
+			Name:          r.W.Name,
+			Ideal:         r.IdealNorm(),
+			Slow:          r.Slow.NormalizedTime(r.Local),
+			Fast:          r.Fast.NormalizedTime(r.Local),
+			SlowOffloaded: r.Slow.Offloaded(),
+			FastOffloaded: r.Fast.Offloaded(),
+		}
+		rows = append(rows, row)
+		star := ""
+		if !row.SlowOffloaded {
+			star = " *slow not offloaded"
+		}
+		t.Add(r.W.Name, row.Ideal, row.Slow, row.Fast,
+			r.Fast.Speedup(r.Local), report.Bar(row.Fast, 1, 30)+star)
+		ideals = append(ideals, row.Ideal)
+		slows = append(slows, row.Slow)
+		fasts = append(fasts, row.Fast)
+	}
+	t.Add("GEOMEAN", report.Geomean(ideals), report.Geomean(slows), report.Geomean(fasts),
+		1/report.Geomean(fasts), "")
+	t.Note("paper: geomean normalized time 0.180 slow / 0.156 fast (82.0%% / 84.4%% reduction; 6.42x speedup)")
+	return t, rows, nil
+}
+
+// Fig6bRow is one program's bars in Figure 6(b).
+type Fig6bRow struct {
+	Name string
+	Slow float64
+	Fast float64
+}
+
+// Fig6b reproduces the normalized battery consumption.
+func Fig6b() (*report.Table, []Fig6bRow, error) {
+	rs, err := Sweep()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Figure 6(b): battery consumption normalized to local execution",
+		"Program", "Slow(802.11n)", "Fast(802.11ac)", "")
+	var rows []Fig6bRow
+	var slows, fasts []float64
+	for _, r := range rs {
+		slow := normEnergy(r.Slow, r.Local, energy.SlowModel())
+		fast := normEnergy(r.Fast, r.Local, energy.FastModel())
+		rows = append(rows, Fig6bRow{Name: r.W.Name, Slow: slow, Fast: fast})
+		t.Add(r.W.Name, slow, fast, report.Bar(fast, 1.2, 30))
+		slows = append(slows, slow)
+		fasts = append(fasts, fast)
+	}
+	t.Add("GEOMEAN", report.Geomean(slows), report.Geomean(fasts), "")
+	t.Note("paper: geomean battery saving 77.2%% slow / 82.0%% fast; 164.gzip exceeds local on slow")
+	return t, rows, nil
+}
+
+// normEnergy recomputes the normalized battery use under the right power
+// model for the network (local baselines differ per model only in name).
+func normEnergy(off *core.OffloadResult, local *core.LocalResult, m energy.PowerModel) float64 {
+	offMJ := off.Recorder.EnergyMJ(m)
+	localMJ := energy.LocalEnergyMJ(m, local.Time)
+	if localMJ == 0 {
+		return 0
+	}
+	return offMJ / localMJ
+}
+
+// Fig7Row is one program+network breakdown.
+type Fig7Row struct {
+	Name     string
+	Network  string
+	Total    simtime.PS
+	Compute  simtime.PS
+	Fptr     simtime.PS
+	RemoteIO simtime.PS
+	Comm     simtime.PS
+}
+
+// Fig7 reproduces the overhead breakdown for both networks.
+func Fig7() (*report.Table, []Fig7Row, error) {
+	rs, err := Sweep()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Figure 7: breakdown of offloaded execution time (s and % of total)",
+		"Program", "Net", "Total(s)", "Compute", "FptrTrans", "RemoteIO", "Comm")
+	var rows []Fig7Row
+	add := func(r *ProgramResult, name string, off *core.OffloadResult) {
+		row := Fig7Row{
+			Name:     r.W.Name,
+			Network:  name,
+			Total:    off.Time,
+			Compute:  off.Comp[interp.CompCompute],
+			Fptr:     off.Comp[interp.CompFptr],
+			RemoteIO: off.Comp[interp.CompRemoteIO],
+			Comm:     off.Comp[interp.CompComm],
+		}
+		rows = append(rows, row)
+		pct := func(c simtime.PS) string {
+			if off.Time == 0 {
+				return "0"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(c)/float64(off.Time))
+		}
+		t.Add(r.W.Name, name, off.Time.Seconds(), pct(row.Compute), pct(row.Fptr),
+			pct(row.RemoteIO), pct(row.Comm))
+	}
+	for _, r := range rs {
+		add(r, "s", r.Slow)
+		add(r, "f", r.Fast)
+	}
+	t.Note("paper: gzip/bzip2/mcf/sjeng/lbm communication-heavy; twolf/gobmk/h264ref remote-I/O-heavy; gobmk/sjeng/h264ref fptr-visible")
+	return t, rows, nil
+}
+
+// Fig8Trace is one power-over-time trace.
+type Fig8Trace struct {
+	Title   string
+	Trace   []float64 // mW samples
+	AvgIOmW float64
+}
+
+// Fig8 reproduces the power traces: sjeng (fast), gobmk (fast), gobmk
+// (slow).
+func Fig8() (string, []Fig8Trace, error) {
+	rs, err := Sweep()
+	if err != nil {
+		return "", nil, err
+	}
+	byName := map[string]*ProgramResult{}
+	for _, r := range rs {
+		byName[r.W.Name] = r
+	}
+	sjeng, gobmk := byName["458.sjeng"], byName["445.gobmk"]
+	if sjeng == nil || gobmk == nil {
+		return "", nil, fmt.Errorf("fig8: sweep missing sjeng/gobmk")
+	}
+
+	var sb strings.Builder
+	var traces []Fig8Trace
+	emit := func(title string, off *core.OffloadResult, m energy.PowerModel) {
+		dt := off.Time / 200
+		if dt <= 0 {
+			dt = simtime.Millisecond
+		}
+		tr := off.Recorder.Trace(m, dt)
+		traces = append(traces, Fig8Trace{Title: title, Trace: tr, AvgIOmW: m.MW[energy.IOServe]})
+		fmt.Fprintf(&sb, "%s  (total %v, energy %.0f mJ)\n", title, off.Time, off.Recorder.EnergyMJ(m))
+		fmt.Fprintf(&sb, "  %s\n", energy.RenderTrace(tr, 5000, 100))
+		fmt.Fprintf(&sb, "  states: %s\n\n", off.Recorder.Summary(m))
+	}
+	emit("Figure 8(a): 458.sjeng power over time (fast network)", sjeng.Fast, energy.FastModel())
+	emit("Figure 8(b): 445.gobmk power over time (fast network)", gobmk.Fast, energy.FastModel())
+	emit("Figure 8(c): 445.gobmk power over time (slow network)", gobmk.Slow, energy.SlowModel())
+	sb.WriteString("paper: sjeng pulses at invocation boundaries; gobmk draws continuous remote-I/O power,\n")
+	sb.WriteString("higher on the fast network (2000 mW) than the slow one (1700 mW)\n")
+	return sb.String(), traces, nil
+}

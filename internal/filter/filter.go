@@ -1,0 +1,147 @@
+// Package filter implements the paper's function filter (Section 3.1): it
+// classifies functions and loops as machine specific when they contain
+//
+//   - assembly instructions,
+//   - system calls,
+//   - unknown external library calls, or
+//   - I/O instructions,
+//
+// and propagates the classification to callers, since a task that invokes a
+// machine-specific task is itself unable to move. When the remote I/O
+// optimization (Section 3.4) is enabled, well-known I/O functions with
+// remote variants (printf, file streams) stop being disqualifying — which
+// is precisely how getAITurn in Figure 3 stays offloadable despite its
+// printf, while getPlayerTurn's scanf pins it (and its callers runGame and
+// main) to the mobile device.
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/ir/analysis"
+)
+
+// Result is the classification of a module.
+type Result struct {
+	// Reason maps machine-specific functions to a human-readable cause.
+	Reason map[*ir.Func]string
+	cg     *analysis.CallGraph
+}
+
+// Options controls filtering.
+type Options struct {
+	// RemoteIO enables Section 3.4's remote I/O manager: output and file
+	// stream calls no longer disqualify a task.
+	RemoteIO bool
+}
+
+// Classify runs the filter over m using the given call graph.
+func Classify(m *ir.Module, cg *analysis.CallGraph, opt Options) *Result {
+	r := &Result{Reason: make(map[*ir.Func]string), cg: cg}
+
+	// Phase 1: direct taint from instruction contents.
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		if why := directTaint(f, opt); why != "" {
+			r.Reason[f] = why
+		}
+	}
+
+	// Phase 2: propagate to callers until fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if f.IsExtern() || r.Reason[f] != "" {
+				continue
+			}
+			for _, callee := range cg.Callees[f] {
+				if callee.IsExtern() {
+					continue
+				}
+				if why := r.Reason[callee]; why != "" {
+					r.Reason[f] = fmt.Sprintf("calls machine-specific %s (%s)", callee.Nam, why)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// directTaint inspects f's own instructions.
+func directTaint(f *ir.Func, opt Options) string {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			call, ok := in.(*ir.Call)
+			if !ok {
+				continue
+			}
+			k := call.Callee.Extern
+			if k == ir.ExternNone {
+				continue
+			}
+			if k.IsMachineSpecific() {
+				return fmt.Sprintf("contains %s", k)
+			}
+			if k.IsLocalIO() {
+				if _, remotable := k.RemoteVariant(); remotable && opt.RemoteIO {
+					continue // remote I/O manager will handle it
+				}
+				return fmt.Sprintf("contains I/O call %s", k)
+			}
+		}
+	}
+	return ""
+}
+
+// FuncMachineSpecific reports whether f was classified machine specific and
+// why.
+func (r *Result) FuncMachineSpecific(f *ir.Func) (bool, string) {
+	why, ok := r.Reason[f]
+	return ok, why
+}
+
+// LoopMachineSpecific reports whether the loop contains a machine-specific
+// instruction or call.
+func (r *Result) LoopMachineSpecific(l *analysis.Loop, opt Options) (bool, string) {
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if ci, ok := in.(*ir.CallInd); ok {
+				// Conservative indirect resolution, as in the call graph.
+				for _, t := range r.cg.AddressTaken {
+					if t.Sig.Equal(ci.Sig) {
+						if why := r.Reason[t]; why != "" {
+							return true, fmt.Sprintf("may call machine-specific %s (%s)", t.Nam, why)
+						}
+					}
+				}
+				continue
+			}
+			call, ok := in.(*ir.Call)
+			if !ok {
+				continue
+			}
+			k := call.Callee.Extern
+			if k == ir.ExternNone {
+				if why := r.Reason[call.Callee]; why != "" {
+					return true, fmt.Sprintf("calls machine-specific %s (%s)", call.Callee.Nam, why)
+				}
+				continue
+			}
+			if k.IsMachineSpecific() {
+				return true, fmt.Sprintf("contains %s", k)
+			}
+			if k.IsLocalIO() {
+				if _, remotable := k.RemoteVariant(); remotable && opt.RemoteIO {
+					continue
+				}
+				return true, fmt.Sprintf("contains I/O call %s", k)
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,154 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/ir/analysis"
+)
+
+// buildFigure3 reproduces the call structure of the paper's Figure 3:
+// getPlayerTurn contains scanf (interactive input, never remotable);
+// getAITurn contains printf (remotable output); runGame calls both;
+// main calls runGame.
+func buildFigure3(t *testing.T) (*ir.Module, *analysis.CallGraph) {
+	t.Helper()
+	mod := ir.NewModule("chess")
+	b := ir.NewBuilder(mod)
+
+	ai := b.NewFunc("getAITurn", ir.I32)
+	b.CallExtern(ir.ExternPrintf, b.Str("%f\n"), ir.Float(1.0))
+	b.Ret(ir.Int(0))
+
+	player := b.NewFunc("getPlayerTurn", ir.I32)
+	dst := b.Alloca(ir.I32)
+	b.CallExtern(ir.ExternScanf, b.Str("%d"), dst)
+	b.Ret(b.Load(dst))
+
+	run := b.NewFunc("runGame", ir.I32)
+	b.Call(player)
+	b.Call(ai)
+	b.Ret(ir.Int(0))
+
+	b.NewFunc("main", ir.I32)
+	b.Call(run)
+	b.Ret(ir.Int(0))
+	b.Finish()
+	return mod, analysis.BuildCallGraph(mod)
+}
+
+func TestFigure3Classification(t *testing.T) {
+	mod, cg := buildFigure3(t)
+	r := Classify(mod, cg, Options{RemoteIO: true})
+
+	if ms, why := r.FuncMachineSpecific(mod.Func("getAITurn")); ms {
+		t.Errorf("getAITurn should be offloadable with remote I/O, got machine-specific: %s", why)
+	}
+	for _, name := range []string{"getPlayerTurn", "runGame", "main"} {
+		if ms, _ := r.FuncMachineSpecific(mod.Func(name)); !ms {
+			t.Errorf("%s should be machine-specific (scanf taint)", name)
+		}
+	}
+	// Taint reasons propagate the cause upward.
+	_, why := r.FuncMachineSpecific(mod.Func("main"))
+	if !strings.Contains(why, "runGame") {
+		t.Errorf("main's reason should mention runGame, got %q", why)
+	}
+}
+
+func TestWithoutRemoteIOPrintfDisqualifies(t *testing.T) {
+	mod, cg := buildFigure3(t)
+	r := Classify(mod, cg, Options{RemoteIO: false})
+	if ms, _ := r.FuncMachineSpecific(mod.Func("getAITurn")); !ms {
+		t.Error("without the remote I/O manager, printf must disqualify getAITurn")
+	}
+}
+
+func TestAsmAndSyscallTaint(t *testing.T) {
+	mod := ir.NewModule("ms")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("usesAsm", ir.I32)
+	b.CallExtern(ir.ExternAsm)
+	b.Ret(ir.Int(0))
+	b.NewFunc("usesSyscall", ir.I32)
+	b.CallExtern(ir.ExternSyscall)
+	b.Ret(ir.Int(0))
+	b.NewFunc("usesUnknown", ir.I32)
+	b.CallExtern(ir.ExternUnknown)
+	b.Ret(ir.Int(0))
+	b.NewFunc("clean", ir.I32)
+	b.Ret(ir.Int(7))
+	b.Finish()
+	cg := analysis.BuildCallGraph(mod)
+	r := Classify(mod, cg, Options{RemoteIO: true})
+	for _, name := range []string{"usesAsm", "usesSyscall", "usesUnknown"} {
+		if ms, _ := r.FuncMachineSpecific(mod.Func(name)); !ms {
+			t.Errorf("%s should be machine-specific", name)
+		}
+	}
+	if ms, _ := r.FuncMachineSpecific(mod.Func("clean")); ms {
+		t.Error("clean function misclassified")
+	}
+}
+
+func TestLoopClassification(t *testing.T) {
+	mod := ir.NewModule("loops")
+	b := ir.NewBuilder(mod)
+	f := b.NewFunc("work", ir.I32, ir.P("n", ir.I32))
+	acc := b.Alloca(ir.I32)
+	b.Store(acc, ir.Int(0))
+	// Clean loop.
+	b.For("clean_loop", ir.Int(0), f.Params[0], ir.Int(1), func(i ir.Value) {
+		b.Store(acc, b.Add(b.Load(acc), i))
+	})
+	// Loop with a syscall.
+	b.For("sys_loop", ir.Int(0), f.Params[0], ir.Int(1), func(i ir.Value) {
+		b.CallExtern(ir.ExternSyscall)
+	})
+	b.Ret(b.Load(acc))
+	b.Finish()
+
+	cg := analysis.BuildCallGraph(mod)
+	r := Classify(mod, cg, Options{RemoteIO: true})
+	g, _ := analysis.BuildCFG(f)
+	forest := analysis.FindLoops(g, analysis.Dominators(g))
+	var clean, sys *analysis.Loop
+	for _, l := range forest.Loops {
+		switch l.Name() {
+		case "clean_loop":
+			clean = l
+		case "sys_loop":
+			sys = l
+		}
+	}
+	if ms, _ := r.LoopMachineSpecific(clean, Options{RemoteIO: true}); ms {
+		t.Error("clean loop misclassified")
+	}
+	if ms, _ := r.LoopMachineSpecific(sys, Options{RemoteIO: true}); !ms {
+		t.Error("syscall loop should be machine-specific")
+	}
+	// The containing function is tainted too.
+	if ms, _ := r.FuncMachineSpecific(f); !ms {
+		t.Error("function containing syscall loop should be machine-specific")
+	}
+}
+
+func TestIndirectCallTaintPropagation(t *testing.T) {
+	mod := ir.NewModule("ind")
+	b := ir.NewBuilder(mod)
+	sig := ir.Signature(ir.I32, ir.I32)
+	bad := b.NewFunc("badTarget", ir.I32, ir.P("x", ir.I32))
+	b.CallExtern(ir.ExternAsm)
+	b.Ret(ir.Int(0))
+	tbl := b.GlobalVar("tbl", ir.Array(ir.Ptr(sig), 1), bad)
+	caller := b.NewFunc("caller", ir.I32)
+	fp := b.Load(b.Index(tbl, ir.Int(0)))
+	b.Ret(b.CallPtr(fp, sig, ir.Int(1)))
+	b.Finish()
+	cg := analysis.BuildCallGraph(mod)
+	r := Classify(mod, cg, Options{RemoteIO: true})
+	if ms, _ := r.FuncMachineSpecific(caller); !ms {
+		t.Error("indirect call to tainted target should taint caller")
+	}
+}

@@ -1,0 +1,151 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// buildAndRun lowers and runs a one-function module, returning the error.
+func buildAndRun(t *testing.T, build func(b *ir.Builder)) error {
+	t.Helper()
+	mod := ir.NewModule("err")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	build(b)
+	if b.B.Terminator() == nil {
+		b.Ret(ir.Int(0))
+	}
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, err := NewMachine(Config{Name: "err", Spec: arch.ARM32(), Mod: mod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RunMain()
+	return err
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *ir.Builder)
+		want  string
+	}{
+		{"printf missing argument", func(b *ir.Builder) {
+			b.CallExtern(ir.ExternPrintf, b.Str("%d %d\n"), ir.Int(1))
+		}, "missing argument"},
+		{"printf bad verb", func(b *ir.Builder) {
+			b.CallExtern(ir.ExternPrintf, b.Str("%q\n"), ir.Int(1))
+		}, "unsupported"},
+		{"scanf exhausted", func(b *ir.Builder) {
+			dst := b.Alloca(ir.I32)
+			b.CallExtern(ir.ExternScanf, b.Str("%d"), dst)
+		}, "stdin exhausted"},
+		{"read on unopened fd", func(b *ir.Builder) {
+			buf := b.CallExtern(ir.ExternUMalloc, ir.Int(8))
+			b.CallExtern(ir.ExternFileRead, ir.Int(9), buf, ir.Int(8))
+		}, "closed fd"},
+		{"open missing file", func(b *ir.Builder) {
+			b.CallExtern(ir.ExternFileOpen, b.Str("nope.bin"))
+		}, "no such file"},
+		{"u_free outside heap", func(b *ir.Builder) {
+			b.CallExtern(ir.ExternUFree, ir.Int(0x100))
+		}, "outside heap"},
+		{"indirect call to garbage address", func(b *ir.Builder) {
+			sig := ir.Signature(ir.I32)
+			fp := b.Convert(ir.ConvBitcast, ir.Int64(0x1234), ir.Ptr(sig))
+			b.CallPtr(fp, sig)
+		}, "no function at address"},
+		{"remainder by zero", func(b *ir.Builder) {
+			b.Rem(ir.Int(5), ir.Int(0))
+		}, "remainder by zero"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := buildAndRun(t, c.build)
+			if err == nil {
+				t.Fatalf("expected an error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRunMainRequiresMain(t *testing.T) {
+	mod := ir.NewModule("nomain")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("helper", ir.I32)
+	b.Ret(ir.Int(1))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "n", Spec: arch.ARM32(), Mod: mod})
+	if _, err := m.RunMain(); err == nil {
+		t.Error("RunMain without main should fail")
+	}
+}
+
+func TestCallFuncArityChecked(t *testing.T) {
+	mod := ir.NewModule("arity")
+	b := ir.NewBuilder(mod)
+	f := b.NewFunc("two", ir.I32, ir.P("a", ir.I32), ir.P("b", ir.I32))
+	b.Ret(b.Add(f.Params[0], f.Params[1]))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "a", Spec: arch.ARM32(), Mod: mod})
+	if _, err := m.CallFunc(f, 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestUnloweredModuleRejected(t *testing.T) {
+	mod := ir.NewModule("raw")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	g := b.GlobalVar("g", ir.I32)
+	b.Ret(b.Load(g))
+	b.Finish()
+	// Deliberately skip ir.Lower.
+	m, _ := NewMachine(Config{Name: "raw", Spec: arch.ARM32(), Mod: mod})
+	if _, err := m.RunMain(); err == nil || !strings.Contains(err.Error(), "unlowered") {
+		t.Errorf("unlowered access should be diagnosed, got %v", err)
+	}
+}
+
+func TestGateWithoutRuntimeNeverOffloads(t *testing.T) {
+	mod := ir.NewModule("g")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	g := b.CallExtern(ir.ExternGate, ir.Int(1))
+	b.Ret(b.Convert(ir.ConvZExt, g, ir.I32))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "g", Spec: arch.ARM32(), Mod: mod})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Error("gate without a runtime must choose local execution")
+	}
+}
+
+func TestOffloadIntrinsicsRequireRuntime(t *testing.T) {
+	for _, kind := range []ir.ExternKind{ir.ExternOffload, ir.ExternArg, ir.ExternSendReturn} {
+		mod := ir.NewModule("x")
+		b := ir.NewBuilder(mod)
+		b.NewFunc("main", ir.I32)
+		b.CallExtern(kind, ir.Int64(1))
+		b.Ret(ir.Int(0))
+		b.Finish()
+		ir.Lower(mod, arch.ARM32(), arch.ARM32())
+		m, _ := NewMachine(Config{Name: "x", Spec: arch.ARM32(), Mod: mod})
+		if _, err := m.RunMain(); err == nil {
+			t.Errorf("%v without a runtime should fail", kind)
+		}
+	}
+}

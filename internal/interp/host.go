@@ -1,0 +1,158 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IOHost provides the local I/O environment of one machine: stdout, stdin
+// tokens for scanf, and an in-memory file system. On the mobile device this
+// is the user's real environment; offloaded code reaches it through the
+// remote I/O manager (Section 3.4).
+type IOHost interface {
+	Write(s string)
+	NextInt() (int64, bool)
+	NextFloat() (float64, bool)
+	Open(name string) (int32, error)
+	Read(fd int32, n int) ([]byte, error)
+	Close(fd int32) error
+}
+
+// SysHost is the runtime attachment point for the intrinsics the partitioner
+// inserts (Section 3.3) and for remote I/O service (Section 3.4). The
+// offload runtime implements it; standalone (local-only) machines leave it
+// nil and the interpreter falls back to local behaviour.
+type SysHost interface {
+	// Gate is the dynamic performance estimation: should task taskID be
+	// offloaded right now?
+	Gate(m *Machine, taskID int32) bool
+	// Offload runs the task remotely and returns its result bits.
+	Offload(m *Machine, taskID int32, args []uint64) (uint64, error)
+	// Accept blocks until an offload request arrives; 0 means shut down.
+	Accept(m *Machine) int32
+	// Arg fetches argument i of the current request.
+	Arg(m *Machine, i int32) uint64
+	// SendReturn delivers the task result to the mobile device.
+	SendReturn(m *Machine, v uint64) error
+	// RemoteWrite services r_printf output on the mobile device.
+	RemoteWrite(m *Machine, s string) error
+	// RemoteOpen/RemoteRead/RemoteClose service remote file I/O.
+	RemoteOpen(m *Machine, name string) (int32, error)
+	RemoteRead(m *Machine, fd int32, n int) ([]byte, error)
+	RemoteClose(m *Machine, fd int32) error
+}
+
+// StdIO is the default IOHost: an output buffer, a token queue for scanf,
+// and a deterministic in-memory file system.
+type StdIO struct {
+	Out    strings.Builder
+	OutLen int64
+	// MaxBuffered bounds the retained output (the byte count keeps
+	// accumulating); 0 keeps everything.
+	MaxBuffered int
+
+	ints   []int64
+	floats []float64
+
+	files map[string][]byte
+	fds   map[int32]*fileCursor
+	next  int32
+}
+
+type fileCursor struct {
+	data []byte
+	pos  int
+}
+
+// NewStdIO builds a host with the given scanf integer inputs.
+func NewStdIO(ints []int64) *StdIO {
+	return &StdIO{
+		ints:  ints,
+		files: make(map[string][]byte),
+		fds:   make(map[int32]*fileCursor),
+		next:  3,
+	}
+}
+
+// AddInput appends scanf integer tokens.
+func (h *StdIO) AddInput(vs ...int64) { h.ints = append(h.ints, vs...) }
+
+// AddFloatInput appends scanf float tokens.
+func (h *StdIO) AddFloatInput(vs ...float64) { h.floats = append(h.floats, vs...) }
+
+// AddFile installs an in-memory file.
+func (h *StdIO) AddFile(name string, data []byte) { h.files[name] = data }
+
+// SyntheticFile installs a deterministic pseudo-random file of the given
+// size, standing in for SPEC reference inputs.
+func (h *StdIO) SyntheticFile(name string, size int, seed uint32) {
+	data := make([]byte, size)
+	s := seed | 1
+	for i := range data {
+		s = s*1664525 + 1013904223
+		data[i] = byte(s >> 24)
+	}
+	h.files[name] = data
+}
+
+func (h *StdIO) Write(s string) {
+	h.OutLen += int64(len(s))
+	if h.MaxBuffered > 0 && h.Out.Len() > h.MaxBuffered {
+		return
+	}
+	h.Out.WriteString(s)
+}
+
+func (h *StdIO) NextInt() (int64, bool) {
+	if len(h.ints) == 0 {
+		return 0, false
+	}
+	v := h.ints[0]
+	h.ints = h.ints[1:]
+	return v, true
+}
+
+func (h *StdIO) NextFloat() (float64, bool) {
+	if len(h.floats) == 0 {
+		return 0, false
+	}
+	v := h.floats[0]
+	h.floats = h.floats[1:]
+	return v, true
+}
+
+func (h *StdIO) Open(name string) (int32, error) {
+	data, ok := h.files[name]
+	if !ok {
+		return 0, fmt.Errorf("io: no such file %q", name)
+	}
+	fd := h.next
+	h.next++
+	h.fds[fd] = &fileCursor{data: data}
+	return fd, nil
+}
+
+func (h *StdIO) Read(fd int32, n int) ([]byte, error) {
+	c, ok := h.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("io: read on closed fd %d", fd)
+	}
+	if c.pos >= len(c.data) {
+		return nil, nil // EOF
+	}
+	end := c.pos + n
+	if end > len(c.data) {
+		end = len(c.data)
+	}
+	out := c.data[c.pos:end]
+	c.pos = end
+	return out, nil
+}
+
+func (h *StdIO) Close(fd int32) error {
+	if _, ok := h.fds[fd]; !ok {
+		return fmt.Errorf("io: close on unknown fd %d", fd)
+	}
+	delete(h.fds, fd)
+	return nil
+}

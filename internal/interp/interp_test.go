@@ -1,0 +1,462 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+func buildSum(mod *ir.Module) {
+	b := ir.NewBuilder(mod)
+	f := b.NewFunc("sum", ir.I32, ir.P("n", ir.I32))
+	s := b.Alloca(ir.I32)
+	b.Store(s, ir.Int(0))
+	b.For("for_i", ir.Int(0), f.Params[0], ir.Int(1), func(i ir.Value) {
+		b.Store(s, b.Add(b.Load(s), i))
+	})
+	b.Ret(b.Load(s))
+
+	b.NewFunc("main", ir.I32)
+	b.Ret(b.Call(f, ir.Int(100)))
+	b.Finish()
+}
+
+func newMachine(t *testing.T, mod *ir.Module, spec, std *arch.Spec) *Machine {
+	t.Helper()
+	ir.Lower(mod, spec, std)
+	m, err := NewMachine(Config{Name: "test", Spec: spec, Std: std, Mod: mod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunSum(t *testing.T) {
+	mod := ir.NewModule("sum")
+	buildSum(mod)
+	m := newMachine(t, mod, arch.ARM32(), arch.ARM32())
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 4950 {
+		t.Errorf("sum(100) = %d, want 4950", code)
+	}
+	if m.Clock <= 0 || m.Steps <= 0 {
+		t.Error("clock/steps not advancing")
+	}
+}
+
+func TestPerformanceRatioObserved(t *testing.T) {
+	// The same binary must run ~5.4-5.9x slower on the mobile machine
+	// (Table 1's performance gap).
+	modA := ir.NewModule("a")
+	buildSum(modA)
+	ma := newMachine(t, modA, arch.ARM32(), arch.ARM32())
+	ma.RunMain()
+
+	modB := ir.NewModule("b")
+	buildSum(modB)
+	mb := newMachine(t, modB, arch.X8664(), arch.X8664())
+	mb.RunMain()
+
+	r := float64(ma.Clock) / float64(mb.Clock)
+	if r < 5.3 || r > 5.9 {
+		t.Errorf("observed mobile/server time ratio %.2f, want within Table 1 band", r)
+	}
+}
+
+func TestCostScaleAmplifies(t *testing.T) {
+	mod := ir.NewModule("s")
+	buildSum(mod)
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m1, _ := NewMachine(Config{Name: "x1", Spec: arch.ARM32(), Mod: mod})
+	m1.RunMain()
+	m2, _ := NewMachine(Config{Name: "x10", Spec: arch.ARM32(), Mod: mod, CostScale: 10})
+	m2.RunMain()
+	if m2.Clock != 10*m1.Clock {
+		t.Errorf("CostScale=10 clock %v, want exactly 10x %v", m2.Clock, m1.Clock)
+	}
+}
+
+// buildMoveWriter builds a program writing Move{from:1,to:2,score:3.5} into
+// a u_malloc'd struct and returning its address truncated to i32.
+func buildMoveProgram(mod *ir.Module) *ir.StructType {
+	move := ir.Struct("Move",
+		ir.StructField{Name: "from", Type: ir.I8},
+		ir.StructField{Name: "to", Type: ir.I8},
+		ir.StructField{Name: "score", Type: ir.F64},
+	)
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	raw := b.CallExtern(ir.ExternUMalloc, ir.Int(16))
+	p := b.Convert(ir.ConvBitcast, raw, ir.Ptr(move))
+	b.Store(b.Field(p, 0), ir.Int8(1))
+	b.Store(b.Field(p, 1), ir.Int8(2))
+	b.Store(b.Field(p, 2), ir.Float(3.5))
+	b.Ret(b.Convert(ir.ConvBitcast, b.Convert(ir.ConvTrunc, b.Convert(ir.ConvBitcast, p, ir.I64), ir.I32), ir.I32))
+	b.Finish()
+	return move
+}
+
+func TestFigure4CrossLayoutBugAndFix(t *testing.T) {
+	// Mobile (ARM32) writes a Move struct into UVA memory with its own
+	// layout. A server that laid the struct out per IA32 rules reads
+	// score from offset 4 — garbage. With realignment (standard=ARM32 on
+	// both), it reads 3.5.
+	mobMod := ir.NewModule("mobile")
+	move := buildMoveProgram(mobMod)
+	ir.Lower(mobMod, arch.ARM32(), arch.ARM32())
+	mobile, err := NewMachine(Config{Name: "mobile", Spec: arch.ARM32(), Mod: mobMod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mobile.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	readScore := func(std *arch.Spec) float64 {
+		srvMod := ir.NewModule("server")
+		b := ir.NewBuilder(srvMod)
+		b.NewFunc("main", ir.I32, ir.P("mv", ir.Ptr(move)))
+		sc := b.Load(b.Field(b.F.Params[0], 2))
+		out := srvMod.AddGlobal(&ir.Global{Nam: "out", Elem: ir.F64})
+		b.Store(out, sc)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		ir.Lower(srvMod, arch.IA32(), std)
+
+		shared := mem.New()
+		shared.Fault = func(pn uint32) ([]byte, error) { return mobile.Mem.PageData(pn), nil }
+		srv, err := NewMachine(Config{Name: "server", Spec: arch.IA32(), Std: std, Mod: srvMod, Mem: shared, FuncBase: mem.FuncBaseServer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.CallFunc(srvMod.Func("main"), uint64(uint32(addr))); err != nil {
+			t.Fatal(err)
+		}
+		bits, _ := shared.ReadUint(srv.GlobalAddr(srvMod.Global("out")), 8)
+		return math.Float64frombits(bits)
+	}
+
+	if got := readScore(arch.IA32()); got == 3.5 {
+		t.Error("un-realigned server read the correct score; the layout bug should manifest")
+	}
+	if got := readScore(arch.ARM32()); got != 3.5 {
+		t.Errorf("realigned server read %v, want 3.5", got)
+	}
+}
+
+func TestEndiannessTranslation(t *testing.T) {
+	// A big-endian server reading mobile-written (little-endian) data
+	// must see the right value when lowered against the mobile standard.
+	mobMod := ir.NewModule("m")
+	b := ir.NewBuilder(mobMod)
+	b.NewFunc("main", ir.I32)
+	p := b.CallExtern(ir.ExternUMalloc, ir.Int(8))
+	ip := b.Convert(ir.ConvBitcast, p, ir.Ptr(ir.I32))
+	b.Store(ip, ir.Int(0x11223344))
+	b.Ret(b.Convert(ir.ConvTrunc, b.Convert(ir.ConvBitcast, ip, ir.I64), ir.I32))
+	b.Finish()
+	ir.Lower(mobMod, arch.ARM32(), arch.ARM32())
+	mobile, _ := NewMachine(Config{Name: "m", Spec: arch.ARM32(), Mod: mobMod})
+	addr, err := mobile.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(std *arch.Spec) int32 {
+		srvMod := ir.NewModule("s")
+		sb := ir.NewBuilder(srvMod)
+		sb.NewFunc("main", ir.I32, ir.P("p", ir.Ptr(ir.I32)))
+		sb.Ret(sb.Load(sb.F.Params[0]))
+		sb.Finish()
+		ir.Lower(srvMod, arch.POWER32BE(), std)
+		shared := mem.New()
+		shared.Fault = func(pn uint32) ([]byte, error) { return mobile.Mem.PageData(pn), nil }
+		srv, _ := NewMachine(Config{Name: "s", Spec: arch.POWER32BE(), Std: std, Mod: srvMod, Mem: shared})
+		v, err := srv.CallFunc(srvMod.Func("main"), uint64(uint32(addr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int32(v)
+	}
+
+	if got := read(arch.POWER32BE()); got == 0x11223344 {
+		t.Error("big-endian server without translation read the right value; expected byte-swapped garbage")
+	}
+	if got := read(arch.ARM32()); got != 0x11223344 {
+		t.Errorf("with endianness translation, read 0x%x, want 0x11223344", got)
+	}
+}
+
+func TestMachineLocalGlobalAddressesDiverge(t *testing.T) {
+	mod := ir.NewModule("g")
+	b := ir.NewBuilder(mod)
+	b.GlobalVar("alpha", ir.I32, ir.Int(5))
+	b.GlobalVar("beta", ir.I64)
+	b.NewFunc("main", ir.I32)
+	b.Ret(ir.Int(0))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+
+	m1, _ := NewMachine(Config{Name: "mob", Spec: arch.ARM32(), Mod: mod})
+	mod2 := mod.Clone("srv")
+	ir.Lower(mod2, arch.X8664(), arch.ARM32())
+	m2, _ := NewMachine(Config{Name: "srv", Spec: arch.X8664(), Std: arch.ARM32(), Mod: mod2, ShuffleGlobals: true, FuncBase: mem.FuncBaseServer})
+
+	a1 := m1.GlobalAddr(mod.Global("alpha"))
+	a2 := m2.GlobalAddr(mod2.Global("alpha"))
+	if a1 == a2 {
+		t.Error("machine-local globals should land at different addresses on different machines")
+	}
+}
+
+func TestFunctionAddressesDivergeAndResolve(t *testing.T) {
+	mod := ir.NewModule("f")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("helper", ir.I32, ir.P("x", ir.I32))
+	b.Ret(b.Add(b.F.Params[0], ir.Int(1)))
+	b.NewFunc("main", ir.I32)
+	fp := b.FuncAddr(mod.Func("helper"))
+	b.Ret(b.CallPtr(fp, mod.Func("helper").Sig, ir.Int(41)))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+
+	m1, _ := NewMachine(Config{Name: "mob", Spec: arch.ARM32(), Mod: mod})
+	code, err := m1.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Errorf("indirect call = %d, want 42", code)
+	}
+
+	mod2 := mod.Clone("srv")
+	ir.Lower(mod2, arch.X8664(), arch.ARM32())
+	m2, _ := NewMachine(Config{Name: "srv", Spec: arch.X8664(), Std: arch.ARM32(), Mod: mod2, FuncBase: mem.FuncBaseServer, ShuffleFuncs: true})
+	if m1.FuncAddr(mod.Func("helper")) == m2.FuncAddr(mod2.Func("helper")) {
+		t.Error("function addresses should differ across machines")
+	}
+	// A mobile address is meaningless on the server without mapping.
+	if _, err := m2.ResolveFptr(m1.FuncAddr(mod.Func("helper")), false); err == nil {
+		t.Error("server resolved a mobile function address without the s2m map")
+	}
+}
+
+func TestPrintfFormatting(t *testing.T) {
+	mod := ir.NewModule("p")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	b.CallExtern(ir.ExternPrintf, b.Str("n=%d f=%.2f s=%s c=%c x=%x%%\n"),
+		ir.Int(-7), ir.Float(2.5), b.Str("ok"), ir.Int('Z'), ir.Int(255))
+	b.Ret(ir.Int(0))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	io := NewStdIO(nil)
+	m, _ := NewMachine(Config{Name: "p", Spec: arch.ARM32(), Mod: mod, IO: io})
+	if _, err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	want := "n=-7 f=2.50 s=ok c=Z x=ff%\n"
+	if io.Out.String() != want {
+		t.Errorf("printf output %q, want %q", io.Out.String(), want)
+	}
+}
+
+func TestScanfReadsInput(t *testing.T) {
+	mod := ir.NewModule("s")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	x := b.Alloca(ir.I32)
+	y := b.Alloca(ir.I32)
+	b.CallExtern(ir.ExternScanf, b.Str("%d,%d"), x, y)
+	b.Ret(b.Add(b.Load(x), b.Load(y)))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	io := NewStdIO([]int64{30, 12})
+	m, _ := NewMachine(Config{Name: "s", Spec: arch.ARM32(), Mod: mod, IO: io})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Errorf("scanf sum = %d, want 42", code)
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	mod := ir.NewModule("f")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	fd := b.CallExtern(ir.ExternFileOpen, b.Str("data.bin"))
+	buf := b.CallExtern(ir.ExternUMalloc, ir.Int(16))
+	n := b.CallExtern(ir.ExternFileRead, fd, buf, ir.Int(16))
+	b.CallExtern(ir.ExternFileClose, fd)
+	first := b.Load(b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8)))
+	b.Ret(b.Add(n, b.Convert(ir.ConvZExt, first, ir.I32)))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	io := NewStdIO(nil)
+	io.AddFile("data.bin", []byte{9, 2, 3, 4})
+	m, _ := NewMachine(Config{Name: "f", Spec: arch.ARM32(), Mod: mod, IO: io})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 4+9 {
+		t.Errorf("read result = %d, want 13", code)
+	}
+}
+
+func TestExitError(t *testing.T) {
+	mod := ir.NewModule("e")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	b.CallExtern(ir.ExternExit, ir.Int(3))
+	b.Ret(ir.Int(0))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "e", Spec: arch.ARM32(), Mod: mod})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 {
+		t.Errorf("exit code = %d, want 3", code)
+	}
+}
+
+func TestMemcpyMemset(t *testing.T) {
+	mod := ir.NewModule("m")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	src := b.CallExtern(ir.ExternUMalloc, ir.Int(64))
+	dst := b.CallExtern(ir.ExternUMalloc, ir.Int(64))
+	b.CallExtern(ir.ExternMemset, src, ir.Int(7), ir.Int(64))
+	b.CallExtern(ir.ExternMemcpy, dst, src, ir.Int(64))
+	last := b.Index(b.Convert(ir.ConvBitcast, dst, ir.Ptr(ir.I8)), ir.Int(63))
+	b.Ret(b.Convert(ir.ConvZExt, b.Load(last), ir.I32))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "m", Spec: arch.ARM32(), Mod: mod})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 7 {
+		t.Errorf("memcpy/memset = %d, want 7", code)
+	}
+}
+
+func TestGlobalFuncPtrTableInit(t *testing.T) {
+	// The chess example's evals table: a global array of function
+	// pointers must be initialized with this machine's addresses and be
+	// callable indirectly.
+	mod := ir.NewModule("t")
+	b := ir.NewBuilder(mod)
+	sig := ir.Signature(ir.I32, ir.I32)
+	f1 := b.NewFunc("one", ir.I32, ir.P("x", ir.I32))
+	b.Ret(b.Add(b.F.Params[0], ir.Int(1)))
+	f2 := b.NewFunc("two", ir.I32, ir.P("x", ir.I32))
+	b.Ret(b.Add(b.F.Params[0], ir.Int(2)))
+	tbl := b.GlobalVar("tbl", ir.Array(ir.Ptr(sig), 2), f1, f2)
+	b.NewFunc("main", ir.I32)
+	fp := b.Load(b.Index(tbl, ir.Int(1)))
+	b.Ret(b.CallPtr(fp, sig, ir.Int(40)))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "t", Spec: arch.ARM32(), Mod: mod})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Errorf("fptr table call = %d, want 42", code)
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	mod := ir.NewModule("o")
+	b := ir.NewBuilder(mod)
+	f := b.NewFunc("rec", ir.I32, ir.P("n", ir.I32))
+	big := b.Alloca(ir.Array(ir.I64, 4096))
+	_ = big
+	b.Ret(b.Call(f, b.Add(b.F.Params[0], ir.Int(1))))
+	b.NewFunc("main", ir.I32)
+	b.Ret(b.Call(f, ir.Int(0)))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "o", Spec: arch.ARM32(), Mod: mod})
+	if _, err := m.RunMain(); err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("expected stack overflow, got %v", err)
+	}
+}
+
+func TestComponentAccounting(t *testing.T) {
+	mod := ir.NewModule("c")
+	b := ir.NewBuilder(mod)
+	sig := ir.Signature(ir.I32)
+	f := b.NewFunc("leaf", ir.I32)
+	b.Ret(ir.Int(1))
+	b.NewFunc("main", ir.I32)
+	fp := b.FuncAddr(f)
+	call := &ir.CallInd{Fn: fp, Sig: sig, Mapped: true}
+	b.B.Append(call)
+	b.Ret(ir.Int(0))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "c", Spec: arch.ARM32(), Mod: mod})
+	if _, err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Comp[CompFptr] <= 0 {
+		t.Error("mapped indirect call should charge the fptr component")
+	}
+	if m.Comp[CompCompute] <= 0 {
+		t.Error("compute component empty")
+	}
+	if m.Clock != m.Comp[CompCompute]+m.Comp[CompFptr]+m.Comp[CompRemoteIO]+m.Comp[CompComm] {
+		t.Error("components do not sum to the clock")
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	mod := ir.NewModule("d")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	b.Ret(b.Div(ir.Int(1), ir.Int(0)))
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "d", Spec: arch.ARM32(), Mod: mod})
+	if _, err := m.RunMain(); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	mod := ir.NewModule("cv")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("main", ir.I32)
+	// float -> int -> float round trip plus trunc/sext behaviour.
+	f := b.Convert(ir.ConvFPToInt, ir.Float(-3.7), ir.I32)             // -3
+	tr := b.Convert(ir.ConvTrunc, ir.Int(0x1FF), ir.I8)                // -1 (0xFF sign-extended)
+	sum := b.Add(f, b.Convert(ir.ConvSExt, tr, ir.I32))                // -4
+	fl := b.Convert(ir.ConvIntToFP, sum, ir.F64)                       // -4.0
+	b.Ret(b.Convert(ir.ConvFPToInt, b.Mul(fl, ir.Float(-10)), ir.I32)) // 40
+	b.Finish()
+	ir.Lower(mod, arch.ARM32(), arch.ARM32())
+	m, _ := NewMachine(Config{Name: "cv", Spec: arch.ARM32(), Mod: mod})
+	code, err := m.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 40 {
+		t.Errorf("conversion chain = %d, want 40", code)
+	}
+}

@@ -1,0 +1,319 @@
+// Package interp executes lowered IR modules on a simulated machine. It
+// stands in for the paper's back-end compilers plus native execution: a
+// Machine binds a module to an architecture spec, a paged memory, a
+// simulated clock, and cost accounting, and honours exactly the
+// architectural properties (data layout, address size, byte order, relative
+// speed) that the Native Offloader compiler must bridge.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// Component buckets simulated time for the paper's Figure 7 breakdown.
+type Component int
+
+const (
+	CompCompute  Component = iota // computation (equals ideal execution time)
+	CompFptr                      // function pointer translation
+	CompRemoteIO                  // remote I/O operations
+	CompComm                      // memory transfer (filled in by the runtime)
+	NumComponents
+)
+
+func (c Component) String() string {
+	return [...]string{"compute", "fptr", "remoteIO", "comm"}[c]
+}
+
+// Listener observes execution for profiling (Section 3.1). All methods are
+// invoked synchronously on the interpreter's thread.
+type Listener interface {
+	EnterFunc(m *Machine, f *ir.Func)
+	ExitFunc(m *Machine, f *ir.Func)
+	EnterBlock(m *Machine, f *ir.Func, b *ir.Block)
+}
+
+// Machine is one simulated computer executing one lowered module.
+type Machine struct {
+	Name string
+	Spec *arch.Spec
+	// Std is the data-layout standard the module was lowered against: the
+	// machine's own spec for conventional binaries, the mobile spec for
+	// unified binaries (Section 3.2).
+	Std *arch.Spec
+	Mod *ir.Module
+	Mem *mem.Memory
+
+	// Heap is the UVA heap allocator (u_malloc); LocalHeap serves plain
+	// malloc in non-unified binaries.
+	Heap      *mem.Allocator
+	LocalHeap *mem.Allocator
+
+	// Clock is the simulated time on this machine.
+	Clock simtime.PS
+	// CostScale amplifies compute charges; workloads use it to model
+	// paper-scale execution times with small iteration counts.
+	CostScale int64
+
+	// Comp buckets elapsed time by component for Figure 7.
+	Comp [NumComponents]simtime.PS
+
+	// Steps counts executed IR instructions.
+	Steps int64
+
+	IO  IOHost
+	Sys SysHost
+
+	// Listener, when set, observes calls and block transfers (profiler).
+	Listener Listener
+
+	// ResolveFptr maps a stored function-pointer value to a callable
+	// function. The default resolves the machine's own addresses; the
+	// offload runtime installs a translating resolver on the server
+	// (Section 3.4). The mapped flag says the compiler marked this call
+	// site for translation.
+	ResolveFptr func(addr uint32, mapped bool) (*ir.Func, error)
+
+	// funcAddr assigns this machine's address to each function; inverse
+	// in funcByAddr. The two machines deliberately disagree.
+	funcAddr   map[*ir.Func]uint32
+	funcByAddr map[uint32]*ir.Func
+
+	globalAddr map[*ir.Global]uint32
+
+	sp      uint32
+	spFloor uint32
+}
+
+// Config bundles Machine construction options.
+type Config struct {
+	Name string
+	Spec *arch.Spec
+	Std  *arch.Spec // defaults to Spec (conventional lowering)
+	Mod  *ir.Module
+	Mem  *mem.Memory // defaults to a fresh memory
+	// FuncBase is where this machine's linker places function addresses.
+	FuncBase uint32
+	// ShuffleFuncs makes the linker assign addresses in name-sorted order
+	// instead of declaration order, so two machines disagree on every
+	// function address even with the same base.
+	ShuffleFuncs bool
+	// ShuffleGlobals does the same for machine-local global placement.
+	ShuffleGlobals bool
+	// InitUVAGlobals writes initial values of UVA-homed globals into
+	// memory. Only the mobile machine does this; the server receives those
+	// pages via copy-on-demand.
+	InitUVAGlobals bool
+	CostScale      int64
+	IO             IOHost
+	Sys            SysHost
+}
+
+// NewMachine builds, links and loads a machine. The module must already be
+// lowered (ir.Lower) against cfg.Std.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Std == nil {
+		cfg.Std = cfg.Spec
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = mem.New()
+	}
+	if cfg.CostScale <= 0 {
+		cfg.CostScale = 1
+	}
+	if cfg.FuncBase == 0 {
+		cfg.FuncBase = mem.FuncBaseMobile
+	}
+	if cfg.IO == nil {
+		cfg.IO = NewStdIO(nil)
+	}
+	m := &Machine{
+		Name:       cfg.Name,
+		Spec:       cfg.Spec,
+		Std:        cfg.Std,
+		Mod:        cfg.Mod,
+		Mem:        cfg.Mem,
+		CostScale:  cfg.CostScale,
+		IO:         cfg.IO,
+		Sys:        cfg.Sys,
+		funcAddr:   make(map[*ir.Func]uint32),
+		funcByAddr: make(map[uint32]*ir.Func),
+		globalAddr: make(map[*ir.Global]uint32),
+		sp:         cfg.Mod.StackBase,
+		spFloor:    cfg.Mod.StackBase - 8<<20, // 8 MiB stack
+	}
+	m.ResolveFptr = func(addr uint32, mapped bool) (*ir.Func, error) {
+		f, ok := m.funcByAddr[addr]
+		if !ok {
+			return nil, fmt.Errorf("interp(%s): no function at address 0x%x (unmapped cross-machine pointer?)", m.Name, addr)
+		}
+		return f, nil
+	}
+
+	m.Heap = mem.UVAHeap(m.Mem)
+	m.LocalHeap = mem.NewAllocator(m.Mem, mem.LocalBase+0x0100_0000, mem.LocalBase+0x0200_0000)
+
+	m.link(cfg.FuncBase, cfg.ShuffleFuncs)
+	if err := m.loadGlobals(cfg.ShuffleGlobals, cfg.InitUVAGlobals); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// link assigns per-machine function addresses.
+func (m *Machine) link(base uint32, shuffle bool) {
+	funcs := make([]*ir.Func, len(m.Mod.Funcs))
+	copy(funcs, m.Mod.Funcs)
+	if shuffle {
+		sort.Slice(funcs, func(i, j int) bool { return funcs[i].Nam < funcs[j].Nam })
+	}
+	addr := base
+	for _, f := range funcs {
+		m.funcAddr[f] = addr
+		m.funcByAddr[addr] = f
+		addr += 16
+	}
+}
+
+// FuncAddr returns this machine's address for f.
+func (m *Machine) FuncAddr(f *ir.Func) uint32 { return m.funcAddr[f] }
+
+// FuncAddrByName returns this machine's address for the named function.
+func (m *Machine) FuncAddrByName(name string) (uint32, bool) {
+	f := m.Mod.Func(name)
+	if f == nil {
+		return 0, false
+	}
+	return m.funcAddr[f], true
+}
+
+// FuncAt resolves an address assigned by this machine's linker.
+func (m *Machine) FuncAt(addr uint32) (*ir.Func, bool) {
+	f, ok := m.funcByAddr[addr]
+	return f, ok
+}
+
+// GlobalAddr returns the loaded address of g on this machine.
+func (m *Machine) GlobalAddr(g *ir.Global) uint32 { return m.globalAddr[g] }
+
+// loadGlobals places globals and writes initial values.
+func (m *Machine) loadGlobals(shuffle, initUVA bool) error {
+	locals := make([]*ir.Global, 0, len(m.Mod.Globals))
+	for _, g := range m.Mod.Globals {
+		if g.Home == ir.HomeMachine {
+			locals = append(locals, g)
+		} else {
+			m.globalAddr[g] = g.UVAAddr
+		}
+	}
+	if shuffle {
+		sort.Slice(locals, func(i, j int) bool { return locals[i].Nam < locals[j].Nam })
+	}
+	addr := mem.LocalBase
+	if shuffle {
+		// A different linker leaves a different gap before the data
+		// segment, so even the first global lands elsewhere.
+		addr += 0x40
+	}
+	for _, g := range locals {
+		lay := ir.LayoutOf(g.Elem, m.Std)
+		a := alignUp32(addr, uint32(max(lay.Align, 1)))
+		m.globalAddr[g] = a
+		addr = a + uint32(lay.Size)
+	}
+	for _, g := range m.Mod.Globals {
+		if g.Home == ir.HomeUVA && !initUVA {
+			continue
+		}
+		if err := m.writeGlobalInit(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) writeGlobalInit(g *ir.Global) error {
+	base := m.globalAddr[g]
+	if len(g.InitBytes) > 0 {
+		return m.Mem.WriteBytes(base, g.InitBytes)
+	}
+	if len(g.Init) == 0 {
+		return nil // zero-initialized; pages fault in as zeroes
+	}
+	elem := g.Elem
+	stride := 0
+	if at, ok := g.Elem.(*ir.ArrayType); ok {
+		elem = at.Elem
+		stride = ir.Stride(elem, m.Std)
+	}
+	for i, v := range g.Init {
+		addr := base + uint32(i*stride)
+		if err := m.writeScalar(addr, elem, m.constBits(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constBits evaluates a loader-time constant to its register representation.
+func (m *Machine) constBits(v ir.Value) uint64 {
+	switch v := v.(type) {
+	case *ir.ConstInt:
+		return uint64(v.V)
+	case *ir.ConstFloat:
+		return floatBits(v.Typ, v.V)
+	case *ir.ConstNull:
+		return 0
+	case *ir.ConstUVA:
+		return uint64(v.Addr)
+	case *ir.Func:
+		return uint64(m.funcAddr[v])
+	case *ir.Global:
+		return uint64(m.globalAddr[v])
+	}
+	panic(fmt.Sprintf("interp: non-constant global initializer %T", v))
+}
+
+func alignUp32(n, a uint32) uint32 { return (n + a - 1) / a * a }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// charge advances the clock by the cost of op, amplified by CostScale, and
+// attributes it to comp.
+func (m *Machine) charge(op arch.Op, comp Component) {
+	d := simtime.PS(m.Spec.Cost.Cycles(op)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
+	m.Clock += d
+	m.Comp[comp] += d
+}
+
+// chargeN charges n occurrences of op.
+func (m *Machine) chargeN(op arch.Op, n int64, comp Component) {
+	d := simtime.PS(m.Spec.Cost.Cycles(op)*m.CostScale*n) * simtime.PS(m.Spec.CyclePS)
+	m.Clock += d
+	m.Comp[comp] += d
+}
+
+// AddTime advances the clock by an externally computed duration (network
+// waits, remote service time) attributed to comp without scaling.
+func (m *Machine) AddTime(d simtime.PS, comp Component) {
+	m.Clock += d
+	m.Comp[comp] += d
+}
+
+// SP returns the current stack pointer.
+func (m *Machine) SP() uint32 { return m.sp }
+
+// SetSP moves the stack pointer (used by the runtime when materializing the
+// offloaded task's stack on the server).
+func (m *Machine) SetSP(sp uint32) { m.sp = sp; m.spFloor = sp - 8<<20 }

@@ -1,0 +1,123 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// loadScalar reads one scalar at addr following the access layout resolved
+// by ir.Lower. Bytes in memory are always in the standard (mobile) order;
+// when the executing machine's byte order differs, the compiler inserted
+// translation code, which we account for via the Swap flag. Widen marks the
+// address-size conversion for pointer values stored at the unified (mobile)
+// width.
+func (m *Machine) loadScalar(addr uint32, elem ir.Type, lay ir.MemLayout) (uint64, error) {
+	if lay.Size == 0 {
+		return 0, fmt.Errorf("interp(%s): unlowered memory access (run ir.Lower)", m.Name)
+	}
+	if lay.Swap {
+		m.charge(arch.OpEndianSwap, CompCompute)
+	}
+	if lay.Widen {
+		m.charge(arch.OpPtrConvert, CompCompute)
+	}
+	b, err := m.Mem.ReadBytes(addr, lay.Size)
+	if err != nil {
+		return 0, err
+	}
+	raw := assemble(b, m.Std.Endian)
+	switch t := elem.(type) {
+	case *ir.IntType:
+		return signExtend(raw, min(t.Bits, lay.Size*8)), nil
+	case *ir.PointerType:
+		return raw, nil // addresses zero-extend
+	case *ir.FloatType:
+		if t.Bits == 32 {
+			return math.Float64bits(float64(math.Float32frombits(uint32(raw)))), nil
+		}
+		return raw, nil
+	}
+	return 0, fmt.Errorf("interp(%s): load of unsupported type %s", m.Name, elem)
+}
+
+// storeScalar writes one scalar at addr following the access layout.
+func (m *Machine) storeScalar(addr uint32, elem ir.Type, lay ir.MemLayout, bits uint64) error {
+	if lay.Size == 0 {
+		return fmt.Errorf("interp(%s): unlowered memory access (run ir.Lower)", m.Name)
+	}
+	if lay.Swap {
+		m.charge(arch.OpEndianSwap, CompCompute)
+	}
+	if lay.Widen {
+		m.charge(arch.OpPtrConvert, CompCompute)
+	}
+	raw := bits
+	if ft, ok := elem.(*ir.FloatType); ok && ft.Bits == 32 {
+		raw = uint64(math.Float32bits(float32(math.Float64frombits(bits))))
+	}
+	return m.Mem.WriteBytes(addr, disassemble(raw, lay.Size, m.Std.Endian))
+}
+
+// writeScalar is the loader-time variant without access-layout metadata.
+func (m *Machine) writeScalar(addr uint32, elem ir.Type, bits uint64) error {
+	lay := ir.MemLayout{Size: m.Std.Size(ir.ClassOf(elem)), Class: ir.ClassOf(elem)}
+	return m.storeScalar(addr, elem, lay, bits)
+}
+
+func assemble(b []byte, order arch.Endianness) uint64 {
+	var v uint64
+	if order == arch.Little {
+		for i := len(b) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+	} else {
+		for _, x := range b {
+			v = v<<8 | uint64(x)
+		}
+	}
+	return v
+}
+
+func disassemble(v uint64, size int, order arch.Endianness) []byte {
+	b := make([]byte, size)
+	if order == arch.Little {
+		for i := 0; i < size; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			b[size-1-i] = byte(v >> (8 * i))
+		}
+	}
+	return b
+}
+
+// readCString reads a NUL-terminated string from memory (printf formats and
+// %s arguments).
+func (m *Machine) readCString(addr uint32) (string, error) {
+	var out []byte
+	for {
+		b, err := m.Mem.ReadBytes(addr, 1)
+		if err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+		addr++
+		if len(out) > 1<<16 {
+			return "", fmt.Errorf("interp(%s): unterminated string at 0x%x", m.Name, addr)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

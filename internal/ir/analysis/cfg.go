@@ -1,0 +1,79 @@
+// Package analysis provides the control-flow and call-graph analyses the
+// Native Offloader compiler needs: CFG construction, dominator trees,
+// natural-loop detection (hot-loop offload candidates, Section 3.1), and a
+// call graph (machine-specific taint propagation in Section 3.1 and
+// unused-function removal in Section 3.3).
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn     *ir.Func
+	Blocks []*ir.Block // reverse-postorder from entry; unreachable blocks excluded
+	preds  map[*ir.Block][]*ir.Block
+	succs  map[*ir.Block][]*ir.Block
+	rpo    map[*ir.Block]int
+}
+
+// BuildCFG computes the control-flow graph of f. Unreachable blocks are
+// dropped from Blocks but remain in the function.
+func BuildCFG(f *ir.Func) (*CFG, error) {
+	if f.IsExtern() || len(f.Blocks) == 0 {
+		return nil, fmt.Errorf("analysis: %s has no body", f.Nam)
+	}
+	g := &CFG{
+		Fn:    f,
+		preds: make(map[*ir.Block][]*ir.Block),
+		succs: make(map[*ir.Block][]*ir.Block),
+		rpo:   make(map[*ir.Block]int),
+	}
+	seen := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var dfs func(b *ir.Block) error
+	dfs = func(b *ir.Block) error {
+		seen[b] = true
+		term := b.Terminator()
+		if term == nil {
+			return fmt.Errorf("analysis: %s.%s lacks a terminator", f.Nam, b.Nam)
+		}
+		for _, s := range ir.Successors(term) {
+			g.succs[b] = append(g.succs[b], s)
+			g.preds[s] = append(g.preds[s], b)
+			if !seen[s] {
+				if err := dfs(s); err != nil {
+					return err
+				}
+			}
+		}
+		post = append(post, b)
+		return nil
+	}
+	if err := dfs(f.Entry()); err != nil {
+		return nil, err
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpo[post[i]] = len(g.Blocks)
+		g.Blocks = append(g.Blocks, post[i])
+	}
+	return g, nil
+}
+
+// Preds returns the predecessors of b in reverse-postorder discovery order.
+func (g *CFG) Preds(b *ir.Block) []*ir.Block { return g.preds[b] }
+
+// Succs returns the successors of b.
+func (g *CFG) Succs(b *ir.Block) []*ir.Block { return g.succs[b] }
+
+// RPO returns b's reverse-postorder number; entry is 0.
+func (g *CFG) RPO(b *ir.Block) int { return g.rpo[b] }
+
+// Reachable reports whether b was reached from the entry block.
+func (g *CFG) Reachable(b *ir.Block) bool {
+	_, ok := g.rpo[b]
+	return ok
+}

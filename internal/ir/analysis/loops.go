@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Loop is a natural loop: the set of blocks from which the header can be
+// reached without leaving the loop, discovered from a back edge. Hot loops
+// are offload candidates alongside whole functions (paper Table 3 lists
+// for_i and for_j next to getAITurn).
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	Parent *Loop
+	Child  []*Loop
+}
+
+// Name returns the loop's report name: the header's label without the
+// builder's ".cond" suffix, e.g. "for_i".
+func (l *Loop) Name() string {
+	return strings.TrimSuffix(l.Header.Nam, ".cond")
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// Depth returns the loop nesting depth, 1 for outermost.
+func (l *Loop) Depth() int {
+	d := 0
+	for cur := l; cur != nil; cur = cur.Parent {
+		d++
+	}
+	return d
+}
+
+// LoopForest holds all natural loops of a function, outermost first.
+type LoopForest struct {
+	Loops []*Loop // all loops, outer loops before their children
+	ByHdr map[*ir.Block]*Loop
+}
+
+// FindLoops detects the natural loops of g using its dominator tree.
+// Back edges t->h with h dominating t define a loop; loops sharing a header
+// are merged; nesting is recovered by block containment.
+func FindLoops(g *CFG, dom *DomTree) *LoopForest {
+	byHeader := make(map[*ir.Block]*Loop)
+	for _, b := range g.Blocks {
+		for _, s := range g.Succs(b) {
+			if !dom.Dominates(s, b) {
+				continue // not a back edge
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				byHeader[s] = l
+			}
+			// Walk predecessors backwards from the latch until the
+			// header, collecting the loop body.
+			stack := []*ir.Block{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range g.Preds(n) {
+					if g.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	forest := &LoopForest{ByHdr: byHeader}
+	for _, l := range byHeader {
+		forest.Loops = append(forest.Loops, l)
+	}
+	// Outer loops have more blocks; sort descending so parents precede
+	// children, with RPO of the header as a deterministic tiebreak.
+	sort.Slice(forest.Loops, func(i, j int) bool {
+		a, b := forest.Loops[i], forest.Loops[j]
+		if len(a.Blocks) != len(b.Blocks) {
+			return len(a.Blocks) > len(b.Blocks)
+		}
+		return g.RPO(a.Header) < g.RPO(b.Header)
+	})
+	// Assign each loop the smallest strictly-containing loop as parent.
+	// Loops are sorted large->small, so scanning backwards from i finds
+	// the closest (smallest) container first.
+	for i, l := range forest.Loops {
+		for j := i - 1; j >= 0; j-- {
+			outer := forest.Loops[j]
+			if outer != l && containsAll(outer, l) {
+				l.Parent = outer
+				break
+			}
+		}
+		if l.Parent != nil {
+			l.Parent.Child = append(l.Parent.Child, l)
+		}
+	}
+	return forest
+}
+
+func containsAll(outer, inner *Loop) bool {
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		return false
+	}
+	for b := range inner.Blocks {
+		if !outer.Blocks[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExitEdges returns the (from, to) pairs leaving the loop.
+func (l *Loop) ExitEdges(g *CFG) [][2]*ir.Block {
+	var out [][2]*ir.Block
+	for b := range l.Blocks {
+		for _, s := range g.Succs(b) {
+			if !l.Blocks[s] {
+				out = append(out, [2]*ir.Block{b, s})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return g.RPO(out[i][0]) < g.RPO(out[j][0])
+		}
+		return g.RPO(out[i][1]) < g.RPO(out[j][1])
+	})
+	return out
+}

@@ -1,0 +1,282 @@
+package ir
+
+import "fmt"
+
+// Builder provides a cursor-based construction API for IR. The workload
+// programs (internal/workloads) are written against it, playing the role of
+// the front-end compiler in the paper's Figure 1.
+type Builder struct {
+	M *Module
+	F *Func
+	B *Block
+
+	strs   map[string]*Global
+	nblock int
+}
+
+// NewBuilder returns a builder for module m.
+func NewBuilder(m *Module) *Builder {
+	return &Builder{M: m, strs: make(map[string]*Global)}
+}
+
+// NewFunc starts a new function with the given name, return type and
+// parameters, creates its entry block, and points the cursor at it.
+func (b *Builder) NewFunc(name string, ret Type, params ...*Param) *Func {
+	sig := &FuncType{Ret: ret}
+	for i, p := range params {
+		p.Index = i
+		sig.Params = append(sig.Params, p.Typ)
+	}
+	f := &Func{Nam: name, Sig: sig, Params: params}
+	b.M.AddFunc(f)
+	b.F = f
+	b.B = f.NewBlock("entry")
+	b.nblock = 0
+	return f
+}
+
+// P declares a parameter for NewFunc.
+func P(name string, t Type) *Param { return &Param{Nam: name, Typ: t} }
+
+// SetBlock moves the cursor to block blk.
+func (b *Builder) SetBlock(blk *Block) { b.B = blk }
+
+// Block creates a new block in the current function without moving the
+// cursor. The requested name is kept when unique; a numeric suffix is added
+// only on collision, so loop headers keep their source-level names (the
+// profiler reports loop candidates by these names, as in the paper's
+// Table 3 "for_i" / "for_j").
+func (b *Builder) Block(name string) *Block {
+	unique := name
+	for b.hasBlock(unique) {
+		b.nblock++
+		unique = fmt.Sprintf("%s.%d", name, b.nblock)
+	}
+	return b.F.NewBlock(unique)
+}
+
+func (b *Builder) hasBlock(name string) bool {
+	for _, blk := range b.F.Blocks {
+		if blk.Nam == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Builder) emit(in Instr) Instr {
+	if b.B == nil {
+		panic("ir: builder has no current block")
+	}
+	if b.B.Terminator() != nil {
+		panic(fmt.Sprintf("ir: emitting into terminated block %s.%s", b.F.Nam, b.B.Nam))
+	}
+	b.B.Append(in)
+	return in
+}
+
+// Alloca reserves one stack slot of type t. Like clang, the builder places
+// every alloca at the start of the entry block so locals declared inside
+// loops do not grow the stack per iteration.
+func (b *Builder) Alloca(t Type) Value {
+	a := &Alloca{Elem: t}
+	entry := b.F.Entry()
+	a.parent = entry
+	entry.Instrs = append([]Instr{a}, entry.Instrs...)
+	return a
+}
+
+// Load reads the scalar pointed to by ptr.
+func (b *Builder) Load(ptr Value) Value {
+	elem := ptr.Type().(*PointerType).Elem
+	return b.emit(&Load{Ptr: ptr, Elem: elem}).(Value)
+}
+
+// Store writes val through ptr.
+func (b *Builder) Store(ptr, val Value) {
+	b.emit(&Store{Ptr: ptr, Val: val})
+}
+
+// Bin emits x op y.
+func (b *Builder) Bin(op BinOp, x, y Value) Value {
+	return b.emit(&Bin{Op: op, X: x, Y: y}).(Value)
+}
+
+// Add, Sub, Mul, Div and Rem are shorthands for Bin.
+func (b *Builder) Add(x, y Value) Value { return b.Bin(Add, x, y) }
+func (b *Builder) Sub(x, y Value) Value { return b.Bin(Sub, x, y) }
+func (b *Builder) Mul(x, y Value) Value { return b.Bin(Mul, x, y) }
+func (b *Builder) Div(x, y Value) Value { return b.Bin(Div, x, y) }
+func (b *Builder) Rem(x, y Value) Value { return b.Bin(Rem, x, y) }
+func (b *Builder) Xor(x, y Value) Value { return b.Bin(Xor, x, y) }
+func (b *Builder) And(x, y Value) Value { return b.Bin(And, x, y) }
+func (b *Builder) Or(x, y Value) Value  { return b.Bin(Or, x, y) }
+func (b *Builder) Shl(x, y Value) Value { return b.Bin(Shl, x, y) }
+func (b *Builder) Shr(x, y Value) Value { return b.Bin(Shr, x, y) }
+
+// Cmp emits a comparison yielding i1.
+func (b *Builder) Cmp(pred CmpPred, x, y Value) Value {
+	return b.emit(&Cmp{Pred: pred, X: x, Y: y}).(Value)
+}
+
+// Field computes &ptr->field.
+func (b *Builder) Field(ptr Value, field int) Value {
+	return b.emit(&FieldAddr{Ptr: ptr, Field: field}).(Value)
+}
+
+// Index computes &ptr[idx].
+func (b *Builder) Index(ptr Value, idx Value) Value {
+	return b.emit(&IndexAddr{Ptr: ptr, Index: idx}).(Value)
+}
+
+// Call emits a direct call.
+func (b *Builder) Call(f *Func, args ...Value) Value {
+	return b.emit(&Call{Callee: f, Args: args}).(Value)
+}
+
+// CallExtern emits a call to the module's canonical extern of the given
+// kind.
+func (b *Builder) CallExtern(kind ExternKind, args ...Value) Value {
+	return b.Call(b.M.Extern(kind), args...)
+}
+
+// CallPtr emits an indirect call through the function pointer fn.
+func (b *Builder) CallPtr(fn Value, sig *FuncType, args ...Value) Value {
+	return b.emit(&CallInd{Fn: fn, Sig: sig, Args: args}).(Value)
+}
+
+// Convert emits a value conversion.
+func (b *Builder) Convert(kind ConvKind, v Value, to Type) Value {
+	return b.emit(&Convert{Kind: kind, Val: v, To: to}).(Value)
+}
+
+// FuncAddr takes the address of callee on the executing machine.
+func (b *Builder) FuncAddr(callee *Func) Value {
+	return b.emit(&FuncAddr{Callee: callee}).(Value)
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(dst *Block) { b.emit(&Br{Dst: dst}) }
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els *Block) {
+	b.emit(&CondBr{Cond: cond, Then: then, Else: els})
+}
+
+// Ret emits a return of v.
+func (b *Builder) Ret(v Value) { b.emit(&Ret{Val: v}) }
+
+// RetVoid emits a bare return.
+func (b *Builder) RetVoid() { b.emit(&Ret{}) }
+
+// Str interns a NUL-terminated string constant as a module global and
+// returns a *i8 pointer to its first byte.
+func (b *Builder) Str(s string) Value {
+	g, ok := b.strs[s]
+	if !ok {
+		g = &Global{
+			Nam:       fmt.Sprintf("str%d", len(b.strs)),
+			Elem:      Array(I8, len(s)+1),
+			InitBytes: append([]byte(s), 0),
+		}
+		b.M.AddGlobal(g)
+		b.strs[s] = g
+	}
+	return b.Index(g, Int(0))
+}
+
+// GlobalVar declares a module global of type elem with optional element
+// initializers.
+func (b *Builder) GlobalVar(name string, elem Type, init ...Value) *Global {
+	g := &Global{Nam: name, Elem: elem, Init: init}
+	b.M.AddGlobal(g)
+	return g
+}
+
+// For builds a canonical counted loop:
+//
+//	for i := from; i < to; i += step { body(i) }
+//
+// The induction variable lives in an alloca so the loop is a well-formed
+// natural loop for the profiler and target selector, matching how clang
+// lowers a C for loop. body receives the current value of i.
+func (b *Builder) For(name string, from, to, step Value, body func(i Value)) {
+	iv := b.Alloca(from.Type())
+	b.Store(iv, from)
+	cond := b.Block(name + ".cond")
+	bodyB := b.Block(name + ".body")
+	latch := b.Block(name + ".latch")
+	exit := b.Block(name + ".exit")
+	b.Br(cond)
+
+	b.SetBlock(cond)
+	i := b.Load(iv)
+	b.CondBr(b.Cmp(LT, i, to), bodyB, exit)
+
+	b.SetBlock(bodyB)
+	body(b.Load(iv))
+	if b.B.Terminator() == nil {
+		b.Br(latch)
+	}
+
+	b.SetBlock(latch)
+	b.Store(iv, b.Add(b.Load(iv), step))
+	b.Br(cond)
+
+	b.SetBlock(exit)
+}
+
+// While builds a loop that re-evaluates cond (built by condf) each
+// iteration and runs body while it is true.
+func (b *Builder) While(name string, condf func() Value, body func()) {
+	cond := b.Block(name + ".cond")
+	bodyB := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+	b.Br(cond)
+
+	b.SetBlock(cond)
+	b.CondBr(condf(), bodyB, exit)
+
+	b.SetBlock(bodyB)
+	body()
+	if b.B.Terminator() == nil {
+		b.Br(cond)
+	}
+
+	b.SetBlock(exit)
+}
+
+// If builds a two-armed conditional; either arm may be nil.
+func (b *Builder) If(cond Value, then func(), els func()) {
+	thenB := b.Block("if.then")
+	join := b.Block("if.join")
+	elseB := join
+	if els != nil {
+		elseB = b.Block("if.else")
+	}
+	b.CondBr(cond, thenB, elseB)
+
+	b.SetBlock(thenB)
+	if then != nil {
+		then()
+	}
+	if b.B.Terminator() == nil {
+		b.Br(join)
+	}
+	if els != nil {
+		b.SetBlock(elseB)
+		els()
+		if b.B.Terminator() == nil {
+			b.Br(join)
+		}
+	}
+	b.SetBlock(join)
+}
+
+// Finish renumbers every function in the module; call once construction is
+// complete.
+func (b *Builder) Finish() {
+	for _, f := range b.M.Funcs {
+		f.Renumber()
+	}
+}

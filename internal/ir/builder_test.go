@@ -1,0 +1,289 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// buildSumFunc builds: func sum(n i32) i32 { s := 0; for i := 0; i < n; i++ { s += i }; return s }
+func buildSumFunc(m *Module) *Func {
+	b := NewBuilder(m)
+	f := b.NewFunc("sum", I32, P("n", I32))
+	s := b.Alloca(I32)
+	b.Store(s, Int(0))
+	b.For("for_i", Int(0), f.Params[0], Int(1), func(i Value) {
+		b.Store(s, b.Add(b.Load(s), i))
+	})
+	b.Ret(b.Load(s))
+	b.Finish()
+	return f
+}
+
+func TestBuilderProducesVerifiableModule(t *testing.T) {
+	m := NewModule("test")
+	buildSumFunc(m)
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBuilderForLoopShape(t *testing.T) {
+	m := NewModule("test")
+	f := buildSumFunc(m)
+	// entry, cond, body, latch, exit.
+	if len(f.Blocks) != 5 {
+		t.Fatalf("got %d blocks, want 5", len(f.Blocks))
+	}
+	var names []string
+	for _, b := range f.Blocks {
+		names = append(names, b.Nam)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"entry", "for_i.cond", "for_i.body", "for_i.latch", "for_i.exit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing block %q in %q", want, joined)
+		}
+	}
+}
+
+func TestBuilderIfBothArms(t *testing.T) {
+	m := NewModule("test")
+	b := NewBuilder(m)
+	f := b.NewFunc("abs", I32, P("x", I32))
+	out := b.Alloca(I32)
+	b.If(b.Cmp(LT, f.Params[0], Int(0)),
+		func() { b.Store(out, b.Sub(Int(0), f.Params[0])) },
+		func() { b.Store(out, f.Params[0]) })
+	b.Ret(b.Load(out))
+	b.Finish()
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBuilderStrInterned(t *testing.T) {
+	m := NewModule("test")
+	b := NewBuilder(m)
+	b.NewFunc("main", I32)
+	b.Str("hello")
+	b.Str("hello")
+	b.Str("world")
+	b.Ret(Int(0))
+	b.Finish()
+	if len(m.Globals) != 2 {
+		t.Errorf("got %d string globals, want 2 (interned)", len(m.Globals))
+	}
+}
+
+func TestBuilderWhile(t *testing.T) {
+	m := NewModule("test")
+	b := NewBuilder(m)
+	b.NewFunc("count", I32, P("n", I32))
+	n := b.Alloca(I32)
+	b.Store(n, b.F.Params[0])
+	c := b.Alloca(I32)
+	b.Store(c, Int(0))
+	b.While("w", func() Value {
+		return b.Cmp(GT, b.Load(n), Int(0))
+	}, func() {
+		b.Store(n, b.Sub(b.Load(n), Int(1)))
+		b.Store(c, b.Add(b.Load(c), Int(1)))
+	})
+	b.Ret(b.Load(c))
+	b.Finish()
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestRenumberAssignsSlots(t *testing.T) {
+	m := NewModule("test")
+	f := buildSumFunc(m)
+	if f.NumSlots == 0 {
+		t.Fatal("NumSlots not assigned")
+	}
+	if f.Params[0].Slot != 0 {
+		t.Errorf("first param slot = %d, want 0", f.Params[0].Slot)
+	}
+	seen := map[int]bool{0: true}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if _, isVoid := in.Type().(*VoidType); isVoid {
+				continue
+			}
+			slot := in.base().id
+			if slot < 0 || slot >= f.NumSlots {
+				t.Errorf("slot %d out of range [0,%d)", slot, f.NumSlots)
+			}
+			if seen[slot] {
+				t.Errorf("slot %d assigned twice", slot)
+			}
+			seen[slot] = true
+		}
+	}
+}
+
+func TestLowerResolvesLayouts(t *testing.T) {
+	m := NewModule("test")
+	move := Struct("Move",
+		StructField{Name: "from", Type: I8},
+		StructField{Name: "to", Type: I8},
+		StructField{Name: "score", Type: F64},
+	)
+	b := NewBuilder(m)
+	b.NewFunc("touch", F64, P("mv", Ptr(move)))
+	fp := b.Field(b.F.Params[0], 2)
+	b.Ret(b.Load(fp))
+	b.Finish()
+
+	// Native lowering for IA32 bakes offset 4; realigned (standard=ARM32)
+	// bakes offset 8 on the same instruction.
+	Lower(m, arch.IA32(), arch.IA32())
+	fa := m.Func("touch").Entry().Instrs[0].(*FieldAddr)
+	if fa.Offset != 4 {
+		t.Errorf("IA32-native offset = %d, want 4", fa.Offset)
+	}
+	Lower(m, arch.IA32(), arch.ARM32())
+	if fa.Offset != 8 {
+		t.Errorf("realigned offset = %d, want 8", fa.Offset)
+	}
+}
+
+func TestLowerSetsSwapAndWiden(t *testing.T) {
+	m := NewModule("test")
+	b := NewBuilder(m)
+	b.NewFunc("deref", I32, P("p", Ptr(Ptr(I32))))
+	inner := b.Load(b.F.Params[0]) // loads a pointer
+	b.Ret(b.Load(inner))
+	b.Finish()
+
+	// Big-endian 32-bit server against a little-endian 32-bit standard:
+	// swap set, widen clear.
+	Lower(m, arch.POWER32BE(), arch.ARM32())
+	ld := m.Func("deref").Entry().Instrs[0].(*Load)
+	if !ld.Lay.Swap || ld.Lay.Widen {
+		t.Errorf("POWER32BE vs ARM32: Swap=%v Widen=%v, want true,false", ld.Lay.Swap, ld.Lay.Widen)
+	}
+	// 64-bit little-endian server: widen set (4-byte unified pointers),
+	// swap clear.
+	Lower(m, arch.X8664(), arch.ARM32())
+	if ld.Lay.Swap || !ld.Lay.Widen {
+		t.Errorf("X8664 vs ARM32: Swap=%v Widen=%v, want false,true", ld.Lay.Swap, ld.Lay.Widen)
+	}
+	if ld.Lay.Size != 4 {
+		t.Errorf("unified pointer access size = %d, want 4", ld.Lay.Size)
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	m := NewModule("test")
+	buildSumFunc(m)
+	s := m.String()
+	for _, want := range []string{"module test", "func @sum", "for_i.cond", "condbr", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	m := NewModule("orig")
+	buildSumFunc(m)
+	b := NewBuilder(m)
+	g := b.GlobalVar("tbl", Array(I32, 4), Int(1), Int(2), Int(3), Int(4))
+	b.NewFunc("main", I32)
+	p := b.Index(g, Int(2))
+	b.Store(p, Int(9))
+	b.Ret(b.Call(m.Func("sum"), Int(10)))
+	b.Finish()
+
+	c := m.Clone("copy")
+	if err := Verify(c); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	if c.Func("sum") == m.Func("sum") {
+		t.Error("clone shares function objects with original")
+	}
+	if c.Global("tbl") == m.Global("tbl") {
+		t.Error("clone shares global objects with original")
+	}
+	// Printed forms must match (same structure).
+	orig, cl := m.String(), c.String()
+	orig = strings.Replace(orig, "module orig", "module copy", 1)
+	if orig != cl {
+		t.Errorf("clone prints differently:\n-- original --\n%s\n-- clone --\n%s", orig, cl)
+	}
+	// Mutating the clone must not affect the original.
+	c.Func("sum").Nam = "renamed"
+	if m.Func("sum") == nil {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestVerifyCatchesTypeErrors(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.NewFunc("f", I32)
+	blk := b.B
+	blk.Append(&Bin{Op: Add, X: Int(1), Y: Int64(2)}) // mismatched widths
+	blk.Append(&Ret{Val: Int(0)})
+	if err := Verify(m); err == nil {
+		t.Error("Verify accepted mismatched bin operand types")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m)
+	b.NewFunc("f", Void)
+	b.Alloca(I32) // no terminator
+	if err := Verify(m); err == nil {
+		t.Error("Verify accepted unterminated block")
+	}
+}
+
+func TestModuleExternCanonical(t *testing.T) {
+	m := NewModule("test")
+	p1 := m.Extern(ExternPrintf)
+	p2 := m.Extern(ExternPrintf)
+	if p1 != p2 {
+		t.Error("Extern not canonicalized")
+	}
+	if !p1.IsExtern() || p1.Nam != "printf" {
+		t.Errorf("extern printf malformed: %v %q", p1.IsExtern(), p1.Nam)
+	}
+}
+
+func TestExternClassification(t *testing.T) {
+	if !ExternAsm.IsMachineSpecific() || !ExternSyscall.IsMachineSpecific() || !ExternUnknown.IsMachineSpecific() {
+		t.Error("machine-specific externs misclassified")
+	}
+	if ExternPrintf.IsMachineSpecific() {
+		t.Error("printf should not be machine-specific (it is remotable I/O)")
+	}
+	if rv, ok := ExternPrintf.RemoteVariant(); !ok || rv != ExternRemotePrintf {
+		t.Error("printf remote variant wrong")
+	}
+	if _, ok := ExternScanf.RemoteVariant(); ok {
+		t.Error("scanf must have no remote variant (interactive input stays mobile)")
+	}
+	if !ExternRemoteFileRead.IsRemoteInput() || ExternRemotePrintf.IsRemoteInput() {
+		t.Error("remote input classification wrong")
+	}
+}
+
+func TestReplaceOperand(t *testing.T) {
+	m := NewModule("test")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", I32, P("x", I32))
+	v := b.Add(f.Params[0], Int(1))
+	b.Ret(v)
+	b.Finish()
+	add := f.Entry().Instrs[0].(*Bin)
+	add.ReplaceOperand(f.Params[0], Int(41))
+	if ci, ok := add.X.(*ConstInt); !ok || ci.V != 41 {
+		t.Errorf("ReplaceOperand failed: X = %v", add.X)
+	}
+}

@@ -1,0 +1,155 @@
+package ir
+
+import "fmt"
+
+// Clone returns a deep copy of m named name. The Native Offloader compiler
+// partitions one front-end module into two target modules (Figure 1), so it
+// clones the unified IR once per target before applying target-specific
+// transformations. Constants are shared (they are immutable); functions,
+// globals, blocks and instructions are duplicated.
+func (m *Module) Clone(name string) *Module {
+	c := &Module{
+		Name:      name,
+		StackBase: m.StackBase,
+		Unified:   m.Unified,
+		Structs:   m.Structs,
+	}
+
+	funcs := make(map[*Func]*Func, len(m.Funcs))
+	globals := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := &Global{
+			Nam:       g.Nam,
+			Elem:      g.Elem,
+			InitBytes: append([]byte(nil), g.InitBytes...),
+			Home:      g.Home,
+			UVAAddr:   g.UVAAddr,
+		}
+		globals[g] = ng
+		c.Globals = append(c.Globals, ng)
+	}
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Nam:      f.Nam,
+			Sig:      f.Sig,
+			Extern:   f.Extern,
+			Variadic: f.Variadic,
+			TaskID:   f.TaskID,
+		}
+		funcs[f] = nf
+		c.Funcs = append(c.Funcs, nf)
+	}
+
+	// Remap global initializers that reference functions or other globals.
+	remapConst := func(v Value) Value {
+		switch v := v.(type) {
+		case *Func:
+			return funcs[v]
+		case *Global:
+			return globals[v]
+		default:
+			return v
+		}
+	}
+	for i, g := range m.Globals {
+		for _, iv := range g.Init {
+			c.Globals[i].Init = append(c.Globals[i].Init, remapConst(iv))
+		}
+	}
+
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		cloneFuncBody(f, funcs[f], funcs, globals)
+	}
+	return c
+}
+
+func cloneFuncBody(f, nf *Func, funcs map[*Func]*Func, globals map[*Global]*Global) {
+	params := make(map[*Param]*Param, len(f.Params))
+	for _, p := range f.Params {
+		np := &Param{Nam: p.Nam, Typ: p.Typ, Index: p.Index, Slot: p.Slot}
+		params[p] = np
+		nf.Params = append(nf.Params, np)
+	}
+	blocks := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blocks[b] = nf.NewBlock(b.Nam)
+	}
+	instrs := make(map[Instr]Instr)
+
+	remap := func(v Value) Value {
+		switch v := v.(type) {
+		case nil:
+			return nil
+		case *Func:
+			return funcs[v]
+		case *Global:
+			return globals[v]
+		case *Param:
+			return params[v]
+		case Instr:
+			n, ok := instrs[v]
+			if !ok {
+				panic(fmt.Sprintf("ir: clone: use of instruction %s before definition in %s", v.Ident(), f.Nam))
+			}
+			return n
+		default: // constants
+			return v
+		}
+	}
+	remapAll := func(vs []Value) []Value {
+		out := make([]Value, len(vs))
+		for i, v := range vs {
+			out[i] = remap(v)
+		}
+		return out
+	}
+
+	for _, b := range f.Blocks {
+		nb := blocks[b]
+		for _, in := range b.Instrs {
+			var nin Instr
+			switch in := in.(type) {
+			case *Alloca:
+				nin = &Alloca{Elem: in.Elem, SizeBytes: in.SizeBytes}
+			case *Load:
+				nin = &Load{Ptr: remap(in.Ptr), Elem: in.Elem, Lay: in.Lay}
+			case *Store:
+				nin = &Store{Ptr: remap(in.Ptr), Val: remap(in.Val), Lay: in.Lay}
+			case *Bin:
+				nin = &Bin{Op: in.Op, X: remap(in.X), Y: remap(in.Y)}
+			case *Cmp:
+				nin = &Cmp{Pred: in.Pred, X: remap(in.X), Y: remap(in.Y)}
+			case *FieldAddr:
+				nin = &FieldAddr{Ptr: remap(in.Ptr), Field: in.Field, Offset: in.Offset}
+			case *IndexAddr:
+				nin = &IndexAddr{Ptr: remap(in.Ptr), Index: remap(in.Index), Stride: in.Stride}
+			case *Call:
+				nin = &Call{Callee: funcs[in.Callee], Args: remapAll(in.Args)}
+			case *CallInd:
+				nin = &CallInd{Fn: remap(in.Fn), Sig: in.Sig, Args: remapAll(in.Args), Mapped: in.Mapped}
+			case *Convert:
+				nin = &Convert{Kind: in.Kind, Val: remap(in.Val), To: in.To}
+			case *FuncAddr:
+				nin = &FuncAddr{Callee: funcs[in.Callee]}
+			case *Br:
+				nin = &Br{Dst: blocks[in.Dst]}
+			case *CondBr:
+				nin = &CondBr{Cond: remap(in.Cond), Then: blocks[in.Then], Else: blocks[in.Else]}
+			case *Ret:
+				r := &Ret{}
+				if in.Val != nil {
+					r.Val = remap(in.Val)
+				}
+				nin = r
+			default:
+				panic(fmt.Sprintf("ir: clone: unhandled instruction %T", in))
+			}
+			instrs[in] = nin
+			nb.Append(nin)
+		}
+	}
+	nf.Renumber()
+}

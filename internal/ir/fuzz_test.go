@@ -1,0 +1,58 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the IR parser against malformed input: it must reject
+// or accept gracefully (never panic), and anything it accepts must verify
+// and re-print stably.
+func FuzzParse(f *testing.F) {
+	// Seed with a valid module and targeted mutations of it.
+	m := NewModule("seed")
+	buildSumFunc(m)
+	valid := m.String()
+	f.Add(valid)
+	f.Add(strings.Replace(valid, "module", "modul", 1))
+	f.Add(strings.Replace(valid, "i32", "i33", 1))
+	f.Add(strings.Replace(valid, "condbr", "condbr ,", 1))
+	f.Add(strings.Replace(valid, "ret", "ret ret ret", 1))
+	f.Add(valid + "\nglobal @dup i32\nglobal @dup i32\n")
+	f.Add("module x (stack 0x10)\ntype %T {f *%T}\n")
+	f.Add("module x (stack 0x10)\nfunc @f() i32 {\n")
+	f.Add("module x (stack 0x10)\nfunc @f(%a [3]f64) void {\nentry:\n  ret\n}\n")
+	f.Add("")
+	f.Add("module \x00 (stack 0xZZ)")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", trim(text), r)
+			}
+		}()
+		mod, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// Accepted input must verify and print stably.
+		if verr := Verify(mod); verr != nil {
+			t.Fatalf("Parse accepted a module Verify rejects: %v", verr)
+		}
+		printed := mod.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of accepted module failed: %v\n%s", err, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("printing is not a fixed point")
+		}
+	})
+}
+
+func trim(s string) string {
+	if len(s) > 200 {
+		return s[:200] + "..."
+	}
+	return s
+}

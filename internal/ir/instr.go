@@ -1,0 +1,363 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Instr is one IR instruction. Instructions that produce a value implement
+// Value with a non-void type; the others report Void.
+type Instr interface {
+	Value
+	Parent() *Block
+	// Operands returns the values this instruction uses, for analyses and
+	// rewriting passes. The returned slice aliases internal storage of
+	// pointers; callers may replace elements via ReplaceOperand.
+	Operands() []Value
+	// ReplaceOperand substitutes new for every occurrence of old.
+	ReplaceOperand(old, new Value)
+
+	base() *instrBase
+}
+
+type instrBase struct {
+	id     int // value slot within the function; -1 for void results
+	parent *Block
+}
+
+func (b *instrBase) Parent() *Block   { return b.parent }
+func (b *instrBase) base() *instrBase { return b }
+func (b *instrBase) Ident() string    { return fmt.Sprintf("%%v%d", b.id) }
+func (b *instrBase) Slot() int        { return b.id }
+func replace1(p *Value, old, new Value) {
+	if *p == old {
+		*p = new
+	}
+}
+
+// MemLayout is the architecture-resolved description of one memory access,
+// filled in by Lower. It encodes the three unification mechanisms of
+// Section 3.2 as they apply to a single load or store:
+//
+//   - Size/Class follow the *standard* (mobile) layout, not the executing
+//     machine's — layout realignment;
+//   - Widen marks pointer-valued accesses whose in-memory width differs
+//     from the executing machine's native pointer width — address size
+//     conversion;
+//   - Swap marks accesses where the executing machine's byte order differs
+//     from the standard order — endianness translation.
+type MemLayout struct {
+	Size  int
+	Class arch.Class
+	Swap  bool
+	Widen bool
+}
+
+// Alloca reserves stack storage for Count (default 1) values of type Elem
+// and yields its address.
+type Alloca struct {
+	instrBase
+	Elem Type
+	// SizeBytes is the resolved total allocation size, filled by Lower.
+	SizeBytes int
+}
+
+func (a *Alloca) Type() Type                    { return Ptr(a.Elem) }
+func (a *Alloca) Operands() []Value             { return nil }
+func (a *Alloca) ReplaceOperand(old, new Value) {}
+
+// Load reads a scalar of type Elem from Ptr.
+type Load struct {
+	instrBase
+	Ptr  Value
+	Elem Type
+	Lay  MemLayout
+}
+
+func (l *Load) Type() Type        { return l.Elem }
+func (l *Load) Operands() []Value { return []Value{l.Ptr} }
+func (l *Load) ReplaceOperand(old, new Value) {
+	replace1(&l.Ptr, old, new)
+}
+
+// Store writes scalar Val to Ptr. It produces no value.
+type Store struct {
+	instrBase
+	Ptr Value
+	Val Value
+	Lay MemLayout
+}
+
+func (s *Store) Type() Type        { return Void }
+func (s *Store) Operands() []Value { return []Value{s.Ptr, s.Val} }
+func (s *Store) ReplaceOperand(old, new Value) {
+	replace1(&s.Ptr, old, new)
+	replace1(&s.Val, old, new)
+}
+
+// BinOp enumerates two-operand arithmetic operations.
+type BinOp int
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+)
+
+func (op BinOp) String() string {
+	return [...]string{"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr"}[op]
+}
+
+// Bin computes X op Y. Both operands must share the instruction's type.
+type Bin struct {
+	instrBase
+	Op   BinOp
+	X, Y Value
+}
+
+func (b *Bin) Type() Type        { return b.X.Type() }
+func (b *Bin) Operands() []Value { return []Value{b.X, b.Y} }
+func (b *Bin) ReplaceOperand(old, new Value) {
+	replace1(&b.X, old, new)
+	replace1(&b.Y, old, new)
+}
+
+// CmpPred enumerates comparison predicates.
+type CmpPred int
+
+const (
+	EQ CmpPred = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (p CmpPred) String() string {
+	return [...]string{"eq", "ne", "lt", "le", "gt", "ge"}[p]
+}
+
+// Cmp compares X and Y and yields an i1.
+type Cmp struct {
+	instrBase
+	Pred CmpPred
+	X, Y Value
+}
+
+func (c *Cmp) Type() Type        { return I1 }
+func (c *Cmp) Operands() []Value { return []Value{c.X, c.Y} }
+func (c *Cmp) ReplaceOperand(old, new Value) {
+	replace1(&c.X, old, new)
+	replace1(&c.Y, old, new)
+}
+
+// FieldAddr computes the address of field Field of the struct *Ptr.
+// The byte offset is resolved by Lower against the standard layout; before
+// unification each target resolves it against its own layout, which is the
+// Figure 4 bug this reproduction can actually exhibit.
+type FieldAddr struct {
+	instrBase
+	Ptr    Value
+	Field  int
+	Offset int // resolved by Lower
+}
+
+func (f *FieldAddr) Type() Type {
+	st := f.Ptr.Type().(*PointerType).Elem.(*StructType)
+	return Ptr(st.Fields[f.Field].Type)
+}
+func (f *FieldAddr) Operands() []Value { return []Value{f.Ptr} }
+func (f *FieldAddr) ReplaceOperand(old, new Value) {
+	replace1(&f.Ptr, old, new)
+}
+
+// IndexAddr computes Ptr + Index*stride. Ptr has type *T (element pointer)
+// or *[N]T (array pointer); the result is *T.
+type IndexAddr struct {
+	instrBase
+	Ptr    Value
+	Index  Value
+	Stride int // resolved by Lower
+}
+
+func (ix *IndexAddr) Type() Type {
+	switch pt := ix.Ptr.Type().(*PointerType).Elem.(type) {
+	case *ArrayType:
+		return Ptr(pt.Elem)
+	default:
+		return ix.Ptr.Type()
+	}
+}
+func (ix *IndexAddr) elemType() Type {
+	switch pt := ix.Ptr.Type().(*PointerType).Elem.(type) {
+	case *ArrayType:
+		return pt.Elem
+	default:
+		return pt
+	}
+}
+func (ix *IndexAddr) Operands() []Value { return []Value{ix.Ptr, ix.Index} }
+func (ix *IndexAddr) ReplaceOperand(old, new Value) {
+	replace1(&ix.Ptr, old, new)
+	replace1(&ix.Index, old, new)
+}
+
+// Call invokes Callee directly with Args.
+type Call struct {
+	instrBase
+	Callee *Func
+	Args   []Value
+}
+
+func (c *Call) Type() Type { return c.Callee.Sig.Ret }
+func (c *Call) Operands() []Value {
+	return c.Args
+}
+func (c *Call) ReplaceOperand(old, new Value) {
+	for i := range c.Args {
+		replace1(&c.Args[i], old, new)
+	}
+}
+
+// CallInd invokes the function whose address is Fn. Function addresses are
+// machine-specific: a mobile-assigned address is meaningless on the server
+// until translated through the runtime's function map. The server-specific
+// optimizer sets Mapped, which makes the interpreter translate (and charge
+// the Fig. 7 "function pointer translation" overhead).
+type CallInd struct {
+	instrBase
+	Fn     Value
+	Sig    *FuncType
+	Args   []Value
+	Mapped bool
+}
+
+func (c *CallInd) Type() Type { return c.Sig.Ret }
+func (c *CallInd) Operands() []Value {
+	ops := make([]Value, 0, len(c.Args)+1)
+	ops = append(ops, c.Fn)
+	return append(ops, c.Args...)
+}
+func (c *CallInd) ReplaceOperand(old, new Value) {
+	replace1(&c.Fn, old, new)
+	for i := range c.Args {
+		replace1(&c.Args[i], old, new)
+	}
+}
+
+// ConvKind enumerates value conversions.
+type ConvKind int
+
+const (
+	ConvTrunc   ConvKind = iota // int -> narrower int
+	ConvZExt                    // int -> wider int, zero extended
+	ConvSExt                    // int -> wider int, sign extended
+	ConvIntToFP                 // int -> float
+	ConvFPToInt                 // float -> int (truncating)
+	ConvFPExt                   // f32 -> f64
+	ConvFPTrunc                 // f64 -> f32
+	ConvBitcast                 // pointer -> pointer reinterpretation
+)
+
+func (k ConvKind) String() string {
+	return [...]string{"trunc", "zext", "sext", "itof", "ftoi", "fpext", "fptrunc", "bitcast"}[k]
+}
+
+// Convert changes the representation of Val to type To.
+type Convert struct {
+	instrBase
+	Kind ConvKind
+	Val  Value
+	To   Type
+}
+
+func (c *Convert) Type() Type        { return c.To }
+func (c *Convert) Operands() []Value { return []Value{c.Val} }
+func (c *Convert) ReplaceOperand(old, new Value) {
+	replace1(&c.Val, old, new)
+}
+
+// FuncAddr yields the executing machine's address of Callee as a function
+// pointer value. Storing it to memory publishes a machine-specific address,
+// which is why Section 3.4 needs the m2s/s2m maps.
+type FuncAddr struct {
+	instrBase
+	Callee *Func
+}
+
+func (f *FuncAddr) Type() Type                    { return Ptr(f.Callee.Sig) }
+func (f *FuncAddr) Operands() []Value             { return nil }
+func (f *FuncAddr) ReplaceOperand(old, new Value) {}
+
+// Br branches unconditionally to Dst.
+type Br struct {
+	instrBase
+	Dst *Block
+}
+
+func (b *Br) Type() Type                    { return Void }
+func (b *Br) Operands() []Value             { return nil }
+func (b *Br) ReplaceOperand(old, new Value) {}
+
+// CondBr branches to Then if Cond is nonzero, else to Else.
+type CondBr struct {
+	instrBase
+	Cond Value
+	Then *Block
+	Else *Block
+}
+
+func (b *CondBr) Type() Type        { return Void }
+func (b *CondBr) Operands() []Value { return []Value{b.Cond} }
+func (b *CondBr) ReplaceOperand(old, new Value) {
+	replace1(&b.Cond, old, new)
+}
+
+// Ret returns from the function, with Val for non-void functions.
+type Ret struct {
+	instrBase
+	Val Value // nil for void returns
+}
+
+func (r *Ret) Type() Type { return Void }
+func (r *Ret) Operands() []Value {
+	if r.Val == nil {
+		return nil
+	}
+	return []Value{r.Val}
+}
+func (r *Ret) ReplaceOperand(old, new Value) {
+	if r.Val != nil {
+		replace1(&r.Val, old, new)
+	}
+}
+
+// IsTerminator reports whether in must end a basic block.
+func IsTerminator(in Instr) bool {
+	switch in.(type) {
+	case *Br, *CondBr, *Ret:
+		return true
+	}
+	return false
+}
+
+// Successors returns the control-flow successors of a terminator, nil for
+// Ret.
+func Successors(in Instr) []*Block {
+	switch t := in.(type) {
+	case *Br:
+		return []*Block{t.Dst}
+	case *CondBr:
+		return []*Block{t.Then, t.Else}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Layout describes how a type is stored in memory on a particular
+// architecture: its total size, alignment, and (for structs) field offsets.
+//
+// Two architectures may lay the same struct out differently (paper Figure 4:
+// {char,char,double} is 12 bytes on IA32 but 16 on ARM). The Native
+// Offloader compiler resolves all address computations against the *mobile*
+// layout on both machines ("memory layout realignment"), which is what makes
+// the unified virtual address space read the same values everywhere.
+type Layout struct {
+	Size    int
+	Align   int
+	Offsets []int // per struct field; nil for non-structs
+}
+
+// LayoutOf computes the memory layout of t under the given architecture's
+// alignment and size rules.
+func LayoutOf(t Type, spec *arch.Spec) Layout {
+	switch t := t.(type) {
+	case *IntType, *FloatType, *PointerType:
+		c := ClassOf(t)
+		return Layout{Size: spec.Size(c), Align: spec.Align(c)}
+	case *ArrayType:
+		el := LayoutOf(t.Elem, spec)
+		stride := alignUp(el.Size, el.Align)
+		return Layout{Size: stride * t.Len, Align: el.Align}
+	case *StructType:
+		off, algn := 0, 1
+		offsets := make([]int, len(t.Fields))
+		for i, f := range t.Fields {
+			fl := LayoutOf(f.Type, spec)
+			off = alignUp(off, fl.Align)
+			offsets[i] = off
+			off += fl.Size
+			if fl.Align > algn {
+				algn = fl.Align
+			}
+		}
+		return Layout{Size: alignUp(off, algn), Align: algn, Offsets: offsets}
+	case *VoidType:
+		return Layout{Size: 0, Align: 1}
+	case *FuncType:
+		// Function values are only manipulated through pointers.
+		panic("ir: function types have no storage layout")
+	}
+	panic(fmt.Sprintf("ir: LayoutOf: unhandled type %T", t))
+}
+
+// SizeOf is shorthand for LayoutOf(t, spec).Size.
+func SizeOf(t Type, spec *arch.Spec) int { return LayoutOf(t, spec).Size }
+
+// Stride returns the distance in bytes between consecutive array elements of
+// type t under spec.
+func Stride(t Type, spec *arch.Spec) int {
+	l := LayoutOf(t, spec)
+	return alignUp(l.Size, l.Align)
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}

@@ -1,0 +1,153 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+// moveStruct is the paper's running example: struct Move { char from, to;
+// double score; } from Figure 3.
+func moveStruct() *StructType {
+	return Struct("Move",
+		StructField{Name: "from", Type: I8},
+		StructField{Name: "to", Type: I8},
+		StructField{Name: "score", Type: F64},
+	)
+}
+
+func TestFigure4MoveLayoutDiverges(t *testing.T) {
+	// Figure 4: ARM aligns the double to offset 8 (16-byte struct);
+	// IA32 packs it at offset 4 (12-byte struct).
+	move := moveStruct()
+
+	armLay := LayoutOf(move, arch.ARM32())
+	if armLay.Offsets[2] != 8 || armLay.Size != 16 {
+		t.Errorf("ARM layout of Move: score at %d size %d, want 8 and 16", armLay.Offsets[2], armLay.Size)
+	}
+	ia32Lay := LayoutOf(move, arch.IA32())
+	if ia32Lay.Offsets[2] != 4 || ia32Lay.Size != 12 {
+		t.Errorf("IA32 layout of Move: score at %d size %d, want 4 and 12", ia32Lay.Offsets[2], ia32Lay.Size)
+	}
+}
+
+func TestPointerFieldLayoutDivergesAcrossWordSize(t *testing.T) {
+	// A struct with a pointer member lays out differently on 32- and
+	// 64-bit machines — the address-size half of Section 3.2.
+	node := Struct("Node",
+		StructField{Name: "next", Type: Ptr(I8)},
+		StructField{Name: "v", Type: I32},
+	)
+	l32 := LayoutOf(node, arch.ARM32())
+	l64 := LayoutOf(node, arch.X8664())
+	if l32.Offsets[1] != 4 || l64.Offsets[1] != 8 {
+		t.Errorf("Node.v offsets = %d (arm) / %d (x86-64), want 4 / 8", l32.Offsets[1], l64.Offsets[1])
+	}
+	if l32.Size != 8 || l64.Size != 16 {
+		t.Errorf("Node sizes = %d / %d, want 8 / 16", l32.Size, l64.Size)
+	}
+}
+
+func TestArrayLayout(t *testing.T) {
+	a := Array(moveStruct(), 4)
+	lay := LayoutOf(a, arch.ARM32())
+	if lay.Size != 64 {
+		t.Errorf("[4]Move on ARM = %d bytes, want 64", lay.Size)
+	}
+	if got := Stride(moveStruct(), arch.ARM32()); got != 16 {
+		t.Errorf("Stride(Move) = %d, want 16", got)
+	}
+}
+
+func TestScalarLayouts(t *testing.T) {
+	spec := arch.X8664()
+	cases := []struct {
+		t    Type
+		size int
+	}{
+		{I1, 1}, {I8, 1}, {I16, 2}, {I32, 4}, {I64, 8},
+		{F32, 4}, {F64, 8}, {Ptr(I32), 8},
+	}
+	for _, c := range cases {
+		if got := SizeOf(c.t, spec); got != c.size {
+			t.Errorf("SizeOf(%s) = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestLayoutPropertyOffsetsMonotoneAndAligned(t *testing.T) {
+	// Property: under any of the modelled architectures, struct field
+	// offsets are strictly increasing, each aligned to its field's
+	// requirement, and the struct size covers the last field.
+	specs := []*arch.Spec{arch.ARM32(), arch.X8664(), arch.IA32(), arch.POWER32BE()}
+	scalars := []Type{I8, I16, I32, I64, F32, F64, Ptr(I8)}
+
+	check := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		fields := make([]StructField, len(picks))
+		for i, p := range picks {
+			fields[i] = StructField{Name: "f", Type: scalars[int(p)%len(scalars)]}
+		}
+		st := Struct("S", fields...)
+		for _, spec := range specs {
+			lay := LayoutOf(st, spec)
+			prev := -1
+			for i, f := range fields {
+				fl := LayoutOf(f.Type, spec)
+				off := lay.Offsets[i]
+				if off <= prev && i > 0 {
+					return false
+				}
+				if fl.Align > 0 && off%fl.Align != 0 {
+					return false
+				}
+				if off+fl.Size > lay.Size {
+					return false
+				}
+				prev = off
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	if !Ptr(I32).Equal(Ptr(I32)) {
+		t.Error("identical pointer types unequal")
+	}
+	if Ptr(I32).Equal(Ptr(I64)) {
+		t.Error("distinct pointer types equal")
+	}
+	if !Array(I8, 3).Equal(Array(I8, 3)) || Array(I8, 3).Equal(Array(I8, 4)) {
+		t.Error("array equality wrong")
+	}
+	s1 := Signature(I32, I64, F64)
+	s2 := Signature(I32, I64, F64)
+	if !s1.Equal(s2) {
+		t.Error("identical signatures unequal")
+	}
+	if moveStruct().Equal(Struct("Other", moveStruct().Fields...)) {
+		t.Error("structs with different names equal")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(I1) != arch.ClassInt8 || ClassOf(Ptr(F64)) != arch.ClassPtr {
+		t.Error("ClassOf mapping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ClassOf(struct) should panic")
+		}
+	}()
+	ClassOf(moveStruct())
+}

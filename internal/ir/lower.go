@@ -1,0 +1,60 @@
+package ir
+
+import "repro/internal/arch"
+
+// Lower resolves every layout-dependent quantity in m for execution on
+// target, computing offsets, strides and access sizes against standard's
+// data layout.
+//
+// This is the moment the paper's architecture story becomes concrete:
+//
+//   - an ordinary backend lowers with standard == target, so each machine
+//     bakes its own struct offsets and pointer widths into the binary;
+//   - the Native Offloader compiler lowers *both* binaries against the
+//     mobile layout (standard = mobile spec). Struct offsets realign
+//     (Section 3.2 "memory layout realignment"), pointer-valued accesses on
+//     a machine with a different pointer width get Widen set ("address size
+//     conversion"), and accesses on a machine with different byte order get
+//     Swap set ("endianness translation").
+//
+// Lower is idempotent and must run before a module is interpreted.
+func Lower(m *Module, target, standard *arch.Spec) {
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				lowerInstr(in, target, standard)
+			}
+		}
+		f.Renumber()
+	}
+}
+
+func lowerInstr(in Instr, target, standard *arch.Spec) {
+	switch in := in.(type) {
+	case *Alloca:
+		in.SizeBytes = SizeOf(in.Elem, standard)
+	case *FieldAddr:
+		st := in.Ptr.Type().(*PointerType).Elem.(*StructType)
+		in.Offset = LayoutOf(st, standard).Offsets[in.Field]
+	case *IndexAddr:
+		in.Stride = Stride(in.elemType(), standard)
+	case *Load:
+		in.Lay = memLayout(in.Elem, target, standard)
+	case *Store:
+		in.Lay = memLayout(in.Val.Type(), target, standard)
+	}
+}
+
+func memLayout(elem Type, target, standard *arch.Spec) MemLayout {
+	c := ClassOf(elem)
+	size := standard.Size(c)
+	return MemLayout{
+		Size:  size,
+		Class: c,
+		Swap:  size > 1 && target.Endian != standard.Endian,
+		Widen: c == arch.ClassPtr && target.PointerBytes != standard.Size(arch.ClassPtr),
+	}
+}

@@ -1,0 +1,440 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// bodyState parses one function body.
+type bodyState struct {
+	p      *parser
+	fn     *Func
+	cur    *Block
+	blocks map[string]*Block
+	vals   map[string]Value
+
+	// pending terminator fixups: block labels resolve at finish.
+	fixups []func() error
+}
+
+func (b *bodyState) block(label string) *Block {
+	if blk, ok := b.blocks[label]; ok {
+		return blk
+	}
+	blk := &Block{Nam: label, Parent: b.fn}
+	b.blocks[label] = blk
+	return blk
+}
+
+func (b *bodyState) enterBlock(label string) error {
+	if label == "" {
+		return fmt.Errorf("empty block label")
+	}
+	blk := b.block(label)
+	for _, existing := range b.fn.Blocks {
+		if existing == blk {
+			return fmt.Errorf("duplicate block label %q", label)
+		}
+	}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	b.cur = blk
+	return nil
+}
+
+func (b *bodyState) finish() error {
+	for _, fx := range b.fixups {
+		if err := fx(); err != nil {
+			return err
+		}
+	}
+	// Every branch target must name a block that was actually defined.
+	defined := make(map[*Block]bool, len(b.fn.Blocks))
+	for _, blk := range b.fn.Blocks {
+		defined[blk] = true
+	}
+	for _, blk := range b.fn.Blocks {
+		if t := blk.Terminator(); t != nil {
+			for _, s := range Successors(t) {
+				if !defined[s] {
+					return fmt.Errorf("branch to undefined label %q in @%s", s.Nam, b.fn.Nam)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parseInstr parses one instruction line inside the current block.
+func (b *bodyState) parseInstr(line string) error {
+	if b.cur == nil {
+		return fmt.Errorf("instruction outside a block: %q", line)
+	}
+	var lhs string
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, " = ")
+		if eq < 0 {
+			return fmt.Errorf("malformed assignment %q", line)
+		}
+		lhs = line[:eq]
+		line = strings.TrimSpace(line[eq+3:])
+	}
+	sp := strings.IndexByte(line, ' ')
+	op := line
+	rest := ""
+	if sp >= 0 {
+		op = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+
+	in, err := b.parseOp(op, rest)
+	if err != nil {
+		return fmt.Errorf("%q: %w", line, err)
+	}
+	if in != nil {
+		b.cur.Append(in)
+		if lhs != "" {
+			b.vals[lhs] = in
+		}
+	}
+	return nil
+}
+
+func (b *bodyState) parseOp(op, rest string) (Instr, error) {
+	switch op {
+	case "alloca":
+		t, err := b.p.parseType(rest)
+		if err != nil {
+			return nil, err
+		}
+		return &Alloca{Elem: t}, nil
+
+	case "load":
+		// load T PTR [lay] — the pointer operand is always a single token
+		// (%vN, %param, @global, null, uva(...)), so split at the last
+		// space; the type may itself contain spaces (func types).
+		rest = stripLay(rest)
+		sp := strings.LastIndexByte(rest, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("malformed load")
+		}
+		t, err := b.p.parseType(rest[:sp])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := b.p.parseOperand(rest[sp+1:], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Load{Ptr: ptr, Elem: t}, nil
+
+	case "store":
+		// store VAL -> PTR [lay]
+		rest = stripLay(rest)
+		arrow := strings.Index(rest, " -> ")
+		if arrow < 0 {
+			return nil, fmt.Errorf("malformed store")
+		}
+		val, err := b.p.parseOperand(rest[:arrow], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := b.p.parseOperand(rest[arrow+4:], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Store{Ptr: ptr, Val: val}, nil
+
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr":
+		xs := splitTop(rest, ',')
+		if len(xs) != 2 {
+			return nil, fmt.Errorf("binary op needs 2 operands")
+		}
+		x, err := b.p.parseOperand(xs[0], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.p.parseOperand(xs[1], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: binOpByName(op), X: x, Y: y}, nil
+
+	case "cmp":
+		// cmp PRED X, Y
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("malformed cmp")
+		}
+		pred, err := cmpPredByName(rest[:sp])
+		if err != nil {
+			return nil, err
+		}
+		xs := splitTop(rest[sp+1:], ',')
+		if len(xs) != 2 {
+			return nil, fmt.Errorf("cmp needs 2 operands")
+		}
+		x, err := b.p.parseOperand(xs[0], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.p.parseOperand(xs[1], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Pred: pred, X: x, Y: y}, nil
+
+	case "field":
+		// field PTR, N (+OFF)
+		rest = stripParenSuffix(rest)
+		xs := splitTop(rest, ',')
+		if len(xs) != 2 {
+			return nil, fmt.Errorf("malformed field")
+		}
+		ptr, err := b.p.parseOperand(xs[0], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(xs[1]))
+		if err != nil {
+			return nil, err
+		}
+		return &FieldAddr{Ptr: ptr, Field: n}, nil
+
+	case "index":
+		// index PTR, IDX (*STRIDE)
+		rest = stripParenSuffix(rest)
+		xs := splitTop(rest, ',')
+		if len(xs) != 2 {
+			return nil, fmt.Errorf("malformed index")
+		}
+		ptr, err := b.p.parseOperand(xs[0], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := b.p.parseOperand(xs[1], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		return &IndexAddr{Ptr: ptr, Index: idx}, nil
+
+	case "call":
+		// call @f(ARGS)
+		if !strings.HasPrefix(rest, "@") {
+			return nil, fmt.Errorf("malformed call")
+		}
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return nil, fmt.Errorf("call missing arguments")
+		}
+		callee, ok := b.p.funcs[rest[1:open]]
+		if !ok {
+			return nil, fmt.Errorf("call to unknown function %s", rest[1:open])
+		}
+		args, err := b.parseArgs(rest[open:])
+		if err != nil {
+			return nil, err
+		}
+		return &Call{Callee: callee, Args: args}, nil
+
+	case "callind":
+		// callind [mapped] FN(ARGS)
+		mapped := false
+		if strings.HasPrefix(rest, "mapped ") {
+			mapped = true
+			rest = strings.TrimPrefix(rest, "mapped ")
+		}
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return nil, fmt.Errorf("callind missing arguments")
+		}
+		fn, err := b.p.parseOperand(rest[:open], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		args, err := b.parseArgs(rest[open:])
+		if err != nil {
+			return nil, err
+		}
+		pt, ok := fn.Type().(*PointerType)
+		if !ok {
+			return nil, fmt.Errorf("callind through non-pointer")
+		}
+		sig, ok := pt.Elem.(*FuncType)
+		if !ok {
+			// A pointer loaded as a plain value: synthesize the signature
+			// from the argument types (return defaults to i64).
+			sig = &FuncType{Ret: I64}
+			for _, a := range args {
+				sig.Params = append(sig.Params, a.Type())
+			}
+		}
+		return &CallInd{Fn: fn, Sig: sig, Args: args, Mapped: mapped}, nil
+
+	case "trunc", "zext", "sext", "itof", "ftoi", "fpext", "fptrunc", "bitcast":
+		// KIND V to T
+		to := strings.LastIndex(rest, " to ")
+		if to < 0 {
+			return nil, fmt.Errorf("conversion missing 'to'")
+		}
+		v, err := b.p.parseOperand(rest[:to], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		t, err := b.p.parseType(rest[to+4:])
+		if err != nil {
+			return nil, err
+		}
+		return &Convert{Kind: convKindByName(op), Val: v, To: t}, nil
+
+	case "funcaddr":
+		if !strings.HasPrefix(rest, "@") {
+			return nil, fmt.Errorf("malformed funcaddr")
+		}
+		callee, ok := b.p.funcs[rest[1:]]
+		if !ok {
+			return nil, fmt.Errorf("funcaddr of unknown function %s", rest[1:])
+		}
+		return &FuncAddr{Callee: callee}, nil
+
+	case "br":
+		if rest == "" {
+			return nil, fmt.Errorf("br without a destination")
+		}
+		return &Br{Dst: b.block(rest)}, nil
+
+	case "condbr":
+		xs := splitTop(rest, ',')
+		if len(xs) != 3 {
+			return nil, fmt.Errorf("condbr needs cond and two labels")
+		}
+		c, err := b.p.parseOperand(xs[0], b.vals)
+		if err != nil {
+			return nil, err
+		}
+		then, els := strings.TrimSpace(xs[1]), strings.TrimSpace(xs[2])
+		if then == "" || els == "" {
+			return nil, fmt.Errorf("condbr with empty destination")
+		}
+		return &CondBr{
+			Cond: c,
+			Then: b.block(then),
+			Else: b.block(els),
+		}, nil
+
+	case "ret":
+		if strings.TrimSpace(rest) == "" {
+			return &Ret{}, nil
+		}
+		v, err := b.p.parseOperand(rest, b.vals)
+		if err != nil {
+			return nil, err
+		}
+		return &Ret{Val: v}, nil
+	}
+	return nil, fmt.Errorf("unknown instruction %q", op)
+}
+
+func (b *bodyState) parseArgs(paren string) ([]Value, error) {
+	close := matchParen(paren, 0)
+	if close < 0 {
+		return nil, fmt.Errorf("unbalanced argument list")
+	}
+	body := paren[1:close]
+	if strings.TrimSpace(body) == "" {
+		return nil, nil
+	}
+	var out []Value
+	for _, a := range splitTop(body, ',') {
+		v, err := b.p.parseOperand(a, b.vals)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// stripLay removes a trailing access-layout annotation like "[4b swap]".
+func stripLay(s string) string {
+	s = strings.TrimSpace(s)
+	if strings.HasSuffix(s, "]") {
+		if i := strings.LastIndex(s, " ["); i >= 0 {
+			return strings.TrimSpace(s[:i])
+		}
+	}
+	return s
+}
+
+// stripParenSuffix removes a trailing "(+8)" / "(*16)" lowering annotation.
+func stripParenSuffix(s string) string {
+	s = strings.TrimSpace(s)
+	if strings.HasSuffix(s, ")") {
+		if i := strings.LastIndex(s, " ("); i >= 0 {
+			return strings.TrimSpace(s[:i])
+		}
+	}
+	return s
+}
+
+func binOpByName(s string) BinOp {
+	switch s {
+	case "add":
+		return Add
+	case "sub":
+		return Sub
+	case "mul":
+		return Mul
+	case "div":
+		return Div
+	case "rem":
+		return Rem
+	case "and":
+		return And
+	case "or":
+		return Or
+	case "xor":
+		return Xor
+	case "shl":
+		return Shl
+	}
+	return Shr
+}
+
+func cmpPredByName(s string) (CmpPred, error) {
+	switch s {
+	case "eq":
+		return EQ, nil
+	case "ne":
+		return NE, nil
+	case "lt":
+		return LT, nil
+	case "le":
+		return LE, nil
+	case "gt":
+		return GT, nil
+	case "ge":
+		return GE, nil
+	}
+	return EQ, fmt.Errorf("unknown predicate %q", s)
+}
+
+func convKindByName(s string) ConvKind {
+	switch s {
+	case "trunc":
+		return ConvTrunc
+	case "zext":
+		return ConvZExt
+	case "sext":
+		return ConvSExt
+	case "itof":
+		return ConvIntToFP
+	case "ftoi":
+		return ConvFPToInt
+	case "fpext":
+		return ConvFPExt
+	case "fptrunc":
+		return ConvFPTrunc
+	}
+	return ConvBitcast
+}

@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the module as readable IR text, for debugging and golden
+// tests.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s (stack 0x%x", m.Name, m.StackBase)
+	if m.Unified {
+		sb.WriteString(", unified")
+	}
+	sb.WriteString(")\n")
+	for _, st := range m.NamedStructs() {
+		fmt.Fprintf(&sb, "type %%%s {", st.Name)
+		for i, f := range st.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", f.Name, f.Type)
+		}
+		sb.WriteString("}\n")
+	}
+	for _, g := range m.Globals {
+		sb.WriteString(g.decl())
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		sb.WriteByte('\n')
+		sb.WriteString(f.String())
+	}
+	externs := make([]string, 0)
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			externs = append(externs, fmt.Sprintf("declare @%s %s", f.Nam, f.Sig))
+		}
+	}
+	sort.Strings(externs)
+	if len(externs) > 0 {
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Join(externs, "\n"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (g *Global) decl() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "global @%s %s", g.Nam, g.Elem)
+	if g.Home == HomeUVA {
+		fmt.Fprintf(&sb, " uva(0x%x)", g.UVAAddr)
+	}
+	switch {
+	case len(g.InitBytes) > 0:
+		fmt.Fprintf(&sb, " = %q", string(g.InitBytes))
+	case len(g.Init) > 0:
+		parts := make([]string, len(g.Init))
+		for i, v := range g.Init {
+			parts[i] = v.Ident()
+		}
+		fmt.Fprintf(&sb, " = [%s]", strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+// String renders the function body.
+func (f *Func) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%%%s %s", p.Nam, p.Typ)
+	}
+	fmt.Fprintf(&sb, "func @%s(%s) %s", f.Nam, strings.Join(params, ", "), f.Sig.Ret)
+	if f.TaskID != 0 {
+		fmt.Fprintf(&sb, " task(%d)", f.TaskID)
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Nam)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", instrString(in))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func instrString(in Instr) string {
+	lhs := ""
+	if _, isVoid := in.Type().(*VoidType); !isVoid {
+		lhs = in.Ident() + " = "
+	}
+	switch in := in.(type) {
+	case *Alloca:
+		return fmt.Sprintf("%salloca %s", lhs, in.Elem)
+	case *Load:
+		return fmt.Sprintf("%sload %s %s%s", lhs, in.Elem, in.Ptr.Ident(), laySuffix(in.Lay))
+	case *Store:
+		return fmt.Sprintf("store %s -> %s%s", in.Val.Ident(), in.Ptr.Ident(), laySuffix(in.Lay))
+	case *Bin:
+		return fmt.Sprintf("%s%s %s, %s", lhs, in.Op, in.X.Ident(), in.Y.Ident())
+	case *Cmp:
+		return fmt.Sprintf("%scmp %s %s, %s", lhs, in.Pred, in.X.Ident(), in.Y.Ident())
+	case *FieldAddr:
+		return fmt.Sprintf("%sfield %s, %d (+%d)", lhs, in.Ptr.Ident(), in.Field, in.Offset)
+	case *IndexAddr:
+		return fmt.Sprintf("%sindex %s, %s (*%d)", lhs, in.Ptr.Ident(), in.Index.Ident(), in.Stride)
+	case *Call:
+		return fmt.Sprintf("%scall @%s(%s)", lhs, in.Callee.Nam, identList(in.Args))
+	case *CallInd:
+		mapped := ""
+		if in.Mapped {
+			mapped = " mapped"
+		}
+		return fmt.Sprintf("%scallind%s %s(%s)", lhs, mapped, in.Fn.Ident(), identList(in.Args))
+	case *Convert:
+		return fmt.Sprintf("%s%s %s to %s", lhs, in.Kind, in.Val.Ident(), in.To)
+	case *FuncAddr:
+		return fmt.Sprintf("%sfuncaddr @%s", lhs, in.Callee.Nam)
+	case *Br:
+		return fmt.Sprintf("br %s", in.Dst.Nam)
+	case *CondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", in.Cond.Ident(), in.Then.Nam, in.Else.Nam)
+	case *Ret:
+		if in.Val == nil {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", in.Val.Ident())
+	}
+	return fmt.Sprintf("%s<unknown %T>", lhs, in)
+}
+
+func laySuffix(l MemLayout) string {
+	if l.Size == 0 {
+		return ""
+	}
+	s := fmt.Sprintf(" [%db", l.Size)
+	if l.Swap {
+		s += " swap"
+	}
+	if l.Widen {
+		s += " widen"
+	}
+	return s + "]"
+}
+
+func identList(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.Ident()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,120 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildFoldable returns a function full of compile-time-known work:
+//
+//	func f(x i32) i32 {
+//	  a := (3+4)*2            // foldable
+//	  if 1 < 2 { r = x + a } else { r = 0 }  // branch decidable
+//	  dead := a * 100          // unused
+//	  return r
+//	}
+func buildFoldable() *ir.Module {
+	mod := ir.NewModule("t")
+	b := ir.NewBuilder(mod)
+	f := b.NewFunc("f", ir.I32, ir.P("x", ir.I32))
+	a := b.Mul(b.Add(ir.Int(3), ir.Int(4)), ir.Int(2))
+	r := b.Alloca(ir.I32)
+	b.If(b.Cmp(ir.LT, ir.Int(1), ir.Int(2)),
+		func() { b.Store(r, b.Add(f.Params[0], a)) },
+		func() { b.Store(r, ir.Int(0)) })
+	b.Mul(a, ir.Int(100)) // dead
+	b.Ret(b.Load(r))
+	b.Finish()
+	return mod
+}
+
+func TestFoldAndSimplify(t *testing.T) {
+	mod := buildFoldable()
+	res := Run(mod)
+	if res.Folded < 3 {
+		t.Errorf("folded %d instructions, want >= 3 ((3+4), *2, cmp)", res.Folded)
+	}
+	if res.BranchesFixed != 1 {
+		t.Errorf("fixed %d branches, want 1", res.BranchesFixed)
+	}
+	if res.BlocksRemoved == 0 {
+		t.Error("the never-taken else arm should be unreachable")
+	}
+	if res.Removed == 0 {
+		t.Error("the dead multiply should be eliminated")
+	}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatalf("transformed module invalid: %v", err)
+	}
+	text := mod.Func("f").String()
+	if strings.Contains(text, "condbr") {
+		t.Errorf("constant branch survived:\n%s", text)
+	}
+	// The folded sum feeds the add: x + 14.
+	if !strings.Contains(text, "i32 14") {
+		t.Errorf("expected folded constant 14 in:\n%s", text)
+	}
+}
+
+func TestFoldPreservesDivByZeroTrap(t *testing.T) {
+	mod := ir.NewModule("d")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("f", ir.I32)
+	b.Ret(b.Div(ir.Int(1), ir.Int(0)))
+	b.Finish()
+	Run(mod)
+	if !strings.Contains(mod.Func("f").String(), "div") {
+		t.Error("division by zero must not fold away (it traps at run time)")
+	}
+}
+
+func TestFoldConversions(t *testing.T) {
+	mod := ir.NewModule("c")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("f", ir.I64)
+	v := b.Convert(ir.ConvSExt, b.Convert(ir.ConvTrunc, ir.Int(0x1FF), ir.I8), ir.I64)
+	b.Ret(v)
+	b.Finish()
+	Run(mod)
+	text := mod.Func("f").String()
+	if !strings.Contains(text, "ret i64 -1") {
+		t.Errorf("trunc+sext of 0x1FF should fold to -1:\n%s", text)
+	}
+}
+
+func TestDeadLoadKept(t *testing.T) {
+	mod := ir.NewModule("l")
+	b := ir.NewBuilder(mod)
+	g := b.GlobalVar("g", ir.I32, ir.Int(5))
+	b.NewFunc("f", ir.I32)
+	b.Load(g) // unused load: must survive (observable under paging)
+	b.Ret(ir.Int(0))
+	b.Finish()
+	Run(mod)
+	if !strings.Contains(mod.Func("f").String(), "load") {
+		t.Error("dead load was removed; loads are observable under copy-on-demand")
+	}
+}
+
+func TestRunIsIdempotent(t *testing.T) {
+	mod := buildFoldable()
+	Run(mod)
+	second := Run(mod)
+	if second.Folded+second.Removed+second.BranchesFixed+second.BlocksRemoved != 0 {
+		t.Errorf("second Run still changed things: %+v", second)
+	}
+}
+
+func TestFloatFolding(t *testing.T) {
+	mod := ir.NewModule("fl")
+	b := ir.NewBuilder(mod)
+	b.NewFunc("f", ir.F64)
+	b.Ret(b.Mul(b.Add(ir.Float(1.5), ir.Float(2.5)), ir.Float(2)))
+	b.Finish()
+	Run(mod)
+	if !strings.Contains(mod.Func("f").String(), "ret f64 8") {
+		t.Errorf("float chain should fold to 8:\n%s", mod.Func("f").String())
+	}
+}

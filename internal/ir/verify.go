@@ -1,0 +1,158 @@
+package ir
+
+import "fmt"
+
+// Verify performs structural sanity checks on a module: every reachable
+// block must end in exactly one terminator, operands must be typed
+// consistently, and calls must match their callee signatures. It returns
+// the first problem found.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("func %s: no blocks", f.Nam)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("func %s: block %s is empty", f.Nam, b.Nam)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if IsTerminator(in) != isLast {
+				return fmt.Errorf("func %s: block %s: terminator misplaced at instruction %d", f.Nam, b.Nam, i)
+			}
+			if err := verifyInstr(f, in); err != nil {
+				return fmt.Errorf("func %s: block %s: %w", f.Nam, b.Nam, err)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(f *Func, in Instr) error {
+	switch in := in.(type) {
+	case *Bin:
+		if !in.X.Type().Equal(in.Y.Type()) {
+			return fmt.Errorf("bin %s: operand types differ: %s vs %s", in.Op, in.X.Type(), in.Y.Type())
+		}
+		if !IsInt(in.X.Type()) && !IsFloat(in.X.Type()) {
+			return fmt.Errorf("bin %s: non-arithmetic operand type %s", in.Op, in.X.Type())
+		}
+		if IsFloat(in.X.Type()) {
+			switch in.Op {
+			case And, Or, Xor, Shl, Shr, Rem:
+				return fmt.Errorf("bin %s: bitwise op on float", in.Op)
+			}
+		}
+	case *Cmp:
+		if !in.X.Type().Equal(in.Y.Type()) {
+			return fmt.Errorf("cmp %s: operand types differ: %s vs %s", in.Pred, in.X.Type(), in.Y.Type())
+		}
+	case *Load:
+		pt, ok := in.Ptr.Type().(*PointerType)
+		if !ok {
+			return fmt.Errorf("load: pointer operand has type %s", in.Ptr.Type())
+		}
+		if !pt.Elem.Equal(in.Elem) {
+			return fmt.Errorf("load: element type %s does not match pointer %s", in.Elem, pt)
+		}
+		if err := scalarOnly(in.Elem); err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+	case *Store:
+		pt, ok := in.Ptr.Type().(*PointerType)
+		if !ok {
+			return fmt.Errorf("store: pointer operand has type %s", in.Ptr.Type())
+		}
+		if !pt.Elem.Equal(in.Val.Type()) {
+			return fmt.Errorf("store: value type %s does not match pointer %s", in.Val.Type(), pt)
+		}
+		if err := scalarOnly(in.Val.Type()); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	case *FieldAddr:
+		pt, ok := in.Ptr.Type().(*PointerType)
+		if !ok {
+			return fmt.Errorf("field: operand has type %s", in.Ptr.Type())
+		}
+		st, ok := pt.Elem.(*StructType)
+		if !ok {
+			return fmt.Errorf("field: operand points to non-struct %s", pt.Elem)
+		}
+		if in.Field < 0 || in.Field >= len(st.Fields) {
+			return fmt.Errorf("field: index %d out of range for %s", in.Field, st)
+		}
+	case *IndexAddr:
+		if _, ok := in.Ptr.Type().(*PointerType); !ok {
+			return fmt.Errorf("index: operand has type %s", in.Ptr.Type())
+		}
+		if !IsInt(in.Index.Type()) {
+			return fmt.Errorf("index: index has non-integer type %s", in.Index.Type())
+		}
+	case *Call:
+		if in.Callee.Variadic {
+			if len(in.Args) < len(in.Callee.Sig.Params) {
+				return fmt.Errorf("call @%s: %d args for at least %d params", in.Callee.Nam, len(in.Args), len(in.Callee.Sig.Params))
+			}
+			break
+		}
+		if len(in.Args) != len(in.Callee.Sig.Params) {
+			return fmt.Errorf("call @%s: %d args for %d params", in.Callee.Nam, len(in.Args), len(in.Callee.Sig.Params))
+		}
+		for i, a := range in.Args {
+			if !a.Type().Equal(in.Callee.Sig.Params[i]) {
+				return fmt.Errorf("call @%s: arg %d has type %s, want %s", in.Callee.Nam, i, a.Type(), in.Callee.Sig.Params[i])
+			}
+		}
+	case *CallInd:
+		if !IsPointer(in.Fn.Type()) {
+			return fmt.Errorf("callind: callee has non-pointer type %s", in.Fn.Type())
+		}
+		if len(in.Args) != len(in.Sig.Params) {
+			return fmt.Errorf("callind: %d args for %d params", len(in.Args), len(in.Sig.Params))
+		}
+	case *CondBr:
+		if !in.Cond.Type().Equal(I1) {
+			return fmt.Errorf("condbr: condition has type %s, want i1", in.Cond.Type())
+		}
+		if in.Then == nil || in.Else == nil {
+			return fmt.Errorf("condbr: nil successor")
+		}
+	case *Br:
+		if in.Dst == nil {
+			return fmt.Errorf("br: nil destination")
+		}
+	case *Ret:
+		_, isVoid := f.Sig.Ret.(*VoidType)
+		if isVoid && in.Val != nil {
+			return fmt.Errorf("ret: value returned from void function")
+		}
+		if !isVoid {
+			if in.Val == nil {
+				return fmt.Errorf("ret: missing value for %s function", f.Sig.Ret)
+			}
+			if !in.Val.Type().Equal(f.Sig.Ret) {
+				return fmt.Errorf("ret: value type %s, want %s", in.Val.Type(), f.Sig.Ret)
+			}
+		}
+	}
+	return nil
+}
+
+func scalarOnly(t Type) error {
+	switch t.(type) {
+	case *IntType, *FloatType, *PointerType:
+		return nil
+	}
+	return fmt.Errorf("aggregate type %s must be accessed elementwise (use memcpy)", t)
+}

@@ -1,0 +1,237 @@
+// Package mem implements the paged virtual memory substrate underneath the
+// unified virtual address (UVA) space of Section 3.2 / Section 4.
+//
+// Each simulated machine owns one Memory: a sparse set of 4 KiB pages keyed
+// by UVA page number. The server's Memory is created empty with a fault
+// handler that fetches pages from the mobile device over the network —
+// the paper's copy-on-demand. Writes set per-page dirty bits so
+// finalization can send back only modified pages.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Page geometry. 4 KiB pages match the paper's mobile/server platforms.
+const (
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// UVA region bases. Both binaries agree on these because the Native
+// Offloader compiler assigns them; the mobile and server stacks are kept
+// apart by the stack reallocation of Section 3.3.
+const (
+	// GlobalsBase hosts referenced globals reallocated onto the UVA space.
+	GlobalsBase uint32 = 0x1000_0000
+	// HeapBase hosts u_malloc allocations.
+	HeapBase uint32 = 0x2000_0000
+	// HeapLimit bounds the UVA heap.
+	HeapLimit uint32 = 0x4000_0000
+	// LocalBase hosts machine-private globals; each machine's loader
+	// places them independently, so the same global may sit at different
+	// local addresses on the two machines (the bug that referenced-global
+	// reallocation fixes).
+	LocalBase uint32 = 0x0400_0000
+	// MobileStackTop is the default stack top (ir.DefaultStackBase).
+	MobileStackTop uint32 = 0x7FFF_F000
+	// ServerStackTop is where the partitioner relocates the server stack.
+	ServerStackTop uint32 = 0x5FFF_F000
+	// FuncBaseMobile/FuncBaseServer are the per-machine function address
+	// ranges; the same function gets a different address on each machine,
+	// which is why function pointers must be mapped (Section 3.4).
+	FuncBaseMobile uint32 = 0x0800_0000
+	FuncBaseServer uint32 = 0x0C00_0000
+)
+
+// PageNum returns the page number containing addr.
+func PageNum(addr uint32) uint32 { return addr >> PageShift }
+
+// PageAddr returns the first address of page pn.
+func PageAddr(pn uint32) uint32 { return pn << PageShift }
+
+// FaultHandler supplies the content of an absent page. Returning nil data
+// means "zero-fill" (fresh allocation); an error aborts execution.
+type FaultHandler func(pn uint32) ([]byte, error)
+
+// Memory is one machine's view of the UVA space.
+type Memory struct {
+	pages map[uint32]*page
+
+	// Fault, when set, is consulted on first touch of an absent page
+	// (copy-on-demand). When nil, absent pages zero-fill.
+	Fault FaultHandler
+
+	// TrackDirty enables dirty-bit maintenance on writes.
+	TrackDirty bool
+
+	// Touch, when set, observes every page access; the profiler uses it to
+	// measure candidate memory footprints (Table 3 "Mem. Size").
+	Touch func(pn uint32)
+
+	// Faults counts copy-on-demand faults served via Fault.
+	Faults int
+}
+
+type page struct {
+	data  [PageSize]byte
+	dirty bool
+}
+
+// New returns an empty memory with zero-fill fault behaviour.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+func (m *Memory) getPage(pn uint32) (*page, error) {
+	if p, ok := m.pages[pn]; ok {
+		if m.Touch != nil {
+			m.Touch(pn)
+		}
+		return p, nil
+	}
+	p := &page{}
+	if m.Fault != nil {
+		data, err := m.Fault(pn)
+		if err != nil {
+			return nil, fmt.Errorf("mem: page fault at 0x%x: %w", PageAddr(pn), err)
+		}
+		m.Faults++
+		if data != nil {
+			copy(p.data[:], data)
+		}
+	}
+	m.pages[pn] = p
+	if m.Touch != nil {
+		m.Touch(pn)
+	}
+	return p, nil
+}
+
+// HasPage reports whether pn is present without faulting it in.
+func (m *Memory) HasPage(pn uint32) bool {
+	_, ok := m.pages[pn]
+	return ok
+}
+
+// PageData returns a copy of page pn's content, zeroes if absent. It does
+// not fault, touch, or dirty anything — it is the transfer-side read used
+// when serving another machine's copy-on-demand request.
+func (m *Memory) PageData(pn uint32) []byte {
+	out := make([]byte, PageSize)
+	if p, ok := m.pages[pn]; ok {
+		copy(out, p.data[:])
+	}
+	return out
+}
+
+// InstallPage overwrites page pn with data (length <= PageSize), marking it
+// clean. Used for prefetch and dirty write-back application.
+func (m *Memory) InstallPage(pn uint32, data []byte) {
+	p := &page{}
+	copy(p.data[:], data)
+	m.pages[pn] = p
+}
+
+// ReadBytes copies size bytes at addr into a fresh slice, faulting pages in
+// as needed.
+func (m *Memory) ReadBytes(addr uint32, size int) ([]byte, error) {
+	out := make([]byte, size)
+	off := 0
+	for off < size {
+		pn := PageNum(addr + uint32(off))
+		p, err := m.getPage(pn)
+		if err != nil {
+			return nil, err
+		}
+		po := int(addr+uint32(off)) & (PageSize - 1)
+		n := copy(out[off:], p.data[po:])
+		off += n
+	}
+	return out, nil
+}
+
+// WriteBytes stores data at addr, faulting pages in and dirtying them.
+func (m *Memory) WriteBytes(addr uint32, data []byte) error {
+	off := 0
+	for off < len(data) {
+		pn := PageNum(addr + uint32(off))
+		p, err := m.getPage(pn)
+		if err != nil {
+			return err
+		}
+		po := int(addr+uint32(off)) & (PageSize - 1)
+		n := copy(p.data[po:], data[off:])
+		if m.TrackDirty {
+			p.dirty = true
+		}
+		off += n
+	}
+	return nil
+}
+
+// ReadUint reads a size-byte little-endian unsigned integer at addr.
+// Byte-order translation for big-endian machines happens in the interpreter
+// (it is compiler-inserted code in the paper), so Memory itself is
+// order-neutral and always uses the standard (little-endian) order.
+func (m *Memory) ReadUint(addr uint32, size int) (uint64, error) {
+	b, err := m.ReadBytes(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteUint stores a size-byte little-endian unsigned integer at addr.
+func (m *Memory) WriteUint(addr uint32, size int, v uint64) error {
+	b := make([]byte, size)
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return m.WriteBytes(addr, b)
+}
+
+// DirtyPages returns the sorted page numbers written since the last
+// ClearDirty.
+func (m *Memory) DirtyPages() []uint32 {
+	var out []uint32
+	for pn, p := range m.pages {
+		if p.dirty {
+			out = append(out, pn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearDirty resets all dirty bits.
+func (m *Memory) ClearDirty() {
+	for _, p := range m.pages {
+		p.dirty = false
+	}
+}
+
+// PresentPages returns the sorted page numbers currently resident.
+func (m *Memory) PresentPages() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Drop discards page pn (used when a server process terminates without
+// keeping offloading data, Section 4 finalization).
+func (m *Memory) Drop(pn uint32) { delete(m.pages, pn) }
+
+// Reset discards all pages and counters.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*page)
+	m.Faults = 0
+}

@@ -1,0 +1,246 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.WriteUint(0x2000_0000, 4, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadUint(0x2000_0000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Errorf("read back 0x%x, want 0xDEADBEEF", v)
+	}
+}
+
+func TestLittleEndianStorage(t *testing.T) {
+	m := New()
+	if err := m.WriteUint(0x1000, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.ReadBytes(0x1000, 4)
+	want := []byte{0x44, 0x33, 0x22, 0x11}
+	if !bytes.Equal(b, want) {
+		t.Errorf("bytes = %x, want %x (standard order is little-endian)", b, want)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint32(PageSize - 2) // straddles pages 0 and 1
+	if err := m.WriteUint(addr, 8, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadUint(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x0102030405060708 {
+		t.Errorf("cross-page read = 0x%x", v)
+	}
+	if !m.HasPage(0) || !m.HasPage(1) {
+		t.Error("both straddled pages should be present")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	m := New()
+	m.TrackDirty = true
+	m.WriteUint(PageAddr(5)+8, 4, 1)
+	m.WriteUint(PageAddr(9), 4, 1)
+	m.ReadUint(PageAddr(7), 4) // read-only touch must not dirty
+	d := m.DirtyPages()
+	if len(d) != 2 || d[0] != 5 || d[1] != 9 {
+		t.Errorf("DirtyPages = %v, want [5 9]", d)
+	}
+	m.ClearDirty()
+	if len(m.DirtyPages()) != 0 {
+		t.Error("ClearDirty left dirty pages")
+	}
+}
+
+func TestCopyOnDemandFault(t *testing.T) {
+	// Simulate the mobile side owning data the server faults in.
+	mobile := New()
+	mobile.WriteUint(PageAddr(3)+16, 4, 777)
+
+	server := New()
+	server.Fault = func(pn uint32) ([]byte, error) {
+		return mobile.PageData(pn), nil
+	}
+	v, err := server.ReadUint(PageAddr(3)+16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 777 {
+		t.Errorf("copy-on-demand read = %d, want 777", v)
+	}
+	if server.Faults != 1 {
+		t.Errorf("Faults = %d, want 1", server.Faults)
+	}
+	// Second access: no new fault.
+	server.ReadUint(PageAddr(3)+20, 4)
+	if server.Faults != 1 {
+		t.Errorf("Faults after second access = %d, want 1 (page cached)", server.Faults)
+	}
+}
+
+func TestTouchHookObservesFootprint(t *testing.T) {
+	m := New()
+	touched := map[uint32]bool{}
+	m.Touch = func(pn uint32) { touched[pn] = true }
+	m.WriteUint(PageAddr(1), 4, 1)
+	m.WriteUint(PageAddr(1)+64, 4, 1)
+	m.ReadUint(PageAddr(4), 4)
+	if len(touched) != 2 || !touched[1] || !touched[4] {
+		t.Errorf("touched = %v, want pages 1 and 4", touched)
+	}
+}
+
+func TestInstallAndDropPage(t *testing.T) {
+	m := New()
+	data := make([]byte, PageSize)
+	data[100] = 0xAB
+	m.InstallPage(42, data)
+	v, _ := m.ReadUint(PageAddr(42)+100, 1)
+	if v != 0xAB {
+		t.Errorf("installed page content = 0x%x, want 0xAB", v)
+	}
+	m.Drop(42)
+	if m.HasPage(42) {
+		t.Error("Drop left page present")
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	m := New()
+	a := UVAHeap(m)
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("allocator returned the same block twice")
+	}
+	if p1%allocAlgn != 0 || p2%allocAlgn != 0 {
+		t.Errorf("misaligned blocks: 0x%x 0x%x", p1, p2)
+	}
+	if p1 < HeapBase || p2 >= HeapLimit {
+		t.Errorf("blocks outside heap region: 0x%x 0x%x", p1, p2)
+	}
+}
+
+func TestAllocatorFreeAndReuse(t *testing.T) {
+	m := New()
+	a := UVAHeap(m)
+	p1, _ := a.Alloc(64)
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := a.Alloc(48) // fits in the freed 64-byte block
+	if p2 != p1 {
+		t.Errorf("freed block not reused: got 0x%x, want 0x%x", p2, p1)
+	}
+	if err := a.Free(0); err != nil {
+		t.Errorf("Free(0) should be a no-op, got %v", err)
+	}
+	if err := a.Free(0x100); err == nil {
+		t.Error("Free of out-of-heap address should fail")
+	}
+}
+
+func TestAllocatorStateMigratesWithPages(t *testing.T) {
+	// Allocate on "mobile", copy the heap pages to a fresh "server"
+	// memory, and continue allocating there: the server must not hand out
+	// overlapping blocks, because the allocator state lives in the pages.
+	mobile := New()
+	am := UVAHeap(mobile)
+	var mobileBlocks []uint32
+	for i := 0; i < 10; i++ {
+		p, err := am.Alloc(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mobileBlocks = append(mobileBlocks, p)
+	}
+
+	server := New()
+	server.Fault = func(pn uint32) ([]byte, error) { return mobile.PageData(pn), nil }
+	as := UVAHeap(server)
+	p, err := as.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mb := range mobileBlocks {
+		if p < mb+200 && mb < p+200 {
+			t.Errorf("server block 0x%x overlaps mobile block 0x%x", p, mb)
+		}
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	m := New()
+	a := NewAllocator(m, HeapBase, HeapBase+4096)
+	if _, err := a.Alloc(8192); err == nil {
+		t.Error("expected heap exhaustion error")
+	}
+}
+
+func TestAllocatorPropertyNoOverlap(t *testing.T) {
+	// Property: any interleaving of allocs (and frees of previous allocs)
+	// yields live blocks that never overlap.
+	check := func(ops []uint16) bool {
+		m := New()
+		a := UVAHeap(m)
+		type blk struct{ addr, size uint32 }
+		var live []blk
+		for i, op := range ops {
+			if i >= 64 {
+				break
+			}
+			size := uint32(op%500) + 1
+			if op%7 == 0 && len(live) > 0 {
+				victim := int(op) % len(live)
+				if a.Free(live[victim].addr) != nil {
+					return false
+				}
+				live = append(live[:victim], live[victim+1:]...)
+				continue
+			}
+			p, err := a.Alloc(size)
+			if err != nil {
+				return false
+			}
+			for _, l := range live {
+				if p < l.addr+l.size && l.addr < p+size {
+					return false
+				}
+			}
+			live = append(live, blk{p, size})
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageNumAddrInverse(t *testing.T) {
+	for _, addr := range []uint32{0, 1, PageSize - 1, PageSize, 0x7FFF_FFFF} {
+		pn := PageNum(addr)
+		if PageAddr(pn) > addr || addr-PageAddr(pn) >= PageSize {
+			t.Errorf("PageNum/PageAddr inconsistent for 0x%x", addr)
+		}
+	}
+}

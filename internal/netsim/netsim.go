@@ -1,0 +1,138 @@
+// Package netsim models the wireless link between the mobile device and the
+// server. The paper evaluates two environments — 802.11n ("slow", up to
+// 144 Mbps) and 802.11ac ("fast", up to 844 Mbps) — and the communication
+// component of every result in Figures 6 and 7 is bandwidth/latency arithmetic
+// over this link, so a simple deterministic model reproduces the shapes.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Link describes one wireless environment.
+type Link struct {
+	Name string
+	// BandwidthBps is the achievable goodput in bits per second.
+	BandwidthBps int64
+	// Latency is the one-way message latency.
+	Latency simtime.PS
+	// PerMessage is the fixed cost of each send operation (driver + MAC
+	// overhead). Batching (Section 4) exists to amortize exactly this.
+	PerMessage simtime.PS
+
+	// Phases, when non-empty, make the link time-varying: phase i applies
+	// until its Until instant, the last phase thereafter. The paper's
+	// dynamic estimator exists exactly for such "unexpected slow network
+	// environments" (Section 5.1).
+	Phases []Phase
+}
+
+// Phase is one bandwidth regime of a time-varying link.
+type Phase struct {
+	Until        simtime.PS
+	BandwidthBps int64
+}
+
+// At resolves the effective link at instant t: the same latency and
+// per-message cost, with the bandwidth of the active phase.
+func (l *Link) At(t simtime.PS) *Link {
+	if len(l.Phases) == 0 {
+		return l
+	}
+	eff := *l
+	eff.Phases = nil
+	eff.BandwidthBps = l.Phases[len(l.Phases)-1].BandwidthBps
+	for _, p := range l.Phases {
+		if t < p.Until {
+			eff.BandwidthBps = p.BandwidthBps
+			break
+		}
+	}
+	return &eff
+}
+
+// Slow80211N returns the paper's slow environment (802.11n). The effective
+// goodput is set below the 144 Mbps PHY maximum, as real WLANs achieve.
+func Slow80211N() *Link {
+	return &Link{
+		Name:         "slow(802.11n)",
+		BandwidthBps: 110_000_000,
+		Latency:      2 * simtime.Millisecond,
+		PerMessage:   120 * simtime.Microsecond,
+	}
+}
+
+// Fast80211AC returns the paper's fast environment (802.11ac).
+func Fast80211AC() *Link {
+	return &Link{
+		Name:         "fast(802.11ac)",
+		BandwidthBps: 650_000_000,
+		Latency:      1 * simtime.Millisecond,
+		PerMessage:   60 * simtime.Microsecond,
+	}
+}
+
+// Ideal returns an infinitely fast link: the paper's "ideal offloading"
+// baseline, execution with zero communication or translation overhead.
+func Ideal() *Link {
+	return &Link{Name: "ideal", BandwidthBps: 0, Latency: 0, PerMessage: 0}
+}
+
+// Scaled returns a copy of l with bandwidth divided by factor. The
+// workloads shrink their memory footprints by the same factor, so all
+// time ratios are preserved while the simulation stays small.
+func (l *Link) Scaled(factor int) *Link {
+	if factor <= 1 {
+		c := *l
+		return &c
+	}
+	c := *l
+	c.Name = fmt.Sprintf("%s/%d", l.Name, factor)
+	c.BandwidthBps = l.BandwidthBps / int64(factor)
+	return &c
+}
+
+// TransferTime returns the simulated duration of sending size bytes as one
+// message.
+func (l *Link) TransferTime(size int64) simtime.PS {
+	if l.BandwidthBps == 0 { // ideal link
+		return 0
+	}
+	// Float math avoids int64 overflow at size*8*1e12 for multi-MB
+	// payloads; 52 bits of mantissa are ample for picosecond precision
+	// at these magnitudes.
+	wire := simtime.PS(float64(size) * 8 / float64(l.BandwidthBps) * float64(simtime.Second))
+	return l.Latency + l.PerMessage + wire
+}
+
+// Stats accumulates traffic accounting for one offloading run; Table 4's
+// "Com. Traf." column and the communication segments of Figure 7 come from
+// here.
+type Stats struct {
+	MsgsToServer   int
+	MsgsToMobile   int
+	BytesToServer  int64
+	BytesToMobile  int64
+	RawBytesToMob  int64 // pre-compression size of server->mobile payloads
+	CommTimeMobile simtime.PS
+}
+
+// TotalBytes returns traffic in both directions.
+func (s *Stats) TotalBytes() int64 { return s.BytesToServer + s.BytesToMobile }
+
+// Send accounts one message of size bytes in the given direction and
+// returns its transfer time.
+func (s *Stats) Send(l *Link, toServer bool, size int64) simtime.PS {
+	d := l.TransferTime(size)
+	if toServer {
+		s.MsgsToServer++
+		s.BytesToServer += size
+	} else {
+		s.MsgsToMobile++
+		s.BytesToMobile += size
+	}
+	s.CommTimeMobile += d
+	return d
+}

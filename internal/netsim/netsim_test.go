@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	l := Slow80211N()
+	small := l.TransferTime(1000)
+	big := l.TransferTime(1_000_000)
+	if big <= small {
+		t.Error("larger transfers should take longer")
+	}
+	// 1 MB at 110 Mbps is ~72.7 ms of wire time plus fixed costs.
+	wire := big - l.Latency - l.PerMessage
+	wantSec := 8.0 * 1e6 / 110e6
+	if got := wire.Seconds(); got < wantSec*0.99 || got > wantSec*1.01 {
+		t.Errorf("wire time = %.4fs, want ~%.4fs", got, wantSec)
+	}
+}
+
+func TestFastLinkBeatsSlowLink(t *testing.T) {
+	size := int64(10 << 20)
+	if Fast80211AC().TransferTime(size) >= Slow80211N().TransferTime(size) {
+		t.Error("802.11ac should transfer faster than 802.11n")
+	}
+}
+
+func TestIdealLinkIsFree(t *testing.T) {
+	if Ideal().TransferTime(1<<30) != 0 {
+		t.Error("ideal link must cost nothing")
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	l := Slow80211N()
+	s := l.Scaled(64)
+	// size/64 over bandwidth/64 == size over bandwidth (up to fixed costs).
+	full := l.TransferTime(64<<20) - l.Latency - l.PerMessage
+	scaled := s.TransferTime(1<<20) - s.Latency - s.PerMessage
+	diff := full - scaled
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > simtime.Microsecond {
+		t.Errorf("scaling broke time equivalence: %v vs %v", full, scaled)
+	}
+	if l.BandwidthBps != 110_000_000 {
+		t.Error("Scaled mutated the original link")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	var st Stats
+	l := Fast80211AC()
+	d1 := st.Send(l, true, 5000)
+	d2 := st.Send(l, false, 7000)
+	if st.MsgsToServer != 1 || st.MsgsToMobile != 1 {
+		t.Errorf("message counts = %d/%d, want 1/1", st.MsgsToServer, st.MsgsToMobile)
+	}
+	if st.BytesToServer != 5000 || st.BytesToMobile != 7000 {
+		t.Errorf("byte counts = %d/%d", st.BytesToServer, st.BytesToMobile)
+	}
+	if st.TotalBytes() != 12000 {
+		t.Errorf("TotalBytes = %d, want 12000", st.TotalBytes())
+	}
+	if st.CommTimeMobile != d1+d2 {
+		t.Error("CommTimeMobile should accumulate both transfers")
+	}
+}
+
+func TestSimtimeUnits(t *testing.T) {
+	if simtime.FromSeconds(1.5) != simtime.PS(1500)*simtime.Millisecond {
+		t.Error("FromSeconds inconsistent")
+	}
+	if simtime.Max(3, 5) != 5 || simtime.Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if (2 * simtime.Second).String() != "2.000s" {
+		t.Errorf("String() = %q", (2 * simtime.Second).String())
+	}
+}
+
+func TestTimeVaryingLink(t *testing.T) {
+	l := Fast80211AC()
+	l.Phases = []Phase{
+		{Until: simtime.Second, BandwidthBps: 650_000_000},
+		{Until: 2 * simtime.Second, BandwidthBps: 1_000_000},
+		{Until: 1 << 62, BandwidthBps: 650_000_000},
+	}
+	if got := l.At(0).BandwidthBps; got != 650_000_000 {
+		t.Errorf("phase 1 bandwidth = %d", got)
+	}
+	if got := l.At(1500 * simtime.Millisecond).BandwidthBps; got != 1_000_000 {
+		t.Errorf("phase 2 bandwidth = %d", got)
+	}
+	if got := l.At(5 * simtime.Second).BandwidthBps; got != 650_000_000 {
+		t.Errorf("phase 3 bandwidth = %d", got)
+	}
+	// Latency and per-message costs carry over; the resolved link is flat.
+	eff := l.At(1500 * simtime.Millisecond)
+	if eff.Latency != l.Latency || eff.PerMessage != l.PerMessage || len(eff.Phases) != 0 {
+		t.Error("resolved link should inherit fixed costs and be phase-free")
+	}
+	// A phase-free link resolves to itself.
+	flat := Slow80211N()
+	if flat.At(simtime.Second) != flat {
+		t.Error("flat link should resolve to itself")
+	}
+}

@@ -1,0 +1,601 @@
+// Package offrt is the Native Offloader runtime (Section 4). A Session
+// wires a mobile machine and a server machine to one simulated wireless
+// link and drives the offloaded-task life cycle of Figure 5:
+//
+//	local execution -> dynamic estimation -> initialization (request +
+//	prefetch, stack reallocation) -> offloading execution (copy-on-demand
+//	page faults, remote I/O service, function pointer translation) ->
+//	finalization (return value + compressed dirty pages write-back).
+//
+// The server runs the partitioned binary's real listenClient loop in its
+// own goroutine; mobile and server strictly alternate (the mobile blocks
+// while the server computes and vice versa), so execution is deterministic
+// and both clocks live on one absolute timeline.
+package offrt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/energy"
+	"repro/internal/estimate"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// TaskSpec is what the dynamic estimator knows about one offload target.
+type TaskSpec struct {
+	TaskID int
+	Name   string
+	// Profile-predicted per-invocation execution time and memory usage,
+	// the Tm and M of Equation 1.
+	TimePerInvocation simtime.PS
+	MemBytes          int64
+}
+
+// Policy tunes runtime behaviour.
+type Policy struct {
+	// DisableGate forces local execution (the paper's "local" baseline
+	// runs the plain binary instead, but this is useful for tests).
+	DisableGate bool
+	// ForceOffload skips the dynamic estimation and always offloads.
+	ForceOffload bool
+	// NoCompress disables the server->mobile compression.
+	NoCompress bool
+	// NoPrefetch disables initialization-time prefetch; every page moves
+	// through copy-on-demand instead (ablation).
+	NoPrefetch bool
+	// BatchOutput buffers r_printf output on the server and ships it in
+	// few large messages instead of one per call — the paper's batching
+	// optimization ("keeping the communicated data in a buffer and
+	// sending the buffer once", Section 4).
+	BatchOutput bool
+	// R overrides the performance ratio used by the dynamic estimator;
+	// 0 derives it from the two machines' cycle times.
+	R float64
+}
+
+const (
+
+	// radioTail is how long the Wi-Fi radio stays in its high-power state
+	// after servicing a request. Programs that issue remote I/O requests
+	// more often than this never let the radio drop back to the 1350 mW
+	// wait state — the paper's continuous 2000 mW plateau for gobmk
+	// (Figure 8(b)), and the reason gobmk and twolf spend *more* battery
+	// on the fast network than the slow one despite finishing sooner.
+	radioTail = 150 * simtime.Millisecond
+)
+
+// Session couples the two machines.
+type Session struct {
+	Mobile *interp.Machine
+	Server *interp.Machine
+	Link   *netsim.Link
+	Policy Policy
+
+	Stats netsim.Stats
+	// PerTask accumulates per-task offload statistics.
+	PerTask map[int]*TaskStats
+
+	// Comp buckets the whole-program time like Figure 7: compute, fptr,
+	// remote I/O, communication.
+	Comp [interp.NumComponents]simtime.PS
+
+	// ServerCompute is the portion of Comp[CompCompute] that ran on the
+	// server: the offloaded tasks' compute time at server speed. The
+	// Table 4 coverage column derives from it.
+	ServerCompute simtime.PS
+
+	Recorder *energy.Recorder
+
+	tasks map[int32]TaskSpec
+	est   estimate.Params
+
+	// outBuf accumulates batched r_printf output on the server side.
+	outBuf []byte
+
+	// mobilePresent snapshots the mobile page table at initialization
+	// (the paper sends the page table with the offload request): pages
+	// absent there zero-fill on the server without any communication.
+	mobilePresent map[uint32]bool
+
+	// server goroutine plumbing
+	reqCh chan request
+	repCh chan reply
+	// pendingReply holds the finalization result until the server parks
+	// at the next Accept: the mobile must not resume while the server is
+	// still executing its listen-loop tail, or the two simulated clocks
+	// race (and so would the Go memory model).
+	pendingReply *reply
+	doneCh       chan error
+	started      bool
+	closed       bool
+	inFlight     bool
+	cur          request
+	mu           sync.Mutex // guards started/shutdown state only
+}
+
+// TaskStats is per-task accounting for Table 4 and Figure 6.
+type TaskStats struct {
+	Offloads int
+	Declines int
+	// TrafficBytes is total bytes moved (both directions) across offloads.
+	TrafficBytes int64
+	Faults       int
+	DirtyPages   int
+	PrefetchPgs  int
+}
+
+type request struct {
+	taskID int32
+	args   []uint64
+	// arrival is when the request reaches the server; the server syncs
+	// its clock to it on its own goroutine (Accept), keeping the two
+	// machines free of cross-goroutine writes.
+	arrival simtime.PS
+	// pages carries the decoded prefetch set for the server to install.
+	pages []PageRecord
+}
+
+type reply struct {
+	ret uint64
+	err error
+}
+
+// New builds a session over the given machines, link, and task table.
+// The server machine must not be started yet; Session runs it.
+func New(mobile, server *interp.Machine, link *netsim.Link, tasks []TaskSpec, pol Policy) *Session {
+	s := &Session{
+		Mobile:   mobile,
+		Server:   server,
+		Link:     link,
+		Policy:   pol,
+		PerTask:  make(map[int]*TaskStats),
+		tasks:    make(map[int32]TaskSpec),
+		reqCh:    make(chan request),
+		repCh:    make(chan reply),
+		doneCh:   make(chan error, 1),
+		Recorder: energy.NewRecorder(0, energy.Compute),
+	}
+	for _, t := range tasks {
+		s.tasks[int32(t.TaskID)] = t
+		s.PerTask[t.TaskID] = &TaskStats{}
+	}
+	r := pol.R
+	if r == 0 {
+		r = float64(mobile.Spec.CyclePS) / float64(server.Spec.CyclePS)
+	}
+	s.est = estimate.Params{
+		R:            r,
+		BandwidthBps: link.BandwidthBps,
+		RTT:          2 * (link.Latency + link.PerMessage),
+	}
+
+	mobile.Sys = s
+	server.Sys = s
+
+	// Copy-on-demand: a server page fault fetches the page from the
+	// mobile device over the link (request + page reply), stalling the
+	// server and pulsing the mobile radio.
+	server.Mem.Fault = s.servePageFault
+
+	// Function pointers: translate any address either linker assigned to
+	// the local function of the same name; mapped call sites charge the
+	// translation cost in the interpreter.
+	server.ResolveFptr = s.resolver(server, mobile)
+	mobile.ResolveFptr = s.resolver(mobile, server)
+	return s
+}
+
+// debugGate, when set by tests, observes each dynamic-estimation decision.
+var debugGate func(clock simtime.PS, bw int64, ok bool)
+
+// linkAt resolves the effective link for an event at instant t (the link
+// may be time-varying).
+func (s *Session) linkAt(t simtime.PS) *netsim.Link { return s.Link.At(t) }
+
+// resolver returns a function-pointer resolver for machine self that also
+// understands addresses assigned by other (the m2s/s2m function maps of
+// Section 3.4).
+func (s *Session) resolver(self, other *interp.Machine) func(uint32, bool) (*ir.Func, error) {
+	return func(addr uint32, mapped bool) (*ir.Func, error) {
+		if f, ok := self.FuncAt(addr); ok {
+			return f, nil
+		}
+		if of, ok := other.FuncAt(addr); ok {
+			if lf := self.Mod.Func(of.Nam); lf != nil {
+				return lf, nil
+			}
+			return nil, fmt.Errorf("offrt: function %s not present in %s binary", of.Nam, self.Name)
+		}
+		return nil, fmt.Errorf("offrt: no function at address 0x%x on %s", addr, self.Name)
+	}
+}
+
+// Start launches the server's listen loop.
+func (s *Session) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	go func() {
+		_, err := s.Server.RunMain()
+		if s.inFlight {
+			if s.pendingReply != nil {
+				// Finalized but died before parking at Accept.
+				s.repCh <- *s.pendingReply
+				s.pendingReply = nil
+			} else {
+				// The task died before SendReturn; unblock the mobile.
+				s.repCh <- reply{err: fmt.Errorf("offrt: server failed mid-task: %w", err)}
+			}
+		}
+		s.doneCh <- err
+	}()
+}
+
+// Shutdown stops the server loop and finishes the energy timeline.
+func (s *Session) Shutdown() error {
+	s.mu.Lock()
+	started, closed := s.started, s.closed
+	s.started, s.closed = false, true
+	s.mu.Unlock()
+	if closed {
+		return nil
+	}
+	var err error
+	if started {
+		s.reqCh <- request{taskID: 0}
+		err = <-s.doneCh
+	}
+	s.Recorder.Finish(s.Mobile.Clock)
+	// Final component bookkeeping: mobile-side compute/fptr buckets.
+	s.Comp[interp.CompCompute] += s.Mobile.Comp[interp.CompCompute]
+	s.Comp[interp.CompFptr] += s.Mobile.Comp[interp.CompFptr]
+	return err
+}
+
+// RunMobile executes the mobile binary under the session, returning its
+// exit code. It starts the server, runs main, and shuts the server down.
+func (s *Session) RunMobile() (int32, error) {
+	s.Start()
+	code, err := s.Mobile.RunMain()
+	serr := s.Shutdown()
+	if err != nil {
+		return code, err
+	}
+	return code, serr
+}
+
+// ---- SysHost: mobile side ----
+
+// Gate implements the dynamic performance estimation of Section 4: it
+// re-evaluates Equation 1 with the current network bandwidth, avoiding
+// offload in unfavourable conditions (gzip on 802.11n is the paper's star).
+func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
+	if s.Policy.DisableGate {
+		return false
+	}
+	if s.Policy.ForceOffload {
+		return true
+	}
+	spec, ok := s.tasks[taskID]
+	if !ok {
+		return false
+	}
+	// Dynamic estimation uses the *current* network bandwidth, which is
+	// the whole point of deciding at run time (Section 4).
+	est := s.est
+	est.BandwidthBps = s.linkAt(m.Clock).BandwidthBps
+	ok = est.Profitable(spec.TimePerInvocation, spec.MemBytes, 1)
+	if debugGate != nil {
+		debugGate(m.Clock, est.BandwidthBps, ok)
+	}
+	if !ok {
+		if st := s.PerTask[int(taskID)]; st != nil {
+			st.Declines++
+		}
+	}
+	return ok
+}
+
+// Offload implements the initialization / offloading execution /
+// finalization phases of Figure 5 from the mobile side.
+func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint64, error) {
+	if _, ok := s.tasks[taskID]; !ok {
+		return 0, fmt.Errorf("offrt: unknown task %d", taskID)
+	}
+	st := s.PerTask[int(taskID)]
+	st.Offloads++
+
+	// --- Initialization: offloading info + prefetched heap pages, sent
+	// as one batched message. ---
+	present := s.Mobile.Mem.PresentPages()
+	req := &Message{
+		Kind:      MsgOffloadRequest,
+		TaskID:    taskID,
+		SP:        s.Mobile.SP(),
+		Args:      args,
+		PageTable: present,
+	}
+	if !s.Policy.NoPrefetch {
+		for _, pn := range present {
+			addr := mem.PageAddr(pn)
+			if (addr >= mem.GlobalsBase && addr < mem.GlobalsBase+0x0100_0000) ||
+				(addr >= mem.HeapBase && addr < mem.HeapLimit) {
+				req.Pages = append(req.Pages, PageRecord{PN: pn, Data: s.Mobile.Mem.PageData(pn)})
+			}
+		}
+	}
+	st.PrefetchPgs += len(req.Pages)
+	s.mobilePresent = make(map[uint32]bool)
+	for _, pn := range present {
+		s.mobilePresent[pn] = true
+	}
+
+	// The request crosses the wire for real: encode, charge the encoded
+	// size, decode on the server side and install the prefetched pages.
+	wire := req.Encode()
+	d := s.Stats.Send(s.linkAt(s.Mobile.Clock), true, int64(len(wire)))
+	s.Recorder.Transition(s.Mobile.Clock, energy.TX)
+	s.Mobile.AddTime(d, interp.CompComm)
+	s.Comp[interp.CompComm] += d
+	s.Recorder.Transition(s.Mobile.Clock, energy.Wait)
+	st.TrafficBytes += int64(len(wire))
+
+	got, err := Decode(wire)
+	if err != nil {
+		return 0, fmt.Errorf("offrt: init message corrupt: %w", err)
+	}
+
+	// Hand the request to the listen loop and wait for finalization. All
+	// server-side state (clock sync, page install, dirty tracking) is
+	// applied by Accept on the server's own goroutine.
+	s.inFlight = true
+	s.reqCh <- request{taskID: taskID, args: args, arrival: s.Mobile.Clock, pages: got.Pages}
+	rep := <-s.repCh
+	s.inFlight = false
+	if rep.err != nil {
+		return 0, rep.err
+	}
+	return rep.ret, nil
+}
+
+// ---- SysHost: server side ----
+
+// Accept implements the server's blocking accept. It first releases the
+// mobile side with any pending finalization reply, so the server is fully
+// quiescent (parked here) whenever the mobile executes.
+func (s *Session) Accept(m *interp.Machine) int32 {
+	if s.pendingReply != nil {
+		r := *s.pendingReply
+		s.pendingReply = nil
+		s.repCh <- r
+	}
+	req := <-s.reqCh
+	s.cur = req
+	if req.taskID == 0 {
+		return 0
+	}
+	// Initialization, server side: the machine was idle-waiting, so its
+	// clock jumps to the request arrival; the prefetched pages and fresh
+	// dirty tracking come with it (Figure 5 "Initialization").
+	s.Server.Clock = simtime.Max(s.Server.Clock, req.arrival)
+	for _, p := range req.pages {
+		s.Server.Mem.InstallPage(p.PN, p.Data)
+	}
+	s.Server.Mem.TrackDirty = true
+	s.Server.Mem.ClearDirty()
+	return req.taskID
+}
+
+// Arg returns argument i of the current request.
+func (s *Session) Arg(m *interp.Machine, i int32) uint64 {
+	if int(i) < len(s.cur.args) {
+		return s.cur.args[i]
+	}
+	return 0
+}
+
+// SendReturn implements finalization: the server sends the return value,
+// the dirty pages, and the updated page table back in one batched,
+// compressed message, then drops its copy of the offloading data.
+func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
+	dirty := s.Server.Mem.DirtyPages()
+	st := s.PerTask[int(s.cur.taskID)]
+	if st != nil {
+		st.DirtyPages += len(dirty)
+		st.Faults += s.Server.Mem.Faults
+	}
+
+	if err := s.flushOutput(); err != nil {
+		return err
+	}
+	fin := &Message{Kind: MsgFinalize, TaskID: s.cur.taskID, Ret: v,
+		PageTable: s.Server.Mem.PresentPages()}
+	for _, pn := range dirty {
+		fin.Pages = append(fin.Pages, PageRecord{PN: pn, Data: s.Server.Mem.PageData(pn)})
+	}
+	if !s.Policy.NoCompress && len(fin.Pages) > 0 {
+		// Compression runs on the server only (Section 4): it is far
+		// cheaper there than decompression is on the mobile device.
+		raw, err := fin.CompressPages()
+		if err != nil {
+			return err
+		}
+		s.Stats.RawBytesToMob += raw
+		// Server-side compression throughput ~1 GB/s: 1 ns per byte.
+		s.Server.AddTime(simtime.PS(raw)*simtime.Nanosecond, interp.CompComm)
+	} else {
+		s.Stats.RawBytesToMob += int64(len(fin.Pages)) * (mem.PageSize + 4)
+	}
+
+	wireBytes := fin.Encode()
+	wire := int64(len(wireBytes))
+	link := s.linkAt(s.Server.Clock)
+	d := link.TransferTime(wire)
+	s.Stats.Send(link, false, wire)
+	if st != nil {
+		st.TrafficBytes += wire
+	}
+
+	// Apply the write-back on the mobile device and synchronize clocks:
+	// the mobile resumes when the finalization message has arrived.
+	decoded, err := Decode(wireBytes)
+	if err != nil {
+		return fmt.Errorf("offrt: finalize message corrupt: %w", err)
+	}
+	pages, err := decoded.DecompressPages()
+	if err != nil {
+		return fmt.Errorf("offrt: finalize payload corrupt: %w", err)
+	}
+	for _, p := range pages {
+		s.Mobile.Mem.InstallPage(p.PN, p.Data)
+	}
+	arrive := s.Server.Clock + d
+	if arrive > s.Mobile.Clock {
+		gap := arrive - s.Mobile.Clock
+		s.Mobile.AddTime(gap, interp.CompComm)
+	}
+	s.Recorder.Pulse(arrive-d, d, energy.RX)
+	s.Recorder.Transition(s.Mobile.Clock, energy.Compute)
+	s.Comp[interp.CompComm] += d
+
+	// Figure 7 attribution: the server's compute/fptr time happened while
+	// the mobile device waited; fold it into the session buckets.
+	s.ServerCompute += s.Server.Comp[interp.CompCompute]
+	s.Comp[interp.CompCompute] += s.Server.Comp[interp.CompCompute]
+	s.Comp[interp.CompFptr] += s.Server.Comp[interp.CompFptr]
+	s.Comp[interp.CompRemoteIO] += s.Server.Comp[interp.CompRemoteIO]
+	for i := range s.Server.Comp {
+		s.Server.Comp[i] = 0
+	}
+
+	// Terminate the offloading process without keeping the data
+	// (Section 4): drop every server page so the next offload starts
+	// cold, as in the paper's repeated-invocation traffic numbers.
+	for _, pn := range s.Server.Mem.PresentPages() {
+		s.Server.Mem.Drop(pn)
+	}
+	s.Server.Mem.Faults = 0
+	s.Server.Mem.TrackDirty = false
+
+	s.pendingReply = &reply{ret: decoded.Ret}
+	return nil
+}
+
+// servePageFault is the copy-on-demand path: the server stalls for a
+// round trip while the mobile device serves the page.
+func (s *Session) servePageFault(pn uint32) ([]byte, error) {
+	if !s.mobilePresent[pn] {
+		// The page table shipped at initialization says this page does
+		// not exist on the mobile device: zero-fill locally, no traffic.
+		return nil, nil
+	}
+	reqMsg := &Message{Kind: MsgPageRequest, Addr: mem.PageAddr(pn)}
+	respMsg := &Message{Kind: MsgPageData,
+		Pages: []PageRecord{{PN: pn, Data: s.Mobile.Mem.PageData(pn)}}}
+	link := s.linkAt(s.Server.Clock)
+	req := s.Stats.Send(link, false, reqMsg.WireSize())
+	resp := s.Stats.Send(link, true, respMsg.WireSize())
+	data := respMsg.Pages[0].Data
+	if st := s.PerTask[int(s.cur.taskID)]; st != nil {
+		st.TrafficBytes += reqMsg.WireSize() + respMsg.WireSize()
+	}
+	// The mobile radio pulses: receive the request, transmit the page.
+	s.Recorder.Pulse(s.Server.Clock+req, resp, energy.TX)
+	s.Server.AddTime(req+resp, interp.CompComm)
+	s.Comp[interp.CompComm] += req + resp
+	return data, nil
+}
+
+// ---- SysHost: remote I/O (Section 3.4) ----
+
+// RemoteWrite ships r_printf output to the mobile device and executes the
+// original printf there.
+func (s *Session) RemoteWrite(m *interp.Machine, out string) error {
+	if s.Policy.BatchOutput {
+		s.outBuf = append(s.outBuf, out...)
+		if len(s.outBuf) >= 8<<10 {
+			return s.flushOutput()
+		}
+		return nil
+	}
+	msg := &Message{Kind: MsgRemoteWrite, Data: []byte(out)}
+	d := s.Stats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize())
+	s.addTaskTraffic(int64(len(out)))
+	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
+	s.Server.AddTime(d, interp.CompRemoteIO)
+	s.Mobile.IO.Write(out)
+	return nil
+}
+
+// flushOutput ships the batched r_printf buffer as one message.
+func (s *Session) flushOutput() error {
+	if len(s.outBuf) == 0 {
+		return nil
+	}
+	msg := &Message{Kind: MsgRemoteWrite, Data: s.outBuf}
+	d := s.Stats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize())
+	s.addTaskTraffic(int64(len(s.outBuf)))
+	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
+	s.Server.AddTime(d, interp.CompRemoteIO)
+	s.Mobile.IO.Write(string(s.outBuf))
+	s.outBuf = nil
+	return nil
+}
+
+// RemoteOpen opens a file in the mobile environment (round trip).
+func (s *Session) RemoteOpen(m *interp.Machine, name string) (int32, error) {
+	req := &Message{Kind: MsgRemoteOpen, Data: []byte(name)}
+	resp := &Message{Kind: MsgRemoteOpenResp}
+	link := s.linkAt(s.Server.Clock)
+	d := s.Stats.Send(link, false, req.WireSize())
+	d += s.Stats.Send(link, true, resp.WireSize())
+	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
+	s.Server.AddTime(d, interp.CompRemoteIO)
+	return s.Mobile.IO.Open(name)
+}
+
+// RemoteRead is a remote input operation: it needs a full round trip plus
+// the data transfer, which is why twolf/gobmk/h264ref show large remote I/O
+// overheads (Section 5.1).
+func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error) {
+	data, err := s.Mobile.IO.Read(fd, n)
+	if err != nil {
+		return nil, err
+	}
+	req := &Message{Kind: MsgRemoteRead, FD: fd, N: int32(n)}
+	resp := &Message{Kind: MsgRemoteReadResp, Data: data}
+	link := s.linkAt(s.Server.Clock)
+	d := s.Stats.Send(link, false, req.WireSize())
+	d += s.Stats.Send(link, true, resp.WireSize())
+	s.addTaskTraffic(int64(len(data)))
+	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
+	s.Server.AddTime(d, interp.CompRemoteIO)
+	return data, nil
+}
+
+// RemoteClose closes a mobile-side file.
+func (s *Session) RemoteClose(m *interp.Machine, fd int32) error {
+	msg := &Message{Kind: MsgRemoteClose, FD: fd}
+	d := s.Stats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize())
+	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
+	s.Server.AddTime(d, interp.CompRemoteIO)
+	return s.Mobile.IO.Close(fd)
+}
+
+// addTaskTraffic attributes remote-I/O bytes to the current task's traffic
+// (Table 4 counts all communication, including remote I/O payloads).
+func (s *Session) addTaskTraffic(n int64) {
+	if st := s.PerTask[int(s.cur.taskID)]; st != nil {
+		st.TrafficBytes += n
+	}
+}
+
+var _ interp.SysHost = (*Session)(nil)

@@ -1,0 +1,259 @@
+package offrt
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// MsgKind tags the runtime's wire messages. The protocol follows the
+// paper's Figure 5 life cycle: an offload request carries the task id, the
+// current stack pointer, the page table and the prefetched pages; during
+// offloading execution the server requests pages and remote I/O; the
+// finalization message returns the result with the (compressed) dirty
+// pages and updated page table.
+type MsgKind uint8
+
+const (
+	MsgOffloadRequest MsgKind = iota + 1
+	MsgPageRequest
+	MsgPageData
+	MsgRemoteWrite
+	MsgRemoteOpen
+	MsgRemoteOpenResp
+	MsgRemoteRead
+	MsgRemoteReadResp
+	MsgRemoteClose
+	MsgFinalize
+	MsgShutdown
+)
+
+func (k MsgKind) String() string {
+	names := [...]string{"", "offload", "pagereq", "pagedata", "rwrite",
+		"ropen", "ropenresp", "rread", "rreadresp", "rclose", "finalize", "shutdown"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// PageRecord is one page on the wire.
+type PageRecord struct {
+	PN   uint32
+	Data []byte // PageSize bytes
+}
+
+// Message is the runtime's single wire envelope; fields are used per kind.
+type Message struct {
+	Kind   MsgKind
+	TaskID int32
+	SP     uint32
+	Args   []uint64
+	// PageTable lists the sender's present pages (offload request) or the
+	// updated page set (finalization).
+	PageTable  []uint32
+	Pages      []PageRecord
+	Addr       uint32 // page request
+	FD         int32
+	N          int32
+	Ret        uint64
+	Data       []byte // remote I/O payload, or compressed page payload
+	Compressed bool
+}
+
+// Encode serializes the message with a 4-byte length prefix.
+func (m *Message) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	w := func(v interface{}) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint8(m.Kind))
+	w(m.TaskID)
+	w(m.SP)
+	w(uint32(len(m.Args)))
+	for _, a := range m.Args {
+		w(a)
+	}
+	w(uint32(len(m.PageTable)))
+	for _, pn := range m.PageTable {
+		w(pn)
+	}
+	w(uint32(len(m.Pages)))
+	for _, p := range m.Pages {
+		w(p.PN)
+		data := p.Data
+		if len(data) != mem.PageSize {
+			padded := make([]byte, mem.PageSize)
+			copy(padded, data)
+			data = padded
+		}
+		buf.Write(data)
+	}
+	w(m.Addr)
+	w(m.FD)
+	w(m.N)
+	w(m.Ret)
+	var comp uint8
+	if m.Compressed {
+		comp = 1
+	}
+	w(comp)
+	w(uint32(len(m.Data)))
+	buf.Write(m.Data)
+
+	out := buf.Bytes()
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(out)-4))
+	return out
+}
+
+// Decode parses one encoded message.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("offrt: short message (%d bytes)", len(b))
+	}
+	want := binary.LittleEndian.Uint32(b[:4])
+	if int(want) != len(b)-4 {
+		return nil, fmt.Errorf("offrt: length prefix %d does not match body %d", want, len(b)-4)
+	}
+	r := bytes.NewReader(b[4:])
+	m := &Message{}
+	var kind, comp uint8
+	var nArgs, nPT, nPages, nData uint32
+	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
+	if err := firstErr(
+		rd(&kind), rd(&m.TaskID), rd(&m.SP), rd(&nArgs),
+	); err != nil {
+		return nil, err
+	}
+	m.Kind = MsgKind(kind)
+	if nArgs > 1<<16 {
+		return nil, fmt.Errorf("offrt: absurd arg count %d", nArgs)
+	}
+	for i := uint32(0); i < nArgs; i++ {
+		var a uint64
+		if err := rd(&a); err != nil {
+			return nil, err
+		}
+		m.Args = append(m.Args, a)
+	}
+	if err := rd(&nPT); err != nil {
+		return nil, err
+	}
+	if nPT > 1<<24 {
+		return nil, fmt.Errorf("offrt: absurd page table size %d", nPT)
+	}
+	for i := uint32(0); i < nPT; i++ {
+		var pn uint32
+		if err := rd(&pn); err != nil {
+			return nil, err
+		}
+		m.PageTable = append(m.PageTable, pn)
+	}
+	if err := rd(&nPages); err != nil {
+		return nil, err
+	}
+	if nPages > 1<<20 {
+		return nil, fmt.Errorf("offrt: absurd page count %d", nPages)
+	}
+	for i := uint32(0); i < nPages; i++ {
+		var pn uint32
+		if err := rd(&pn); err != nil {
+			return nil, err
+		}
+		data := make([]byte, mem.PageSize)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		m.Pages = append(m.Pages, PageRecord{PN: pn, Data: data})
+	}
+	if err := firstErr(rd(&m.Addr), rd(&m.FD), rd(&m.N), rd(&m.Ret), rd(&comp), rd(&nData)); err != nil {
+		return nil, err
+	}
+	m.Compressed = comp == 1
+	if int(nData) != r.Len() {
+		return nil, fmt.Errorf("offrt: trailing data mismatch: declared %d, have %d", nData, r.Len())
+	}
+	if nData > 0 {
+		m.Data = make([]byte, nData)
+		if _, err := io.ReadFull(r, m.Data); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// WireSize returns the encoded size without materializing page payloads
+// twice; it is what the session charges to the link.
+func (m *Message) WireSize() int64 {
+	return int64(len(m.Encode()))
+}
+
+// CompressPages deflates a page set into the message's Data field and
+// drops the raw pages, returning the raw (pre-compression) size. The
+// mobile side reverses it with DecompressPages.
+func (m *Message) CompressPages() (rawBytes int64, err error) {
+	var raw bytes.Buffer
+	for _, p := range m.Pages {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], p.PN)
+		raw.Write(hdr[:])
+		data := p.Data
+		if len(data) != mem.PageSize {
+			padded := make([]byte, mem.PageSize)
+			copy(padded, data)
+			data = padded
+		}
+		raw.Write(data)
+	}
+	rawBytes = int64(raw.Len())
+	var comp bytes.Buffer
+	w, err := flate.NewWriter(&comp, flate.BestSpeed)
+	if err != nil {
+		return rawBytes, err
+	}
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return rawBytes, err
+	}
+	if err := w.Close(); err != nil {
+		return rawBytes, err
+	}
+	m.Pages = nil
+	m.Data = comp.Bytes()
+	m.Compressed = true
+	return rawBytes, nil
+}
+
+// DecompressPages inflates a finalization payload back into page records.
+func (m *Message) DecompressPages() ([]PageRecord, error) {
+	if !m.Compressed {
+		return m.Pages, nil
+	}
+	r := flate.NewReader(bytes.NewReader(m.Data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%(4+mem.PageSize) != 0 {
+		return nil, fmt.Errorf("offrt: corrupt page payload (%d bytes)", len(raw))
+	}
+	var out []PageRecord
+	for off := 0; off < len(raw); off += 4 + mem.PageSize {
+		out = append(out, PageRecord{
+			PN:   binary.LittleEndian.Uint32(raw[off:]),
+			Data: raw[off+4 : off+4+mem.PageSize],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+// Package optimize implements the server-specific optimizations of
+// Section 3.4:
+//
+//   - the remote I/O manager replaces well-known I/O call sites in the
+//     server binary with remote variants (printf -> r_printf, Figure 3(c)
+//     line 61) that execute the original operation back on the mobile
+//     device, which is what lets hot regions containing I/O offload at all;
+//   - function pointer mapping marks every indirect call site in the server
+//     binary for address translation through the runtime's function map
+//     (s2mFcnMap, Figure 3(c) line 56), because the two back ends assign
+//     different addresses to the same function.
+package optimize
+
+import (
+	"repro/internal/ir"
+)
+
+// Report summarizes what the optimizer changed.
+type Report struct {
+	// RemoteIOSites counts rewritten I/O call sites.
+	RemoteIOSites int
+	// RemoteInputSites counts those that are input operations (file
+	// reads), which need round-trip communication and dominate the remote
+	// I/O overhead of twolf/gobmk/h264ref in Figure 7.
+	RemoteInputSites int
+	// MappedFptrSites counts indirect call sites marked for translation.
+	MappedFptrSites int
+}
+
+// RemoteIO rewrites I/O call sites to their remote variants across the
+// whole server module (everything the server runs is offloaded code).
+func RemoteIO(s *ir.Module) *Report {
+	r := &Report{}
+	for _, f := range s.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				call, ok := in.(*ir.Call)
+				if !ok {
+					continue
+				}
+				rv, remotable := call.Callee.Extern.RemoteVariant()
+				if !remotable {
+					continue
+				}
+				call.Callee = s.Extern(rv)
+				r.RemoteIOSites++
+				if rv.IsRemoteInput() {
+					r.RemoteInputSites++
+				}
+			}
+		}
+	}
+	return r
+}
+
+// MapFunctionPointers marks every indirect call in the server module for
+// s2m translation.
+func MapFunctionPointers(s *ir.Module) int {
+	n := 0
+	for _, f := range s.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if ci, ok := in.(*ir.CallInd); ok && !ci.Mapped {
+					ci.Mapped = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Optimize runs both server-specific optimizations.
+func Optimize(s *ir.Module) *Report {
+	r := RemoteIO(s)
+	r.MappedFptrSites = MapFunctionPointers(s)
+	return r
+}
+
+// CountFptrUses counts function-pointer uses in a module: indirect call
+// sites plus address-escape points (Table 4's "Fcn. Ptr" column).
+func CountFptrUses(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.(type) {
+				case *ir.CallInd, *ir.FuncAddr:
+					n++
+				}
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		for _, v := range g.Init {
+			if _, ok := v.(*ir.Func); ok {
+				n++
+			}
+		}
+	}
+	return n
+}

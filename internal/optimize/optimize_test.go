@@ -1,0 +1,72 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func buildServerModule() *ir.Module {
+	mod := ir.NewModule("srv")
+	b := ir.NewBuilder(mod)
+	sig := ir.Signature(ir.I32, ir.I32)
+	leaf := b.NewFunc("leaf", ir.I32, ir.P("x", ir.I32))
+	b.Ret(b.F.Params[0])
+	b.NewFunc("task", ir.I32)
+	b.CallExtern(ir.ExternPrintf, b.Str("x=%d\n"), ir.Int(1))
+	fd := b.CallExtern(ir.ExternFileOpen, b.Str("in.dat"))
+	buf := b.CallExtern(ir.ExternUMalloc, ir.Int(64))
+	b.CallExtern(ir.ExternFileRead, fd, buf, ir.Int(64))
+	b.CallExtern(ir.ExternFileClose, fd)
+	fp := b.FuncAddr(leaf)
+	b.Ret(b.CallPtr(fp, sig, ir.Int(2)))
+	b.Finish()
+	return mod
+}
+
+func TestRemoteIORewrites(t *testing.T) {
+	mod := buildServerModule()
+	r := RemoteIO(mod)
+	if r.RemoteIOSites != 4 {
+		t.Errorf("RemoteIOSites = %d, want 4 (printf, fopen, fread, fclose)", r.RemoteIOSites)
+	}
+	if r.RemoteInputSites != 3 {
+		t.Errorf("RemoteInputSites = %d, want 3 (file stream ops)", r.RemoteInputSites)
+	}
+	// No local I/O extern calls survive.
+	for _, f := range mod.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if c, ok := in.(*ir.Call); ok && c.Callee.Extern.IsLocalIO() {
+					t.Errorf("surviving local I/O call %s", c.Callee.Nam)
+				}
+			}
+		}
+	}
+}
+
+func TestMapFunctionPointersIdempotent(t *testing.T) {
+	mod := buildServerModule()
+	if n := MapFunctionPointers(mod); n != 1 {
+		t.Errorf("mapped %d sites, want 1", n)
+	}
+	if n := MapFunctionPointers(mod); n != 0 {
+		t.Errorf("second pass mapped %d sites, want 0", n)
+	}
+}
+
+func TestCountFptrUses(t *testing.T) {
+	mod := buildServerModule()
+	// One CallInd + one FuncAddr.
+	if n := CountFptrUses(mod); n != 2 {
+		t.Errorf("CountFptrUses = %d, want 2", n)
+	}
+}
+
+func TestOptimizeCombined(t *testing.T) {
+	mod := buildServerModule()
+	r := Optimize(mod)
+	if r.RemoteIOSites != 4 || r.MappedFptrSites != 1 {
+		t.Errorf("combined report = %+v", r)
+	}
+}

@@ -1,0 +1,231 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/ir/analysis"
+)
+
+// OutlineLoop extracts a natural loop of f (a function of mod) into its own
+// function so it can be an offload target (the paper's loop candidates,
+// e.g. main_for.cond in Table 4). Live-in values become parameters; all
+// other data flows through memory, which both machines share via the UVA
+// space.
+//
+// Feasibility: the loop must not define values used outside it, must not
+// contain a return, and all exit edges must lead to a single outside block.
+// Infeasible loops return an error and are simply skipped as candidates.
+func OutlineLoop(mod *ir.Module, f *ir.Func, l *analysis.Loop, g *analysis.CFG) (*ir.Func, error) {
+	// Feasibility: single exit target, no returns inside.
+	exits := l.ExitEdges(g)
+	if len(exits) == 0 {
+		return nil, fmt.Errorf("partition: loop %s has no exit", l.Name())
+	}
+	exitTo := exits[0][1]
+	for _, e := range exits {
+		if e[1] != exitTo {
+			return nil, fmt.Errorf("partition: loop %s has multiple exit targets", l.Name())
+		}
+	}
+	defined := make(map[ir.Value]bool)
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(*ir.Ret); ok {
+				return nil, fmt.Errorf("partition: loop %s contains a return", l.Name())
+			}
+			defined[in] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, op := range in.Operands() {
+				if opIn, ok := op.(ir.Instr); ok && defined[opIn] {
+					return nil, fmt.Errorf("partition: loop %s defines %s used outside", l.Name(), opIn.Ident())
+				}
+			}
+		}
+	}
+
+	// Live-ins: operands used inside the loop but defined outside it.
+	var liveIns []ir.Value
+	seen := make(map[ir.Value]bool)
+	for _, b := range f.Blocks { // function order for determinism
+		if !l.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, op := range in.Operands() {
+				switch v := op.(type) {
+				case *ir.Param:
+				case ir.Instr:
+					if defined[v] {
+						continue
+					}
+				default:
+					continue // constants, globals, function refs travel as-is
+				}
+				if !seen[op] {
+					seen[op] = true
+					liveIns = append(liveIns, op)
+				}
+			}
+		}
+	}
+
+	// Build the outlined function: entry -> header, exits -> done/ret.
+	params := make([]*ir.Param, len(liveIns))
+	sigParams := make([]ir.Type, len(liveIns))
+	for i, v := range liveIns {
+		params[i] = &ir.Param{Nam: fmt.Sprintf("in%d", i), Typ: v.Type(), Index: i}
+		sigParams[i] = v.Type()
+	}
+	nf := &ir.Func{
+		Nam:    f.Nam + "_" + l.Header.Nam,
+		Sig:    &ir.FuncType{Params: sigParams, Ret: ir.Void},
+		Params: params,
+	}
+	mod.AddFunc(nf)
+
+	entry := nf.NewBlock("entry")
+	entry.Append(&ir.Br{Dst: l.Header})
+
+	var moved, kept []*ir.Block
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			b.Parent = nf
+			moved = append(moved, b)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	nf.Blocks = append(nf.Blocks, moved...)
+	done := nf.NewBlock("outline.done")
+	done.Append(&ir.Ret{})
+
+	for _, b := range moved {
+		switch t := b.Terminator().(type) {
+		case *ir.Br:
+			if t.Dst == exitTo {
+				t.Dst = done
+			}
+		case *ir.CondBr:
+			if t.Then == exitTo {
+				t.Then = done
+			}
+			if t.Else == exitTo {
+				t.Else = done
+			}
+		}
+		for _, in := range b.Instrs {
+			for i, v := range liveIns {
+				in.ReplaceOperand(v, params[i])
+			}
+		}
+	}
+
+	// In f, a stub block calls the outlined loop and continues at the exit.
+	stub := &ir.Block{Nam: l.Header.Nam + ".outlined", Parent: f}
+	stub.Append(&ir.Call{Callee: nf, Args: liveIns})
+	stub.Append(&ir.Br{Dst: exitTo})
+	f.Blocks = append(kept, stub)
+
+	for _, b := range f.Blocks {
+		switch t := b.Terminator().(type) {
+		case *ir.Br:
+			if t.Dst == l.Header {
+				t.Dst = stub
+			}
+		case *ir.CondBr:
+			if t.Then == l.Header {
+				t.Then = stub
+			}
+			if t.Else == l.Header {
+				t.Else = stub
+			}
+		}
+	}
+
+	f.Renumber()
+	nf.Renumber()
+	return nf, nil
+}
+
+// DemoteEscapingValues makes a loop outlinable when it defines register
+// values used outside it: each escaping definition is demoted to a stack
+// slot (the classic reg2mem transformation) — stored right after its
+// definition and reloaded immediately before every outside use. After
+// demotion the value flows through the UVA-shared stack like every other
+// local, so OutlineLoop's no-escape precondition holds.
+func DemoteEscapingValues(f *ir.Func, l *analysis.Loop) int {
+	// Collect escaping definitions.
+	type escape struct {
+		def  ir.Instr
+		uses []ir.Instr
+	}
+	var escapes []escape
+	defined := make(map[ir.Instr]bool)
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if _, isVoid := in.Type().(*ir.VoidType); !isVoid {
+				defined[in.(ir.Instr)] = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, op := range in.Operands() {
+				if def, ok := op.(ir.Instr); ok && defined[def] {
+					found := false
+					for i := range escapes {
+						if escapes[i].def == def {
+							escapes[i].uses = append(escapes[i].uses, in)
+							found = true
+							break
+						}
+					}
+					if !found {
+						escapes = append(escapes, escape{def: def, uses: []ir.Instr{in}})
+					}
+				}
+			}
+		}
+	}
+
+	for _, e := range escapes {
+		slot := &ir.Alloca{Elem: e.def.Type()}
+		f.Entry().Prepend(slot)
+
+		// Store right after the definition.
+		db := e.def.Parent()
+		for i, in := range db.Instrs {
+			if in == e.def {
+				st := &ir.Store{Ptr: slot, Val: e.def}
+				db.Insert(i+1, st)
+				break
+			}
+		}
+		// Reload before each outside use.
+		for _, use := range e.uses {
+			ub := use.Parent()
+			for i, in := range ub.Instrs {
+				if in == use {
+					ld := &ir.Load{Ptr: slot, Elem: e.def.Type()}
+					ub.Insert(i, ld)
+					use.ReplaceOperand(e.def, ld)
+					break
+				}
+			}
+		}
+	}
+	if len(escapes) > 0 {
+		f.Renumber()
+	}
+	return len(escapes)
+}

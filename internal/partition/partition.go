@@ -1,0 +1,286 @@
+// Package partition implements Section 3.3: it turns one unified module
+// into two offloading-enabled modules, one per machine.
+//
+// Mobile side: every call site of an offload target is wrapped in a dynamic
+// decision —
+//
+//	if (isProfitable(task)) { r = no.offload(task, args...) }
+//	else                    { r = target(args...) }
+//
+// exactly like lines 33-41 of the paper's Figure 3(b); the data exchange
+// (sendData/receiveData) happens inside the runtime's implementation of
+// no.offload.
+//
+// Server side: a generated main/listenClient loop accepts offload requests
+// and dispatches them in a switch over task IDs (Figure 3(c) lines 26-41),
+// unused functions are removed with the call graph, and the stack is
+// relocated away from the mobile stack (executeAtNewStack).
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/ir/analysis"
+	"repro/internal/mem"
+)
+
+// Target is one selected offload task.
+type Target struct {
+	TaskID int
+	Fn     *ir.Func
+}
+
+// PartitionMobile rewrites m (the mobile clone) in place: every direct call
+// to a target becomes a gated offload/local pair. It returns the number of
+// rewritten call sites.
+func PartitionMobile(m *ir.Module, targets []Target) int {
+	byFunc := make(map[*ir.Func]int, len(targets))
+	for _, t := range targets {
+		byFunc[t.Fn] = t.TaskID
+		t.Fn.TaskID = t.TaskID
+	}
+	gate := m.Extern(ir.ExternGate)
+	off := m.Extern(ir.ExternOffload)
+
+	n := 0
+	for _, f := range m.Funcs {
+		if f.IsExtern() {
+			continue
+		}
+		// Collect the call sites first; rewriting restructures blocks.
+		var sites []*ir.Call
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if call, ok := in.(*ir.Call); ok {
+					if _, isTarget := byFunc[call.Callee]; isTarget && f != call.Callee {
+						sites = append(sites, call)
+					}
+				}
+			}
+		}
+		for _, call := range sites {
+			b, idx := locate(f, call)
+			if b == nil {
+				continue
+			}
+			rewriteCallSite(f, b, idx, call, byFunc[call.Callee], gate, off)
+			n++
+		}
+		f.Renumber()
+	}
+	return n
+}
+
+// locate finds the block and index currently holding in.
+func locate(f *ir.Func, in ir.Instr) (*ir.Block, int) {
+	for _, b := range f.Blocks {
+		for i, x := range b.Instrs {
+			if x == in {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// rewriteCallSite splits block b at the call and inserts the dynamic
+// decision diamond.
+func rewriteCallSite(f *ir.Func, b *ir.Block, idx int, call *ir.Call, taskID int, gate, off *ir.Func) {
+	retType := call.Callee.Sig.Ret
+	_, isVoid := retType.(*ir.VoidType)
+
+	offB := &ir.Block{Nam: b.Nam + ".offload", Parent: f}
+	locB := &ir.Block{Nam: b.Nam + ".local", Parent: f}
+	joinB := &ir.Block{Nam: b.Nam + ".join", Parent: f}
+	// Insert the new blocks right after b so definition order still
+	// precedes every later use (Clone and readers rely on it).
+	for i, blk := range f.Blocks {
+		if blk == b {
+			tail := append([]*ir.Block{offB, locB, joinB}, f.Blocks[i+1:]...)
+			f.Blocks = append(f.Blocks[:i+1:i+1], tail...)
+			break
+		}
+	}
+
+	rest := append([]ir.Instr(nil), b.Instrs[idx+1:]...)
+	b.Instrs = b.Instrs[:idx]
+
+	// Result slot lives on the stack so both arms can produce it without
+	// phi nodes (allocas are how the front end models locals anyway).
+	var slot *ir.Alloca
+	if !isVoid {
+		slot = &ir.Alloca{Elem: retType}
+		f.Entry().Prepend(slot)
+	}
+
+	g := &ir.Call{Callee: gate, Args: []ir.Value{ir.Int(int64(taskID))}}
+	b.Append(g)
+	b.Append(&ir.CondBr{Cond: g, Then: offB, Else: locB})
+
+	// Offload arm: r = no.offload(id, args...); store r' to slot.
+	offArgs := append([]ir.Value{ir.Int(int64(taskID))}, call.Args...)
+	oc := &ir.Call{Callee: off, Args: offArgs}
+	offB.Append(oc)
+	if !isVoid {
+		conv := &ir.Convert{Kind: ir.ConvBitcast, Val: oc, To: retType}
+		offB.Append(conv)
+		offB.Append(&ir.Store{Ptr: slot, Val: conv})
+	}
+	offB.Append(&ir.Br{Dst: joinB})
+
+	// Local arm: the original call.
+	locB.Append(call)
+	if !isVoid {
+		locB.Append(&ir.Store{Ptr: slot, Val: call})
+	}
+	locB.Append(&ir.Br{Dst: joinB})
+
+	// Join: reload the result and continue with the rest of the block.
+	var result ir.Value
+	if !isVoid {
+		ld := &ir.Load{Ptr: slot, Elem: retType}
+		joinB.Append(ld)
+		result = ld
+	}
+	for _, in := range rest {
+		joinB.Append(in)
+		if result != nil {
+			in.ReplaceOperand(call, result)
+		}
+	}
+	// Uses of the call in other blocks also switch to the reloaded value.
+	if result != nil {
+		for _, blk := range f.Blocks {
+			if blk == joinB || blk == locB {
+				continue
+			}
+			for _, in := range blk.Instrs {
+				in.ReplaceOperand(call, result)
+			}
+		}
+	}
+}
+
+// PartitionServer rewrites s (the server clone) in place: it replaces main
+// with the accept/dispatch loop, relocates the stack, and removes functions
+// unreachable from the dispatch loop. It returns the names of removed
+// functions.
+func PartitionServer(s *ir.Module, targets []Target) ([]string, error) {
+	for _, t := range targets {
+		tf := s.Func(t.Fn.Nam)
+		if tf == nil {
+			return nil, fmt.Errorf("partition: server module lacks target %s", t.Fn.Nam)
+		}
+		tf.TaskID = t.TaskID
+	}
+
+	// Remove the original main (the mobile device runs the program); the
+	// server binary's entry is the listen loop.
+	s.RemoveFunc("main")
+	buildListenLoop(s, targets)
+
+	// Stack reallocation (Section 3.3): keep the server's frames away from
+	// the mobile stack on the shared UVA space.
+	s.StackBase = mem.ServerStackTop
+
+	// Unused function removal with the call graph (Figure 3(c) line 66).
+	cg := analysis.BuildCallGraph(s)
+	roots := []*ir.Func{s.Func("main")}
+	reach := cg.Reachable(roots...)
+	var removed []string
+	for _, f := range append([]*ir.Func(nil), s.Funcs...) {
+		if f.IsExtern() || reach[f] {
+			continue
+		}
+		removed = append(removed, f.Nam)
+		s.RemoveFunc(f.Nam)
+	}
+	return removed, nil
+}
+
+// buildListenLoop generates:
+//
+//	func main() { listenClient(); return 0 }
+//	func listenClient() {
+//	  for { id := no.accept(); if id == 0 { return }
+//	        switch id { case k: r := T(no.arg(0), ...); no.sendreturn(r) } }
+//	}
+func buildListenLoop(s *ir.Module, targets []Target) {
+	b := ir.NewBuilder(s)
+
+	listen := b.NewFunc("listenClient", ir.Void)
+	loop := b.Block("listen.loop")
+	exit := b.Block("listen.exit")
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	id := b.CallExtern(ir.ExternAccept)
+	dispatch := b.Block("dispatch")
+	b.CondBr(b.Cmp(ir.EQ, id, ir.Int(0)), exit, dispatch)
+
+	b.SetBlock(dispatch)
+	cur := dispatch
+	for _, t := range targets {
+		tf := s.Func(t.Fn.Nam)
+		match := b.Block(fmt.Sprintf("task%d", t.TaskID))
+		next := b.Block("next")
+		b.SetBlock(cur)
+		b.CondBr(b.Cmp(ir.EQ, id, ir.Int(int64(t.TaskID))), match, next)
+
+		b.SetBlock(match)
+		args := make([]ir.Value, len(tf.Params))
+		for i, p := range tf.Params {
+			raw := b.CallExtern(ir.ExternArg, ir.Int(int64(i)))
+			args[i] = coerceFromBits(b, raw, p.Typ)
+		}
+		ret := b.Call(tf, args...)
+		if _, isVoid := tf.Sig.Ret.(*ir.VoidType); isVoid {
+			b.CallExtern(ir.ExternSendReturn, ir.Int64(0))
+		} else {
+			b.CallExtern(ir.ExternSendReturn, coerceToBits(b, ret))
+		}
+		b.Br(loop)
+
+		cur = next
+	}
+	// Unknown task id: ignore and keep listening.
+	b.SetBlock(cur)
+	b.Br(loop)
+
+	b.SetBlock(exit)
+	b.RetVoid()
+
+	b.NewFunc("main", ir.I32)
+	b.Call(listen)
+	b.Ret(ir.Int(0))
+
+	listen.Renumber()
+	s.Func("main").Renumber()
+}
+
+// coerceFromBits converts a raw i64 argument to the parameter type.
+func coerceFromBits(b *ir.Builder, raw ir.Value, t ir.Type) ir.Value {
+	switch tt := t.(type) {
+	case *ir.IntType:
+		if tt.Bits == 64 {
+			return raw
+		}
+		return b.Convert(ir.ConvTrunc, raw, tt)
+	default:
+		return b.Convert(ir.ConvBitcast, raw, t)
+	}
+}
+
+// coerceToBits converts a return value to raw i64 bits.
+func coerceToBits(b *ir.Builder, v ir.Value) ir.Value {
+	switch tt := v.Type().(type) {
+	case *ir.IntType:
+		if tt.Bits == 64 {
+			return v
+		}
+		return b.Convert(ir.ConvSExt, v, ir.I64)
+	default:
+		return b.Convert(ir.ConvBitcast, v, ir.I64)
+	}
+}

@@ -1,0 +1,47 @@
+// Package simtime defines the simulated clock shared by the interpreter,
+// the network model and the energy model. Everything in this reproduction
+// is charged in picoseconds of virtual time, which keeps the full
+// 17-program evaluation deterministic and runnable in seconds of real time.
+package simtime
+
+import "fmt"
+
+// PS is a duration or instant in simulated picoseconds.
+type PS int64
+
+// Convenient units.
+const (
+	Nanosecond  PS = 1000
+	Microsecond PS = 1000 * Nanosecond
+	Millisecond PS = 1000 * Microsecond
+	Second      PS = 1000 * Millisecond
+)
+
+// Seconds converts to floating point seconds.
+func (t PS) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts to floating point milliseconds.
+func (t PS) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds builds a PS duration from seconds.
+func FromSeconds(s float64) PS { return PS(s * float64(Second)) }
+
+func (t PS) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dps", int64(t))
+}
+
+// Max returns the later of two instants.
+func Max(a, b PS) PS {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package simtime
+
+import "testing"
+
+func TestUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond || Microsecond != 1000*Nanosecond {
+		t.Error("unit ladder inconsistent")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds = %f", got)
+	}
+	if got := (3 * Second).Millis(); got != 3000 {
+		t.Errorf("Millis = %f", got)
+	}
+	if FromSeconds(0.25) != 250*Millisecond {
+		t.Error("FromSeconds inconsistent")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[PS]string{
+		2 * Second:         "2.000s",
+		1500 * Microsecond: "1.500ms",
+		250 * Microsecond:  "250.000us",
+		999:                "999ps",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(Second, Millisecond) != Second || Max(Millisecond, Second) != Second {
+		t.Error("Max wrong")
+	}
+}

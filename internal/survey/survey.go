@@ -1,0 +1,101 @@
+// Package survey embeds the paper's two non-experimental tables: the
+// Android application study of Table 2 (how much native C/C++ code real
+// apps carry and execute) and the related-work comparison of Table 5.
+// These motivate the system rather than measure it, so reproduction means
+// reporting the recorded data faithfully.
+package survey
+
+// AndroidApp is one row of Table 2.
+type AndroidApp struct {
+	Name        string
+	Version     string
+	Description string
+	NativeLoC   int
+	TotalLoC    int
+	Runtime     string  // described runtime behaviour
+	ExecPct     float64 // fraction of execution time in native code
+}
+
+// NativeRatio returns the C/C++ share of the code base in percent.
+func (a AndroidApp) NativeRatio() float64 {
+	if a.TotalLoC == 0 {
+		return 0
+	}
+	return 100 * float64(a.NativeLoC) / float64(a.TotalLoC)
+}
+
+// Table2 returns the paper's study of the top 20 open source Android
+// applications. VLC appears twice in the runtime columns of the paper (with
+// and without the hardware decoder); we record the software-decoder row.
+func Table2() []AndroidApp {
+	return []AndroidApp{
+		{"AdAway", "3.0.2", "AD blocker", 132882, 310321, "Read articles with ads", 21.54},
+		{"Orbot", "14.1.4-noPIE", "Tor client", 675851, 969243, "Web browsing with Tor", 61.98},
+		{"Firefox", "40.0", "Web browser", 8094678, 15509820, "Web browsing 4 websites", 88.27},
+		{"VLC Player", "1.5.1.1", "Media player", 3584526, 6433726, "Play a movie w/o HW decoder", 92.34},
+		{"Open Camera", "1.2", "Camera", 0, 10336, "N/A", 0},
+		{"osmAnd", "2.1.1", "Map/Navigation", 53695, 450573, "Search nearby places", 23.86},
+		{"Syncthing", "0.5.0-beta5", "File synchronizer", 0, 59461, "N/A", 0},
+		{"AFWall+", "1.3.4.1", "Network traffic controller", 1514, 59741, "Web browsing 4 websites", 0.30},
+		{"2048", "1.95", "Puzzle game", 0, 2232, "N/A", 0},
+		{"K-9 Mail", "4.804", "Email client", 0, 96588, "N/A", 0},
+		{"PDF Reader", "0.4.0", "PDF viewer", 334489, 594434, "Read a book with zoom", 28.30},
+		{"ownCloud", "1.5.8", "File synchronizer", 0, 77141, "N/A", 0},
+		{"DAVdroid", "0.6.2", "Private data synchronizer", 0, 7435, "N/A", 0},
+		{"Barcode Scanner", "4.7.0", "2D/QR code scanner", 0, 50201, "N/A", 0},
+		{"SatStat", "2", "Sensor status monitor", 0, 7480, "N/A", 0},
+		{"Cool Reader", "3.1.2-72", "Ebook reader", 491556, 681001, "Read a book", 97.73},
+		{"OS Monitor", "3.4.1.0", "OS monitor", 5902, 74513, "Read network and process info.", 4.38},
+		{"Orweb", "0.6.1", "Web browser", 0, 14124, "N/A", 0},
+		{"PPSSPP", "1.0.1.0", "PSP emulator", 1304973, 1438322, "Play a game for 1 minute", 97.68},
+		{"Adblock Plus", "1.1.3", "AD blocker", 2102, 63779, "Read articles with ads", 22.83},
+	}
+}
+
+// Table2Claim verifies the paper's framing sentence: "around one third of
+// the 20 applications include native codes more than 50% and spend more
+// than 20% of the total execution time to execute them". It returns the
+// count of apps meeting either bar.
+func Table2Claim() (nativeHeavy, timeHeavy int) {
+	for _, a := range Table2() {
+		if a.NativeRatio() > 50 {
+			nativeHeavy++
+		}
+		if a.ExecPct > 20 {
+			timeHeavy++
+		}
+	}
+	return
+}
+
+// OffloadSystem is one row of Table 5, the related-work comparison.
+type OffloadSystem struct {
+	Name           string
+	FullyAutomatic bool
+	Manual         string // "Manual", "Annotation" or "" when automatic
+	Decision       string // "Static" or "Dynamic"
+	RequiresVM     bool
+	Language       string
+	Complexity     string // "Simple" or "Complex"
+}
+
+// Table5 returns the comparison of computation offload systems; the last
+// row is this paper's system.
+func Table5() []OffloadSystem {
+	return []OffloadSystem{
+		{"Cuckoo", false, "Manual", "Static", true, "Java", "Complex"},
+		{"Li et al.", false, "Manual", "Static", false, "C", "Simple"},
+		{"Roam", false, "Manual", "Dynamic", true, "Java", "Complex"},
+		{"MAUI", false, "Annotation", "Dynamic", true, "C#", "Complex"},
+		{"ThinkAir", false, "Annotation", "Dynamic", true, "Java", "Complex"},
+		{"Wang and Li", false, "Annotation", "Dynamic", false, "C", "Simple"},
+		{"DiET", true, "", "Static", true, "Java", "Simple"},
+		{"Chen et al.", true, "", "Dynamic", true, "Java", "Simple"},
+		{"HELVM", true, "", "Dynamic", true, "Java", "Simple"},
+		{"OLIE", true, "", "Dynamic", true, "Java", "Complex"},
+		{"CloneCloud", true, "", "Dynamic", true, "Java", "Complex"},
+		{"COMET", true, "", "Dynamic", true, "Java", "Complex"},
+		{"CMcloud", true, "", "Dynamic", true, "Java", "Complex"},
+		{"Native Offloader", true, "", "Dynamic", false, "C", "Complex"},
+	}
+}

@@ -1,0 +1,60 @@
+package survey
+
+import "testing"
+
+func TestTable2Integrity(t *testing.T) {
+	apps := Table2()
+	if len(apps) != 20 {
+		t.Fatalf("Table 2 has %d apps, want 20", len(apps))
+	}
+	for _, a := range apps {
+		if a.NativeLoC > a.TotalLoC {
+			t.Errorf("%s: native LoC exceeds total", a.Name)
+		}
+		if a.NativeLoC == 0 && a.ExecPct != 0 {
+			t.Errorf("%s: no native code but nonzero native time", a.Name)
+		}
+		if r := a.NativeRatio(); r < 0 || r > 100 {
+			t.Errorf("%s: ratio %.2f out of range", a.Name, r)
+		}
+	}
+	// Spot-check two rows against the paper.
+	if apps[2].Name != "Firefox" || apps[2].NativeLoC != 8094678 {
+		t.Errorf("Firefox row drifted: %+v", apps[2])
+	}
+	if apps[18].Name != "PPSSPP" || apps[18].ExecPct != 97.68 {
+		t.Errorf("PPSSPP row drifted: %+v", apps[18])
+	}
+}
+
+func TestTable2ClaimCounts(t *testing.T) {
+	nh, th := Table2Claim()
+	if nh != 6 || th != 9 {
+		t.Errorf("claim counts = %d, %d; want 6, 9", nh, th)
+	}
+}
+
+func TestTable5Integrity(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 14 {
+		t.Fatalf("Table 5 has %d systems, want 14", len(rows))
+	}
+	// The paper's differentiation: Native Offloader is the only
+	// fully-automatic + dynamic + VM-free + complex-C system.
+	unique := 0
+	for _, s := range rows {
+		if s.FullyAutomatic && s.Decision == "Dynamic" && !s.RequiresVM &&
+			s.Language == "C" && s.Complexity == "Complex" {
+			unique++
+			if s.Name != "Native Offloader" {
+				t.Errorf("unexpected system matches the claim: %s", s.Name)
+			}
+		}
+		if !s.FullyAutomatic && s.Manual == "" {
+			t.Errorf("%s: manual systems must say how", s.Name)
+		}
+	}
+	if unique != 1 {
+		t.Errorf("%d systems match the uniqueness claim, want exactly 1", unique)
+	}
+}

@@ -1,0 +1,109 @@
+// Package unify implements the memory unification code generation of
+// Section 3.2. After these passes the mobile and server binaries agree on
+// where every shared object lives (unified virtual addresses) and how it is
+// laid out (the mobile data layout is the standard):
+//
+//   - heap allocation replacement: every malloc/free site becomes
+//     u_malloc/u_free on the shared UVA heap — all of them, because
+//     imprecise alias analysis cannot prove an object never reaches the
+//     server;
+//   - referenced global variable allocation: globals the offloaded code may
+//     touch move to fixed UVA homes, so a pointer taken on the mobile
+//     device dereferences to the same object on the server;
+//   - layout realignment, address size conversion and endianness
+//     translation are performed by lowering both partitions against the
+//     mobile architecture's data layout (ir.Lower with standard=mobile),
+//     which bakes mobile struct offsets into the server binary and flags
+//     pointer-width and byte-order conversions on each memory access.
+package unify
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/ir/analysis"
+	"repro/internal/mem"
+)
+
+// ReplaceHeapAllocation rewrites every malloc/free call site to
+// u_malloc/u_free and returns the number of rewritten sites.
+func ReplaceHeapAllocation(m *ir.Module) int {
+	umalloc := m.Extern(ir.ExternUMalloc)
+	ufree := m.Extern(ir.ExternUFree)
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				call, ok := in.(*ir.Call)
+				if !ok {
+					continue
+				}
+				switch call.Callee.Extern {
+				case ir.ExternMalloc:
+					call.Callee = umalloc
+					n++
+				case ir.ExternFree:
+					call.Callee = ufree
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ReferencedGlobals returns the globals referenced (directly or through
+// address escape) by any function in reach. This is the set Table 4 counts
+// in its "Referenced GV." column.
+func ReferencedGlobals(m *ir.Module, reach map[*ir.Func]bool) []*ir.Global {
+	used := make(map[*ir.Global]bool)
+	for f := range reach {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, op := range in.Operands() {
+					if g, ok := op.(*ir.Global); ok {
+						used[g] = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]*ir.Global, 0, len(used))
+	for g := range used {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nam < out[j].Nam })
+	return out
+}
+
+// ReallocateGlobals assigns each global a fixed home on the UVA globals
+// region, laid out under the standard (mobile) data layout. Both binaries
+// resolve the global to this address, which replaces the paper's
+// u_malloc-at-startup indirection with the equivalent deterministic
+// placement its compiler computes.
+func ReallocateGlobals(globals []*ir.Global, std *arch.Spec) {
+	addr := mem.GlobalsBase
+	for _, g := range globals {
+		lay := ir.LayoutOf(g.Elem, std)
+		a := addr
+		if al := uint32(lay.Align); al > 1 {
+			a = (a + al - 1) / al * al
+		}
+		g.Home = ir.HomeUVA
+		g.UVAAddr = a
+		addr = a + uint32(lay.Size)
+	}
+}
+
+// Unify runs the whole-module unification: heap replacement plus
+// reallocation of the globals referenced by functions reachable from the
+// offload targets. It returns the reallocated globals.
+func Unify(m *ir.Module, cg *analysis.CallGraph, targets []*ir.Func, std *arch.Spec) []*ir.Global {
+	ReplaceHeapAllocation(m)
+	reach := cg.Reachable(targets...)
+	gs := ReferencedGlobals(m, reach)
+	ReallocateGlobals(gs, std)
+	m.Unified = true
+	return gs
+}

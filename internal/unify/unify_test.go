@@ -1,0 +1,111 @@
+package unify
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/ir/analysis"
+	"repro/internal/mem"
+)
+
+func buildModule(t *testing.T) (*ir.Module, *ir.Func) {
+	t.Helper()
+	mod := ir.NewModule("u")
+	b := ir.NewBuilder(mod)
+	used := b.GlobalVar("used", ir.I32, ir.Int(3))
+	unused := b.GlobalVar("unused", ir.I64)
+	_ = unused
+	target := b.NewFunc("target", ir.I32)
+	p := b.CallExtern(ir.ExternMalloc, ir.Int(64))
+	b.CallExtern(ir.ExternFree, p)
+	b.Ret(b.Load(used))
+	b.NewFunc("main", ir.I32)
+	q := b.CallExtern(ir.ExternMalloc, ir.Int(32))
+	_ = q
+	b.Ret(b.Call(target))
+	b.Finish()
+	return mod, target
+}
+
+func TestReplaceHeapAllocation(t *testing.T) {
+	mod, _ := buildModule(t)
+	n := ReplaceHeapAllocation(mod)
+	if n != 3 {
+		t.Errorf("rewrote %d sites, want 3 (two mallocs, one free)", n)
+	}
+	for _, f := range mod.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if call, ok := in.(*ir.Call); ok {
+					if call.Callee.Extern == ir.ExternMalloc || call.Callee.Extern == ir.ExternFree {
+						t.Fatalf("%s still calls %s", f.Nam, call.Callee.Nam)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReferencedGlobalsScopedToReachable(t *testing.T) {
+	mod, target := buildModule(t)
+	cg := analysis.BuildCallGraph(mod)
+	gs := ReferencedGlobals(mod, cg.Reachable(target))
+	if len(gs) != 1 || gs[0].Nam != "used" {
+		t.Fatalf("referenced globals = %v, want [used]", names(gs))
+	}
+}
+
+func TestReallocateGlobalsAssignsAlignedUVAHomes(t *testing.T) {
+	mod, target := buildModule(t)
+	cg := analysis.BuildCallGraph(mod)
+	gs := Unify(mod, cg, []*ir.Func{target}, arch.ARM32())
+	if !mod.Unified {
+		t.Error("module not marked unified")
+	}
+	for _, g := range gs {
+		if g.Home != ir.HomeUVA {
+			t.Errorf("global %s not UVA-homed", g.Nam)
+		}
+		if g.UVAAddr < mem.GlobalsBase {
+			t.Errorf("global %s UVA address 0x%x below region base", g.Nam, g.UVAAddr)
+		}
+		align := uint32(ir.LayoutOf(g.Elem, arch.ARM32()).Align)
+		if align > 1 && g.UVAAddr%align != 0 {
+			t.Errorf("global %s misaligned at 0x%x", g.Nam, g.UVAAddr)
+		}
+	}
+	if u := mod.Global("unused"); u.Home != ir.HomeMachine {
+		t.Error("unreferenced global should stay machine-local")
+	}
+}
+
+func TestReallocateDisjointHomes(t *testing.T) {
+	mod := ir.NewModule("d")
+	b := ir.NewBuilder(mod)
+	g1 := b.GlobalVar("a", ir.Array(ir.I64, 100))
+	g2 := b.GlobalVar("b", ir.I32)
+	g3 := b.GlobalVar("c", ir.F64)
+	ReallocateGlobals([]*ir.Global{g1, g2, g3}, arch.ARM32())
+	type span struct{ lo, hi uint32 }
+	spans := []span{
+		{g1.UVAAddr, g1.UVAAddr + 800},
+		{g2.UVAAddr, g2.UVAAddr + 4},
+		{g3.UVAAddr, g3.UVAAddr + 8},
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Errorf("globals %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func names(gs []*ir.Global) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = g.Nam
+	}
+	return out
+}

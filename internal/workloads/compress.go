@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// 164.gzip — compression. The offload target spec_compress processes a
+// large input buffer read from a file before offloading, and emits a
+// compressed stream; per-invocation traffic is enormous (Table 4:
+// 151.5 MB), which is why the dynamic estimator refuses to offload it over
+// 802.11n (the starred bar of Figure 6).
+func init() {
+	const (
+		inSize  = 2048 * kb // 151.5 MB / Scale, split across in+out
+		outSize = 512 * kb
+	)
+	build := func() *ir.Module {
+		mod := ir.NewModule("164.gzip")
+		b := ir.NewBuilder(mod)
+		hashTbl, hashSig := funcTable(b, "gz_hash", 3)
+
+		compress := b.NewFunc("spec_compress", ir.I64,
+			ir.P("in", ir.Ptr(ir.I8)), ir.P("out", ir.Ptr(ir.I8)), ir.P("n", ir.I32), ir.P("rounds", ir.I32))
+		{
+			f := b.F
+			digest := b.Alloca(ir.I64)
+			b.Store(digest, ir.Int64(0))
+			outPos := b.Alloca(ir.I32)
+			b.Store(outPos, ir.Int(0))
+			b.For("r", ir.Int(0), f.Params[3], ir.Int(1), func(r ir.Value) {
+				b.For("scan", ir.Int(0), b.Div(f.Params[2], ir.Int(16)), ir.Int(1), func(i ir.Value) {
+					byt := b.Convert(ir.ConvZExt, b.Load(b.Index(f.Params[0], b.Mul(i, ir.Int(16)))), ir.I64)
+					h := dispatchEvery(b, i, 15, hashTbl, hashSig,
+						b.Convert(ir.ConvTrunc, b.Rem(byt, ir.Int64(3)), ir.I32), byt)
+					b.Store(digest, b.Add(b.Mul(b.Load(digest), ir.Int64(31)), h))
+					// Emit a literal every third position (RLE-ish ratio).
+					b.If(b.Cmp(ir.EQ, b.Rem(i, ir.Int(3)), ir.Int(0)), func() {
+						op := b.Load(outPos)
+						dst := b.Index(f.Params[1], b.Rem(op, ir.Int(int64(outSize))))
+						b.Store(dst, b.Convert(ir.ConvTrunc, h, ir.I8))
+						b.Store(outPos, b.Add(op, ir.Int(5)))
+					}, nil)
+				})
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("compressed %d bytes, digest %d\n"),
+				b.Load(outPos), b.Load(digest))
+			b.Ret(b.Load(digest))
+		}
+
+		b.NewFunc("main", ir.I32)
+		rounds := scanRounds(b)
+		in := emitReadFile(b, "input.source", inSize)
+		out := b.CallExtern(ir.ExternMalloc, ir.Int(outSize))
+		d := b.Call(compress, b.Convert(ir.ConvBitcast, in, ir.Ptr(ir.I8)),
+			b.Convert(ir.ConvBitcast, out, ir.Ptr(ir.I8)), ir.Int(inSize), rounds)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), d)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(rounds int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{rounds})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("input.source", inSize, 0x164)
+		return io
+	}
+	register(&Workload{
+		Name:      "164.gzip",
+		Desc:      "Compression",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(1) },
+		EvalIO:    func() *interp.StdIO { return mkIO(2) },
+		CostScale: 220,
+		Paper: PaperStats{
+			ExecTimeSec: 15.3, CoveragePct: 98.90, Invocations: 1,
+			TrafficMB: 151.5, FptrUses: 9, TargetName: "spec_compress",
+			StarredSlow: true,
+		},
+	})
+}
+
+// 401.bzip2 — compression with a block-sorting flavour: move-to-front over
+// blocks plus strategy dispatch through a function-pointer table
+// (Table 4: 24 fptr uses, 134.3 MB traffic, also network-bound).
+func init() {
+	const (
+		inSize  = 1472 * kb
+		outSize = 512 * kb
+		blkSize = 4096
+	)
+	build := func() *ir.Module {
+		mod := ir.NewModule("401.bzip2")
+		b := ir.NewBuilder(mod)
+		strat, stratSig := funcTable(b, "bz_strategy", 8)
+
+		compress := b.NewFunc("spec_compress", ir.I64,
+			ir.P("in", ir.Ptr(ir.I8)), ir.P("out", ir.Ptr(ir.I8)), ir.P("n", ir.I32), ir.P("rounds", ir.I32))
+		{
+			f := b.F
+			digest := b.Alloca(ir.I64)
+			b.Store(digest, ir.Int64(0x9E3779B9))
+			b.For("r", ir.Int(0), f.Params[3], ir.Int(1), func(r ir.Value) {
+				b.For("blk", ir.Int(0), b.Div(f.Params[2], ir.Int(blkSize)), ir.Int(1), func(blk ir.Value) {
+					base := b.Mul(blk, ir.Int(blkSize))
+					// Sample the block at a coarse stride (models the
+					// block-sort pass without per-byte interpretation).
+					acc := b.Alloca(ir.I64)
+					b.Store(acc, ir.Int64(0))
+					b.For("mtf", ir.Int(0), ir.Int(blkSize/64), ir.Int(1), func(i ir.Value) {
+						byt := b.Load(b.Index(f.Params[0], b.Add(base, b.Mul(i, ir.Int(64)))))
+						b.Store(acc, b.Add(b.Shl(b.Load(acc), ir.Int64(1)),
+							b.Convert(ir.ConvZExt, byt, ir.I64)))
+					})
+					fp := b.Load(b.Index(strat, b.Convert(ir.ConvTrunc, b.And(b.Load(acc), ir.Int64(7)), ir.I32)))
+					enc := b.CallPtr(fp, stratSig, b.Load(acc))
+					b.Store(digest, b.Xor(b.Mul(b.Load(digest), ir.Int64(1099511627)), enc))
+					dst := b.Index(f.Params[1], b.Rem(b.Mul(blk, ir.Int(97)), ir.Int(int64(outSize))))
+					b.Store(dst, b.Convert(ir.ConvTrunc, enc, ir.I8))
+				})
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("bzip2 digest %d\n"), b.Load(digest))
+			b.Ret(b.Load(digest))
+		}
+
+		b.NewFunc("main", ir.I32)
+		rounds := scanRounds(b)
+		in := emitReadFile(b, "input.program", inSize)
+		out := b.CallExtern(ir.ExternMalloc, ir.Int(outSize))
+		// bzip2 dirties its whole output region up front (workspace init).
+		b.CallExtern(ir.ExternMemset, out, ir.Int(0), ir.Int(outSize))
+		d := b.Call(compress, b.Convert(ir.ConvBitcast, in, ir.Ptr(ir.I8)),
+			b.Convert(ir.ConvBitcast, out, ir.Ptr(ir.I8)), ir.Int(inSize), rounds)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), d)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(rounds int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{rounds})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("input.program", inSize, 0x401)
+		return io
+	}
+	register(&Workload{
+		Name:      "401.bzip2",
+		Desc:      "Compression",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(3) },
+		EvalIO:    func() *interp.StdIO { return mkIO(3) },
+		CostScale: 3480,
+		Paper: PaperStats{
+			ExecTimeSec: 27.0, CoveragePct: 98.79, Invocations: 1,
+			TrafficMB: 134.3, FptrUses: 24, TargetName: "spec_compress",
+		},
+	})
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// 445.gobmk — the Go game engine. The offloaded gtp_main_loop dispatches
+// GTP commands through a function-pointer table (Table 4: 77 fptr uses) and
+// reads previous play-record files *during* the offloaded execution —
+// remote input operations whose round trips dominate its Figure 7 overhead
+// and keep the radio busy throughout (Figure 8(b)/(c)).
+func init() {
+	const (
+		boardElems = 16 * kb // i64 board/cache
+		recordSize = 256 * kb
+		chunk      = 1024
+	)
+	build := func() *ir.Module {
+		mod := ir.NewModule("445.gobmk")
+		b := ir.NewBuilder(mod)
+		board := b.GlobalVar("board", ir.Ptr(ir.I64))
+		commands, cmdSig := funcTable(b, "gtp_cmd", 16)
+
+		gtp := b.NewFunc("gtp_main_loop", ir.I64, ir.P("cmds", ir.I32))
+		{
+			f := b.F
+			score := b.Alloca(ir.I64)
+			b.Store(score, ir.Int64(0))
+			bd := b.Load(board)
+			buf := b.CallExtern(ir.ExternUMalloc, ir.Int(chunk))
+			fd := b.CallExtern(ir.ExternFileOpen, b.Str("games.sgf"))
+			b.For("cmdloop", ir.Int(0), f.Params[0], ir.Int(1), func(c ir.Value) {
+				// Each command pulls a couple of play-record moves — small
+				// remote-input round trips spread across the whole run,
+				// which is what keeps gobmk's radio continuously powered
+				// in Figure 8(b).
+				nTotal := b.Alloca(ir.I32)
+				b.Store(nTotal, ir.Int(0))
+				b.For("parse", ir.Int(0), ir.Int(2), ir.Int(1), func(k ir.Value) {
+					dst := b.Index(b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8)), b.Mul(k, ir.Int(64)))
+					nk := b.CallExtern(ir.ExternFileRead, fd, dst, ir.Int(64))
+					b.Store(nTotal, b.Add(b.Load(nTotal), nk))
+				})
+				n := b.Load(nTotal)
+				first := b.Convert(ir.ConvZExt,
+					b.Load(b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8))), ir.I64)
+				// Dispatch the command.
+				fp := b.Load(b.Index(commands, b.Rem(b.Convert(ir.ConvTrunc, first, ir.I32), ir.Int(16))))
+				r := b.CallPtr(fp, cmdSig, b.Add(first, b.Convert(ir.ConvSExt, n, ir.I64)))
+				// Evaluate resulting positions over the board cache.
+				b.For("read", ir.Int(0), ir.Int(boardElems/40), ir.Int(1), func(i ir.Value) {
+					idx := b.Rem(b.Add(b.Mul(i, ir.Int(40)), b.Mul(c, ir.Int(7))), ir.Int(boardElems))
+					v := b.Load(b.Index(bd, idx))
+					// Pattern matchers are dispatched through the command
+					// table frequently (gobmk's 77 fptr uses, Fig. 7).
+					pv := dispatchEvery(b, i, 7, commands, cmdSig,
+						b.Convert(ir.ConvTrunc, b.And(v, ir.Int64(15)), ir.I32), v)
+					b.Store(b.Index(bd, idx), b.Add(b.Mul(pv, ir.Int64(6364136223846793005)), r))
+					b.Store(score, b.Xor(b.Load(score), v))
+				})
+			})
+			b.CallExtern(ir.ExternFileClose, fd)
+			b.CallExtern(ir.ExternPrintf, b.Str("gtp score %d\n"), b.Load(score))
+			b.Ret(b.Load(score))
+		}
+
+		b.NewFunc("main", ir.I32)
+		cmds := scanRounds(b)
+		raw := b.CallExtern(ir.ExternMalloc, ir.Int(boardElems*8))
+		b.CallExtern(ir.ExternMemset, raw, ir.Int(3), ir.Int(boardElems*8))
+		b.Store(board, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		s := b.Call(gtp, cmds)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), s)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(cmds int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{cmds})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("games.sgf", recordSize, 0x445)
+		return io
+	}
+	register(&Workload{
+		Name:      "445.gobmk",
+		Desc:      "Go Game",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(1100) },
+		EvalIO:    func() *interp.StdIO { return mkIO(1200) },
+		CostScale: 3500,
+		Paper: PaperStats{
+			ExecTimeSec: 361.8, CoveragePct: 99.96, Invocations: 1,
+			TrafficMB: 25.7, FptrUses: 77, TargetName: "gtp_main_loop",
+			RemoteInput: true,
+		},
+	})
+}
+
+// 458.sjeng — the chess engine: think() runs once per game move (three
+// invocations in Table 4) against a large transposition table, so each
+// offload re-ships megabytes (240.2 MB per invocation in the paper) —
+// yet even on the slow network the search is heavy enough to win, the
+// paper's showcase of a user-interactive program offloading profitably.
+func init() {
+	const ttElems = 400 * kb // i64 transposition table (~3.2 MB)
+	build := func() *ir.Module {
+		mod := ir.NewModule("458.sjeng")
+		b := ir.NewBuilder(mod)
+		tt := b.GlobalVar("ttable", ir.Ptr(ir.I64))
+		evalRoutines, evalSig := funcTable(b, "sjeng_eval", 8)
+
+		think := b.NewFunc("think", ir.I64, ir.P("mv", ir.I32), ir.P("nodes", ir.I32))
+		{
+			f := b.F
+			best := b.Alloca(ir.I64)
+			b.Store(best, b.Convert(ir.ConvSExt, f.Params[0], ir.I64))
+			t := b.Load(tt)
+			b.For("search", ir.Int(0), f.Params[1], ir.Int(1), func(n ir.Value) {
+				// Probe and update the transposition table (dirties the
+				// whole table across the search).
+				h := b.Rem(b.Mul(n, ir.Int(2654435761)), ir.Int(ttElems))
+				e := b.Load(b.Index(t, h))
+				sc := dispatchEvery(b, n, 1, evalRoutines, evalSig,
+					b.Convert(ir.ConvTrunc, b.And(e, ir.Int64(7)), ir.I32), b.Add(e, b.Load(best)))
+				b.Store(b.Index(t, h), sc)
+				b.Store(best, b.Xor(b.Load(best), b.Shr(sc, ir.Int64(3))))
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("move score %d\n"), b.Load(best))
+			b.Ret(b.Load(best))
+		}
+
+		b.NewFunc("main", ir.I32)
+		nodes := scanRounds(b)
+		raw := b.CallExtern(ir.ExternMalloc, ir.Int(ttElems*8))
+		b.CallExtern(ir.ExternMemset, raw, ir.Int(1), ir.Int(ttElems*8))
+		b.Store(tt, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		total := b.Alloca(ir.I64)
+		b.Store(total, ir.Int64(0))
+		// Three game moves, each preceded by interactive player input.
+		b.For("game", ir.Int(0), ir.Int(3), ir.Int(1), func(g ir.Value) {
+			mv := b.Alloca(ir.I32)
+			b.CallExtern(ir.ExternScanf, b.Str("%d"), mv)
+			b.Store(total, b.Add(b.Load(total), b.Call(think, b.Load(mv), nodes)))
+		})
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), b.Load(total))
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(nodes int64, moves ...int64) *interp.StdIO {
+		io := interp.NewStdIO(append([]int64{nodes}, moves...))
+		io.MaxBuffered = 1 << 20
+		return io
+	}
+	register(&Workload{
+		Name:      "458.sjeng",
+		Desc:      "Chess Game",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(40000, 21, 43, 65) },
+		EvalIO:    func() *interp.StdIO { return mkIO(40000, 12, 34, 56) },
+		CostScale: 34200,
+		Paper: PaperStats{
+			ExecTimeSec: 950.8, CoveragePct: 99.95, Invocations: 3,
+			TrafficMB: 240.2, FptrUses: 1, TargetName: "think",
+		},
+	})
+}

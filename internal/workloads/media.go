@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// 177.mesa — software 3-D rendering: Render walks vertex arrays through a
+// large table of pipeline-stage functions (Table 4: 1169 fptr uses, the
+// most in the suite) and rasterizes into a framebuffer.
+func init() {
+	const (
+		fbElems   = 32 * kb // i64 framebuffer (256 KB)
+		vertElems = 6 * kb  // f64 vertices
+	)
+	build := func() *ir.Module {
+		mod := ir.NewModule("177.mesa")
+		b := ir.NewBuilder(mod)
+		fb := b.GlobalVar("framebuffer", ir.Ptr(ir.I64))
+		verts := b.GlobalVar("vertices", ir.Ptr(ir.F64))
+		stages, stageSig := funcTable(b, "mesa_stage", 32)
+
+		render := b.NewFunc("Render", ir.I64, ir.P("frames", ir.I32))
+		{
+			f := b.F
+			pix := b.Alloca(ir.I64)
+			b.Store(pix, ir.Int64(0))
+			fbp := b.Load(fb)
+			vp := b.Load(verts)
+			b.For("frame", ir.Int(0), f.Params[0], ir.Int(1), func(fr ir.Value) {
+				b.For("vert", ir.Int(0), ir.Int(vertElems), ir.Int(4), func(v ir.Value) {
+					x := b.Load(b.Index(vp, v))
+					xi := b.Convert(ir.ConvFPToInt, b.Mul(x, ir.Float(1e6)), ir.I64)
+					// Pipeline stage dispatch (inline fast path most of the
+					// time: the hot shaders are specialized).
+					t1 := dispatchEvery(b, v, 31, stages, stageSig,
+						b.Convert(ir.ConvTrunc, b.And(xi, ir.Int64(31)), ir.I32), xi)
+					t2 := b.Add(b.Mul(t1, ir.Int64(5)), b.Shr(t1, ir.Int64(7)))
+					dst := b.Convert(ir.ConvTrunc, b.And(t2, ir.Int64(fbElems-1)), ir.I32)
+					b.Store(b.Index(fbp, dst), t2)
+					b.Store(pix, b.Add(b.Load(pix), ir.Int64(1)))
+				})
+				b.CallExtern(ir.ExternPrintf, b.Str("frame %d done\n"), fr)
+			})
+			b.Ret(b.Load(pix))
+		}
+
+		b.NewFunc("main", ir.I32)
+		frames := scanRounds(b)
+		raw := b.CallExtern(ir.ExternMalloc, ir.Int(fbElems*8))
+		b.CallExtern(ir.ExternMemset, raw, ir.Int(0), ir.Int(fbElems*8))
+		b.Store(fb, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		vraw := emitReadFile(b, "scene.dat", vertElems*8)
+		b.Store(verts, b.Convert(ir.ConvBitcast, vraw, ir.Ptr(ir.F64)))
+		n := b.Call(render, frames)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), n)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(frames int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{frames})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("scene.dat", vertElems*8, 0x177)
+		return io
+	}
+	register(&Workload{
+		Name:      "177.mesa",
+		Desc:      "3-D Graphics",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(1) },
+		EvalIO:    func() *interp.StdIO { return mkIO(12) },
+		CostScale: 36700,
+		Paper: PaperStats{
+			ExecTimeSec: 120.2, CoveragePct: 99.02, Invocations: 1,
+			TrafficMB: 20.3, FptrUses: 1169, TargetName: "Render",
+		},
+	})
+}
+
+// 464.h264ref — video encoding: encode_sequence reads the raw video file
+// frame by frame *during* the offloaded run (remote input) and computes
+// SAD metrics through a table of specialized routines (457 fptr uses).
+func init() {
+	const (
+		refElems  = 10 * kb // i64 reference frame (80 KB)
+		videoFile = 256 * kb
+		frameRead = 8 * kb
+	)
+	build := func() *ir.Module {
+		mod := ir.NewModule("464.h264ref")
+		b := ir.NewBuilder(mod)
+		ref := b.GlobalVar("refframe", ir.Ptr(ir.I64))
+		sads, sadSig := funcTable(b, "sad", 16)
+
+		encode := b.NewFunc("encode_sequence", ir.I64, ir.P("frames", ir.I32))
+		{
+			f := b.F
+			bits := b.Alloca(ir.I64)
+			b.Store(bits, ir.Int64(0))
+			rp := b.Load(ref)
+			buf := b.CallExtern(ir.ExternUMalloc, ir.Int(frameRead))
+			fd := b.CallExtern(ir.ExternFileOpen, b.Str("video.yuv"))
+			b.For("seq", ir.Int(0), f.Params[0], ir.Int(1), func(fr ir.Value) {
+				// The raw frame arrives slice by slice (remote input).
+				b.For("slice", ir.Int(0), ir.Int(16), ir.Int(1), func(sl ir.Value) {
+					dst := b.Index(b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8)),
+						b.Mul(sl, ir.Int(frameRead/16)))
+					b.CallExtern(ir.ExternFileRead, fd, dst, ir.Int(frameRead/16))
+				})
+				cur := b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8))
+				b.For("mb", ir.Int(0), ir.Int(frameRead/64), ir.Int(1), func(m ir.Value) {
+					px := b.Convert(ir.ConvZExt, b.Load(b.Index(cur, b.Mul(m, ir.Int(64)))), ir.I64)
+					s := dispatchEvery(b, m, 1, sads, sadSig,
+						b.Convert(ir.ConvTrunc, b.And(px, ir.Int64(15)), ir.I32), px)
+					slot := b.Convert(ir.ConvTrunc, b.And(s, ir.Int64(refElems-1)), ir.I32)
+					old := b.Load(b.Index(rp, slot))
+					b.Store(b.Index(rp, slot), b.Add(old, s))
+					b.Store(bits, b.Add(b.Load(bits), b.And(s, ir.Int64(255))))
+				})
+			})
+			b.CallExtern(ir.ExternFileClose, fd)
+			b.CallExtern(ir.ExternPrintf, b.Str("encoded %d bits\n"), b.Load(bits))
+			b.Ret(b.Load(bits))
+		}
+
+		b.NewFunc("main", ir.I32)
+		frames := scanRounds(b)
+		raw := b.CallExtern(ir.ExternMalloc, ir.Int(refElems*8))
+		b.CallExtern(ir.ExternMemset, raw, ir.Int(0), ir.Int(refElems*8))
+		b.Store(ref, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		n := b.Call(encode, frames)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), n)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(frames int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{frames})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("video.yuv", videoFile, 0x464)
+		return io
+	}
+	register(&Workload{
+		Name:      "464.h264ref",
+		Desc:      "Video Encoder",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(2) },
+		EvalIO:    func() *interp.StdIO { return mkIO(16) },
+		CostScale: 163000,
+		Paper: PaperStats{
+			ExecTimeSec: 78.2, CoveragePct: 99.79, Invocations: 1,
+			TrafficMB: 17.1, FptrUses: 457, TargetName: "encode_sequence",
+			RemoteInput: true,
+		},
+	})
+}
+
+// 482.sphinx3 — speech recognition: the outlined main loop evaluates HMM
+// senones per frame and logs hypotheses continuously (many remote output
+// operations; Table 4: 34 MB traffic, 98.39% coverage).
+func init() {
+	const modelElems = 64 * kb // f64 acoustic model (512 KB)
+	build := func() *ir.Module {
+		mod := ir.NewModule("482.sphinx3")
+		b := ir.NewBuilder(mod)
+		model := b.GlobalVar("model", ir.Ptr(ir.F64))
+		gauFns, gauSig := floatTable(b, "sphinx_gau", 7) // 14 fptr uses
+
+		b.NewFunc("main", ir.I32)
+		frames := scanRounds(b)
+		raw := emitReadFile(b, "hmm.model", modelElems*8)
+		m := b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.F64))
+		b.Store(model, m)
+		score := b.Alloca(ir.F64)
+		b.Store(score, ir.Float(0))
+		b.For("for", ir.Int(0), frames, ir.Int(1), func(fr ir.Value) {
+			b.For("senone", ir.Int(0), ir.Int(modelElems/32), ir.Int(1), func(s ir.Value) {
+				x := b.Load(b.Index(m, b.Mul(s, ir.Int(32))))
+				g := dispatchEvery(b, s, 15, gauFns, gauSig, b.Rem(s, ir.Int(7)), x)
+				b.Store(score, b.Add(b.Mul(b.Load(score), ir.Float(0.999)), g))
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("frame %d best %f\n"), fr, b.Load(score))
+		})
+		b.CallExtern(ir.ExternPrintf, b.Str("final %f\n"), b.Load(score))
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(frames int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{frames})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("hmm.model", modelElems*8, 0x482)
+		return io
+	}
+	register(&Workload{
+		Name:      "482.sphinx3",
+		Desc:      "Speech Recognition",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(3) },
+		EvalIO:    func() *interp.StdIO { return mkIO(36) },
+		CostScale: 23500,
+		Paper: PaperStats{
+			ExecTimeSec: 375.2, CoveragePct: 98.39, Invocations: 1,
+			TrafficMB: 34.0, FptrUses: 14, TargetName: "main_for.cond",
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// 456.hmmer — gene sequence search: the offloaded main_loop_serial takes
+// only small initialized parameters as live-ins and synthesizes its search
+// work on the server, so per-invocation traffic is the suite's minimum
+// (0.3 MB) and the speedup is near ideal (Section 5.1).
+func init() {
+	const hmmElems = 512 // i64 profile HMM parameters (4 KB)
+	build := func() *ir.Module {
+		mod := ir.NewModule("456.hmmer")
+		b := ir.NewBuilder(mod)
+		hmm := b.GlobalVar("hmm", ir.Ptr(ir.I64))
+		scoreFns, scoreSig := funcTable(b, "hmmer_sc", 8) // 36 fptr uses modelled by the table
+
+		loop := b.NewFunc("main_loop_serial", ir.I64, ir.P("seqs", ir.I32))
+		{
+			f := b.F
+			hits := b.Alloca(ir.I64)
+			b.Store(hits, ir.Int64(0))
+			h := b.Load(hmm)
+			// Scratch allocated inside the task: it materializes on the
+			// server as zero-fill pages, costing no communication.
+			scratch := b.Convert(ir.ConvBitcast,
+				b.CallExtern(ir.ExternUMalloc, ir.Int(4*kb)), ir.Ptr(ir.I64))
+			b.For("seq", ir.Int(0), f.Params[0], ir.Int(1), func(s ir.Value) {
+				state := b.Alloca(ir.I64)
+				b.Store(state, b.Convert(ir.ConvSExt, b.Add(s, ir.Int(1)), ir.I64))
+				b.For("viterbi", ir.Int(0), ir.Int(1024), ir.Int(1), func(i ir.Value) {
+					st := b.Load(state)
+					emit := b.Load(b.Index(h, b.Convert(ir.ConvTrunc, b.And(st, ir.Int64(hmmElems-1)), ir.I32)))
+					ns := dispatchEvery(b, i, 15, scoreFns, scoreSig,
+						b.Convert(ir.ConvTrunc, b.And(emit, ir.Int64(7)), ir.I32), b.Add(st, emit))
+					b.Store(state, ns)
+					b.Store(b.Index(scratch, b.Convert(ir.ConvTrunc, b.And(ns, ir.Int64(511)), ir.I32)), ns)
+				})
+				b.Store(hits, b.Add(b.Load(hits), b.And(b.Load(state), ir.Int64(3))))
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("hits %d\n"), b.Load(hits))
+			b.Ret(b.Load(hits))
+		}
+
+		b.NewFunc("main", ir.I32)
+		seqs := scanRounds(b)
+		raw := emitReadFile(b, "globin.hmm", hmmElems*8)
+		b.Store(hmm, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		n := b.Call(loop, seqs)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), n)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(seqs int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{seqs})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("globin.hmm", hmmElems*8, 0x456)
+		return io
+	}
+	register(&Workload{
+		Name:      "456.hmmer",
+		Desc:      "Gene Sequence Search",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(3) },
+		EvalIO:    func() *interp.StdIO { return mkIO(30) },
+		CostScale: 6750,
+		Paper: PaperStats{
+			ExecTimeSec: 31.3, CoveragePct: 99.99, Invocations: 1,
+			TrafficMB: 0.3, FptrUses: 36, TargetName: "main_loop_serial",
+		},
+	})
+}
+
+// 462.libquantum — quantum computing simulation: Shor's modular
+// exponentiation applies controlled gates over a qubit register bit
+// vector. Table 4 notes it as the one program with *zero* referenced
+// globals: the register is task-local state.
+func init() {
+	const regElems = 6 * kb // i64 amplitude register (48 KB)
+	build := func() *ir.Module {
+		mod := ir.NewModule("462.libquantum")
+		b := ir.NewBuilder(mod)
+
+		expmod := b.NewFunc("quantum_exp_mod_n", ir.I64, ir.P("reg", ir.Ptr(ir.I64)), ir.P("gates", ir.I32))
+		{
+			f := b.F
+			phase := b.Alloca(ir.I64)
+			b.Store(phase, ir.Int64(1))
+			b.For("gate", ir.Int(0), f.Params[1], ir.Int(1), func(g ir.Value) {
+				b.For("amp", ir.Int(0), ir.Int(regElems/4), ir.Int(1), func(i ir.Value) {
+					idx := b.Mul(i, ir.Int(4))
+					a := b.Load(b.Index(f.Params[0], idx))
+					// Controlled-NOT-ish toggle with a phase rotation.
+					na := b.Xor(a, b.Load(phase))
+					b.Store(b.Index(f.Params[0], idx), na)
+					b.Store(phase, b.Add(b.Mul(b.Load(phase), ir.Int64(5)), ir.Int64(3)))
+				})
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("phase %d\n"), b.Load(phase))
+			b.Ret(b.Load(phase))
+		}
+
+		b.NewFunc("main", ir.I32)
+		gates := scanRounds(b)
+		raw := emitReadFile(b, "qreg.in", regElems*8)
+		reg := b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64))
+		p := b.Call(expmod, reg, gates)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), p)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(gates int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{gates})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("qreg.in", regElems*8, 0x462)
+		return io
+	}
+	register(&Workload{
+		Name:      "462.libquantum",
+		Desc:      "Quantum Computing",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(3) },
+		EvalIO:    func() *interp.StdIO { return mkIO(24) },
+		CostScale: 15650,
+		Paper: PaperStats{
+			ExecTimeSec: 71.0, CoveragePct: 92.56, Invocations: 1,
+			TrafficMB: 6.3, TargetName: "quantum_exp_mod_n",
+		},
+	})
+}

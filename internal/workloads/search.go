@@ -1,0 +1,216 @@
+package workloads
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// 175.vpr — FPGA place & route. The offload target is the annealing loop
+// inside try_place (Table 4: try_place_while.cond): the function itself
+// stays mobile because it ends with an interactive checkpoint prompt, so
+// the compiler outlines the loop. Traffic is tiny (0.8 MB) — near-ideal.
+func init() {
+	const cells = 1 * kb // i64 placement grid (~8 KB)
+	build := func() *ir.Module {
+		mod := ir.NewModule("175.vpr")
+		b := ir.NewBuilder(mod)
+		grid := b.GlobalVar("grid", ir.Ptr(ir.I64))
+		costFns, costSig := funcTable(b, "vpr_cost", 2) // 3 fptr uses in Table 4
+
+		tryPlace := b.NewFunc("try_place", ir.I64, ir.P("iters", ir.I32))
+		{
+			f := b.F
+			cost := b.Alloca(ir.I64)
+			b.Store(cost, ir.Int64(1<<20))
+			g := b.Load(grid)
+			it := b.Alloca(ir.I32)
+			b.Store(it, ir.Int(0))
+			b.While("while", func() ir.Value {
+				return b.Cmp(ir.LT, b.Load(it), f.Params[0])
+			}, func() {
+				i := b.Load(it)
+				a := b.Rem(b.Mul(i, ir.Int(7919)), ir.Int(cells))
+				c := b.Rem(b.Mul(i, ir.Int(104729)), ir.Int(cells))
+				va := b.Load(b.Index(g, a))
+				vc := b.Load(b.Index(g, c))
+				// Swap and evaluate the move through the cost model.
+				b.Store(b.Index(g, a), vc)
+				b.Store(b.Index(g, c), va)
+				delta := dispatchEvery(b, i, 15, costFns, costSig,
+					b.Rem(i, ir.Int(2)), b.Sub(va, vc))
+				b.Store(cost, b.Add(b.Load(cost), b.Shr(delta, ir.Int64(9))))
+				b.Store(it, b.Add(i, ir.Int(1)))
+			})
+			// Interactive checkpoint keeps try_place itself on the phone.
+			ack := b.Alloca(ir.I32)
+			b.CallExtern(ir.ExternScanf, b.Str("%d"), ack)
+			b.CallExtern(ir.ExternPrintf, b.Str("placement cost %d\n"), b.Load(cost))
+			b.Ret(b.Load(cost))
+		}
+
+		b.NewFunc("main", ir.I32)
+		iters := scanRounds(b)
+		raw := emitReadFile(b, "arch.in", cells*8)
+		b.Store(grid, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		c := b.Call(tryPlace, iters)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), c)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(iters int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{iters, 1})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("arch.in", cells*8, 0x175)
+		return io
+	}
+	register(&Workload{
+		Name:      "175.vpr",
+		Desc:      "FPGA Simulation",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(3000) },
+		EvalIO:    func() *interp.StdIO { return mkIO(40000) },
+		CostScale: 2170,
+		Paper: PaperStats{
+			ExecTimeSec: 26.9, CoveragePct: 99.07, Invocations: 1,
+			TrafficMB: 0.8, FptrUses: 3, TargetName: "try_place_while.cond",
+		},
+	})
+}
+
+// 300.twolf — standard-cell place/route. The offloaded utemp pass reads
+// the cell-information file *while offloaded* (remote input, Section 5.1),
+// giving it a visible remote I/O overhead despite tiny page traffic
+// (3.3 MB).
+func init() {
+	const (
+		cells    = 2 * kb // i64 cell array
+		netFile  = 128 * kb
+		netChunk = 512
+	)
+	build := func() *ir.Module {
+		mod := ir.NewModule("300.twolf")
+		b := ir.NewBuilder(mod)
+		place := b.GlobalVar("place", ir.Ptr(ir.I64))
+
+		utemp := b.NewFunc("utemp", ir.I64, ir.P("passes", ir.I32))
+		{
+			f := b.F
+			cost := b.Alloca(ir.I64)
+			b.Store(cost, ir.Int64(0))
+			g := b.Load(place)
+			buf := b.CallExtern(ir.ExternUMalloc, ir.Int(netChunk))
+			fd := b.CallExtern(ir.ExternFileOpen, b.Str("cells.net"))
+			b.For("pass", ir.Int(0), f.Params[0], ir.Int(1), func(p ir.Value) {
+				// Pull the next slice of cell connectivity in small pieces
+				// (remote input round trips when offloaded).
+				b.For("pull", ir.Int(0), ir.Int(netChunk/64), ir.Int(1), func(k ir.Value) {
+					dst := b.Index(b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8)), b.Mul(k, ir.Int(64)))
+					b.CallExtern(ir.ExternFileRead, fd, dst, ir.Int(64))
+				})
+				seed := b.Convert(ir.ConvZExt,
+					b.Load(b.Convert(ir.ConvBitcast, buf, ir.Ptr(ir.I8))), ir.I64)
+				b.For("anneal", ir.Int(0), ir.Int(cells/2), ir.Int(1), func(i ir.Value) {
+					a := b.Rem(b.Mul(i, ir.Int(131)), ir.Int(cells))
+					v := b.Load(b.Index(g, a))
+					nv := b.Add(b.Mul(v, ir.Int64(25214903917)), seed)
+					b.Store(b.Index(g, a), nv)
+					b.Store(cost, b.Xor(b.Load(cost), b.Shr(nv, ir.Int64(17))))
+				})
+			})
+			b.CallExtern(ir.ExternFileClose, fd)
+			b.CallExtern(ir.ExternPrintf, b.Str("utemp cost %d\n"), b.Load(cost))
+			b.Ret(b.Load(cost))
+		}
+
+		b.NewFunc("main", ir.I32)
+		passes := scanRounds(b)
+		raw := b.CallExtern(ir.ExternMalloc, ir.Int(cells*8))
+		b.CallExtern(ir.ExternMemset, raw, ir.Int(9), ir.Int(cells*8))
+		b.Store(place, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		c := b.Call(utemp, passes)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), c)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(passes int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{passes})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("cells.net", netFile, 0x300)
+		return io
+	}
+	register(&Workload{
+		Name:      "300.twolf",
+		Desc:      "Place/Route Simulator",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(4) },
+		EvalIO:    func() *interp.StdIO { return mkIO(50) },
+		CostScale: 19300,
+		Paper: PaperStats{
+			ExecTimeSec: 157.8, CoveragePct: 99.84, Invocations: 1,
+			TrafficMB: 3.3, TargetName: "utemp", RemoteInput: true,
+		},
+	})
+}
+
+// 429.mcf — vehicle scheduling via network simplex: pointer-chasing
+// relaxation sweeps over a node array; substantial traffic (47.9 MB).
+func init() {
+	const nodes = 44 * kb // i64 node array (~352 KB)
+	build := func() *ir.Module {
+		mod := ir.NewModule("429.mcf")
+		b := ir.NewBuilder(mod)
+		net := b.GlobalVar("network", ir.Ptr(ir.I64))
+
+		opt := b.NewFunc("global_opt", ir.I64, ir.P("sweeps", ir.I32))
+		{
+			f := b.F
+			flow := b.Alloca(ir.I64)
+			b.Store(flow, ir.Int64(0))
+			g := b.Load(net)
+			b.For("simplex", ir.Int(0), f.Params[0], ir.Int(1), func(s ir.Value) {
+				b.For("arc", ir.Int(0), ir.Int(nodes/16), ir.Int(1), func(i ir.Value) {
+					idx := b.Mul(i, ir.Int(16))
+					v := b.Load(b.Index(g, idx))
+					// Follow the stored "arc" to another node.
+					nxt := b.Convert(ir.ConvTrunc, b.And(v, ir.Int64(nodes-1)), ir.I32)
+					w := b.Load(b.Index(g, nxt))
+					nv := b.Add(b.Mul(v, ir.Int64(3)), b.Shr(w, ir.Int64(2)))
+					b.Store(b.Index(g, idx), nv)
+					b.Store(flow, b.Add(b.Load(flow), b.And(nv, ir.Int64(1023))))
+				})
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("flow %d\n"), b.Load(flow))
+			b.Ret(b.Load(flow))
+		}
+
+		b.NewFunc("main", ir.I32)
+		sweeps := scanRounds(b)
+		raw := emitReadFile(b, "routes.in", nodes*8)
+		b.Store(net, b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64)))
+		r := b.Call(opt, sweeps)
+		b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), r)
+		b.Ret(ir.Int(0))
+		b.Finish()
+		return mod
+	}
+	mkIO := func(sweeps int64) *interp.StdIO {
+		io := interp.NewStdIO([]int64{sweeps})
+		io.MaxBuffered = 1 << 20
+		io.SyntheticFile("routes.in", nodes*8, 0x429)
+		return io
+	}
+	register(&Workload{
+		Name:      "429.mcf",
+		Desc:      "Vehicle Scheduling",
+		Build:     build,
+		ProfileIO: func() *interp.StdIO { return mkIO(2) },
+		EvalIO:    func() *interp.StdIO { return mkIO(16) },
+		CostScale: 17500,
+		Paper: PaperStats{
+			ExecTimeSec: 104.8, CoveragePct: 99.55, Invocations: 1,
+			TrafficMB: 47.9, TargetName: "global_opt",
+		},
+	})
+}

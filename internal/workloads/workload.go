@@ -1,0 +1,81 @@
+// Package workloads contains the benchmark programs of the evaluation:
+// the chess game of the paper's running example (Table 1, Table 3,
+// Figure 3) and seventeen programs standing in for the SPEC CPU2000/2006
+// C benchmarks of Table 4. SPEC sources cannot be redistributed, so each
+// stand-in implements a kernel of the same computational character,
+// calibrated to the paper's reported per-program behaviour: offload-target
+// shape (function vs. outlined loop), invocation count, communication
+// traffic, coverage, function-pointer usage, and remote I/O pattern.
+//
+// All memory footprints are divided by Scale (the framework divides network
+// bandwidth by the same factor), and CostScale amplifies per-instruction
+// cost so that simulated times land in the paper's seconds range while the
+// interpreter only executes millions of operations.
+package workloads
+
+import (
+	"repro/internal/arch"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// mobileABI is the ABI the front end computes sizeof against (the mobile
+// device's, which is also the unification standard).
+var mobileABI = arch.ARM32()
+
+// sizeOf is sizeof(t) under the mobile ABI, as a front end would emit it.
+func sizeOf(t ir.Type) int64 { return int64(ir.SizeOf(t, mobileABI)) }
+
+// Scale is the common footprint divisor (bandwidth shrinks to match).
+const Scale = 64
+
+// PaperStats records what the paper's Table 4 / Figure 6 report for one
+// program, for side-by-side comparison in EXPERIMENTS.md.
+type PaperStats struct {
+	ExecTimeSec float64 // Table 4 smartphone execution time
+	CoveragePct float64 // Table 4 offload coverage
+	Invocations int     // Table 4 invocation count
+	TrafficMB   float64 // Table 4 per-invocation communication traffic
+	FptrUses    int     // Table 4 function-pointer uses
+	TargetName  string  // Table 4 target function
+	RemoteInput bool    // reads files during offload (twolf/gobmk/h264ref)
+	StarredSlow bool    // not offloaded on the slow network (gzip)
+}
+
+// Workload is one runnable benchmark program.
+type Workload struct {
+	Name  string
+	Desc  string
+	Build func() *ir.Module
+	// ProfileIO and EvalIO provide the two inputs; the paper uses
+	// different inputs for profiling and evaluation, and so do we.
+	ProfileIO func() *interp.StdIO
+	EvalIO    func() *interp.StdIO
+	// CostScale amplifies interpreter cost for this workload.
+	CostScale int64
+	Paper     PaperStats
+}
+
+var registry []*Workload
+
+func register(w *Workload) *Workload {
+	registry = append(registry, w)
+	return w
+}
+
+// All returns every registered SPEC-like workload in Table 4 order.
+func All() []*Workload {
+	out := make([]*Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload {
+	for _, w := range registry {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

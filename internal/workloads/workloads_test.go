@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/offrt"
+)
+
+func TestSeventeenRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registered %d workloads, want 17 (Table 4)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Build == nil || w.ProfileIO == nil || w.EvalIO == nil {
+			t.Errorf("%s: incomplete definition", w.Name)
+		}
+		if w.Paper.TargetName == "" || w.Paper.ExecTimeSec == 0 {
+			t.Errorf("%s: missing paper calibration data", w.Name)
+		}
+	}
+	if ByName("458.sjeng") == nil || ByName("no.such") != nil {
+		t.Error("ByName lookup broken")
+	}
+}
+
+func TestAllModulesVerify(t *testing.T) {
+	for _, w := range All() {
+		mod := w.Build()
+		if err := ir.Verify(mod); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if mod.Func("main") == nil {
+			t.Errorf("%s: no main", w.Name)
+		}
+	}
+}
+
+// TestWorkloadPipelines pushes every workload through profile -> compile ->
+// local run -> offloaded run (profile-sized input to stay quick) and checks
+// semantics plus the Table 4 target identity.
+func TestWorkloadPipelines(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			fw := core.NewFramework(core.FastNetwork).WithScale(Scale, w.CostScale)
+			mod := w.Build()
+			prof, err := fw.Profile(mod, w.ProfileIO())
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			cres, err := fw.Compile(mod, prof)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Target identity: the paper's Table 4 target must be among
+			// the selected tasks.
+			found := false
+			var names []string
+			for _, tg := range cres.Targets {
+				names = append(names, tg.Display)
+				if tg.Display == w.Paper.TargetName || tg.Name == w.Paper.TargetName ||
+					strings.HasPrefix(tg.Display, w.Paper.TargetName) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("targets %v do not include paper target %s", names, w.Paper.TargetName)
+			}
+
+			local, err := fw.RunLocal(mod, w.ProfileIO())
+			if err != nil {
+				t.Fatalf("local: %v", err)
+			}
+			off, err := fw.RunOffloaded(cres, w.ProfileIO(), offrt.Policy{ForceOffload: true})
+			if err != nil {
+				t.Fatalf("offload: %v", err)
+			}
+			if local.Output != off.Output {
+				t.Errorf("output mismatch:\nlocal: %.300s\noffload: %.300s", local.Output, off.Output)
+			}
+			if !off.Offloaded() {
+				t.Error("nothing offloaded")
+			}
+			if w.Paper.RemoteInput && off.Comp[3] == 0 {
+				// Comp[3] is CompComm; remote input must at least move data.
+				t.Error("remote-input workload moved no data")
+			}
+		})
+	}
+}
+
+// TestEvalInvocationCounts checks the Table 4 invocation column on the full
+// evaluation input.
+func TestEvalInvocationCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation inputs")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			fw := core.NewFramework(core.FastNetwork).WithScale(Scale, w.CostScale)
+			mod := w.Build()
+			prof, err := fw.Profile(mod, w.ProfileIO())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres, err := fw.Compile(mod, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := fw.RunOffloaded(cres, w.EvalIO(), offrt.Policy{ForceOffload: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for _, st := range off.PerTask {
+				total += st.Offloads
+			}
+			// 188.ammp runs two targets (1 + 2 invocations).
+			want := w.Paper.Invocations
+			if w.Name == "188.ammp" {
+				want = 3
+			}
+			if total != want {
+				t.Errorf("offload invocations = %d, want %d", total, want)
+			}
+		})
+	}
+}
