@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test bench golden
+
+## check: the tier-1 verification — build, vet, race-enabled tests.
+check: build vet
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## bench: the observability hot-path allocation benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
+
+## golden: regenerate the Chrome-export and metrics-summary golden files.
+golden:
+	$(GO) test ./internal/obs/ -run Golden -update

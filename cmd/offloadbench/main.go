@@ -12,12 +12,26 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, or all")
 	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
+	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
+	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
+	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
 	flag.Parse()
+
+	if *observe != "" || *traceFile != "" || *showMetrics {
+		if err := runObserved(*observe, *traceFile, *showMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "offloadbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(id string) error {
 		switch id {
@@ -91,4 +105,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runObserved evaluates one workload with the observability layer attached,
+// writing the Chrome trace and/or printing the metrics summary.
+func runObserved(name, traceFile string, showMetrics bool) error {
+	if name == "" {
+		return fmt.Errorf("-trace/-metrics need a workload: add -w <name>")
+	}
+	w := workloads.ByName(name)
+	if w == nil {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	var tracer *obs.Tracer
+	if traceFile != "" {
+		tracer = obs.NewTracer(0)
+	}
+	var metrics *obs.Metrics
+	if showMetrics {
+		metrics = obs.NewMetrics()
+	}
+	r, err := experiments.RunProgramObserved(w, tracer, metrics)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: local %v -> offloaded %v (%.2fx speedup)\n",
+		w.Name, r.Local.Time, r.Fast.Time, r.Fast.Speedup(r.Local))
+	if tracer != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			tracer.Len(), traceFile)
+	}
+	if metrics != nil {
+		fmt.Println(report.MetricsTable(w.Name+" session metrics", metrics.Names(), metrics.Value))
+	}
+	return nil
 }

@@ -20,10 +20,60 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/offrt"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
+
+// observability carries the optional -trace/-metrics instrumentation
+// through a run and writes/prints the artifacts at the end.
+type observability struct {
+	traceFile string
+	tracer    *obs.Tracer
+	metrics   *obs.Metrics
+}
+
+func newObservability(traceFile string, wantMetrics bool) *observability {
+	o := &observability{traceFile: traceFile}
+	if traceFile != "" {
+		o.tracer = obs.NewTracer(0)
+	}
+	if wantMetrics {
+		o.metrics = obs.NewMetrics()
+	}
+	return o
+}
+
+// attach threads the instrumentation into a framework.
+func (o *observability) attach(fw *core.Framework) {
+	fw.Tracer, fw.Metrics = o.tracer, o.metrics
+}
+
+// finish writes the Chrome trace file and prints the metrics summary.
+func (o *observability) finish() {
+	if o.tracer != nil {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "offloadrun: trace:", err)
+			os.Exit(1)
+		}
+		if err := o.tracer.WriteChrome(f); err == nil {
+			err = f.Close()
+			if err == nil {
+				fmt.Printf("trace: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
+					o.tracer.Len(), o.traceFile)
+			}
+		} else {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "offloadrun: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if o.metrics != nil {
+		fmt.Println(report.MetricsTable("offload session metrics", o.metrics.Names(), o.metrics.Value))
+	}
+}
 
 func main() {
 	name := flag.String("w", "chess", "workload name (chess or a Table 4 program id)")
@@ -33,14 +83,19 @@ func main() {
 	depth := flag.Int64("depth", 9, "chess difficulty (chess workload only)")
 	turns := flag.Int64("turns", 2, "chess game turns (chess workload only)")
 	showOut := flag.Bool("output", false, "print program output")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the offloaded run")
+	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
 	flag.Parse()
 
+	o := newObservability(*traceFile, *showMetrics)
 	if *irFile != "" {
-		runIRFile(*irFile, *stdin, *cost, *showOut)
+		runIRFile(*irFile, *stdin, *cost, *showOut, o)
+		o.finish()
 		return
 	}
 	if *name == "chess" {
-		runChess(*depth, *turns, *showOut)
+		runChess(*depth, *turns, *showOut, o)
+		o.finish()
 		return
 	}
 	w := workloads.ByName(*name)
@@ -48,16 +103,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "offloadrun: unknown workload %q\n", *name)
 		os.Exit(1)
 	}
-	r, err := experiments.RunProgram(w)
+	r, err := experiments.RunProgramObserved(w, o.tracer, o.metrics)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offloadrun: %v\n", err)
 		os.Exit(1)
 	}
+	defer o.finish()
 	t := report.New(w.Name+" — "+w.Desc,
 		"Run", "Time(s)", "Normalized", "Energy(mJ)", "Traffic(MB)", "Offloaded")
 	t.Add("local (mobile only)", r.Local.Time.Seconds(), 1.0, r.Local.EnergyMJ, 0, "-")
 	add := func(label string, off *core.OffloadResult, m energy.PowerModel) {
-		mb := float64(off.Stats.TotalBytes()) * float64(workloads.Scale) / 1e6
+		mb := float64(off.LinkStats.TotalBytes()) * float64(workloads.Scale) / 1e6
 		t.Add(label, off.Time.Seconds(), off.NormalizedTime(r.Local),
 			off.Recorder.EnergyMJ(m), mb, fmt.Sprintf("%v", off.Offloaded()))
 	}
@@ -70,9 +126,10 @@ func main() {
 	}
 }
 
-func runChess(depth, turns int64, showOut bool) {
+func runChess(depth, turns int64, showOut bool, o *observability) {
 	fw := core.NewFramework(core.FastNetwork)
 	fw.CostScale = workloads.ChessCostScale
+	o.attach(fw)
 	mod := workloads.BuildChess(workloads.DefaultChessConfig())
 	prof, err := fw.Profile(mod, workloads.ChessInput(depth-2, turns))
 	if err != nil {
@@ -108,7 +165,7 @@ func runChess(depth, turns int64, showOut bool) {
 }
 
 // runIRFile profiles, compiles and executes a user-written IR program.
-func runIRFile(path, stdin string, cost int64, showOut bool) {
+func runIRFile(path, stdin string, cost int64, showOut bool, o *observability) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "offloadrun:", err)
@@ -131,6 +188,7 @@ func runIRFile(path, stdin string, cost int64, showOut bool) {
 	}
 	fw := core.NewFramework(core.FastNetwork)
 	fw.CostScale = cost
+	o.attach(fw)
 	prof, err := fw.Profile(mod, mkIO())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "offloadrun: profile:", err)

@@ -58,7 +58,7 @@ func main() {
 	fmt.Printf("difficulty 10, with offloading:  %v  (%8.0f mJ)\n", off.Time, off.EnergyMJ)
 	fmt.Printf("speedup %.2fx, battery saving %.0f%%, traffic %.1f KB\n",
 		off.Speedup(local), 100*(1-off.NormalizedEnergy(local)),
-		float64(off.Stats.TotalBytes())/1024)
+		float64(off.LinkStats.TotalBytes())/1024)
 	fmt.Println("\ngame output (identical in both runs):")
 	fmt.Print(off.Output)
 }

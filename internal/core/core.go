@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/offrt"
 	"repro/internal/profile"
 	"repro/internal/simtime"
@@ -55,6 +56,12 @@ type Framework struct {
 
 	// RemoteIO toggles the Section 3.4 remote I/O optimization.
 	RemoteIO bool
+
+	// Tracer, when set, records structured lifecycle events for every
+	// offloaded run; Metrics, when set, receives the aggregated session
+	// statistics. Both are optional (nil disables them at zero cost).
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // NewFramework returns the default evaluation setup on the given network:
@@ -165,11 +172,15 @@ type OffloadResult struct {
 	Comp [interp.NumComponents]simtime.PS
 	// ServerCompute is the offloaded tasks' compute time at server speed.
 	ServerCompute simtime.PS
-	// Stats is the traffic accounting; PerTask the per-target numbers.
-	Stats   netsim.Stats
-	PerTask map[int]*offrt.TaskStats
+	// LinkStats is the wire-level traffic accounting; Stats the
+	// session-level offload accounting; PerTask the per-target numbers.
+	LinkStats netsim.LinkStats
+	Stats     offrt.SessionStats
+	PerTask   map[int]*offrt.TaskStats
 	// Recorder holds the power timeline for Figure 8.
 	Recorder *energy.Recorder
+	// Metrics echoes the framework's registry when one was attached.
+	Metrics *obs.Metrics
 }
 
 // Speedup returns local.Time / off.Time.
@@ -241,7 +252,12 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 			MemBytes:          t.MemBytes,
 		})
 	}
-	sess := offrt.New(mobile, server, fw.Link, tasks, pol)
+	sess, err := offrt.NewSession(mobile, server, fw.Link,
+		offrt.WithTasks(tasks...), offrt.WithPolicy(pol),
+		offrt.WithTracer(fw.Tracer), offrt.WithMetrics(fw.Metrics))
+	if err != nil {
+		return nil, fmt.Errorf("core: session: %w", err)
+	}
 	code, err := sess.RunMobile()
 	if err != nil {
 		return nil, err
@@ -253,8 +269,10 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 		Output:        io.Out.String(),
 		Comp:          sess.Comp,
 		ServerCompute: sess.ServerCompute,
+		LinkStats:     sess.LinkStats,
 		Stats:         sess.Stats,
 		PerTask:       sess.PerTask,
 		Recorder:      sess.Recorder,
+		Metrics:       fw.Metrics,
 	}, nil
 }

@@ -77,7 +77,7 @@ func TestChessEndToEndFastNetwork(t *testing.T) {
 	if off.Comp[interp.CompRemoteIO] <= 0 {
 		t.Error("chess prints from the offloaded task; remote I/O overhead should be nonzero")
 	}
-	if off.Stats.TotalBytes() <= 0 {
+	if off.LinkStats.TotalBytes() <= 0 {
 		t.Error("no traffic accounted")
 	}
 	// Battery: offloading should save energy (Figure 6(b)).

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -28,9 +29,7 @@ const (
 	NumStates
 )
 
-func (s State) String() string {
-	return [...]string{"idle", "compute", "wait", "rx", "tx", "ioserve"}[s]
-}
+func (s State) String() string { return stateNames[s] }
 
 // PowerModel gives the power draw of each state in milliwatts.
 type PowerModel struct {
@@ -79,7 +78,15 @@ type Recorder struct {
 	at    simtime.PS
 	done  bool
 	endAt simtime.PS
+
+	// Tracer, when set, receives one KRadio span per closed segment, so
+	// the Figure 8 radio power timeline appears in the exported trace.
+	Tracer *obs.Tracer
 }
+
+// stateNames provides static strings for trace events (State.String
+// indexes the same table; sharing constants keeps Emit allocation-free).
+var stateNames = [NumStates]string{"idle", "compute", "wait", "rx", "tx", "ioserve"}
 
 // NewRecorder starts recording at time start in the given state.
 func NewRecorder(start simtime.PS, s State) *Recorder {
@@ -97,6 +104,8 @@ func (r *Recorder) Transition(t simtime.PS, s State) {
 	}
 	if t > r.at {
 		r.segs = append(r.segs, Segment{State: r.cur, Start: r.at, End: t})
+		r.Tracer.Emit(obs.Event{Time: r.at, Dur: t - r.at, Kind: obs.KRadio,
+			Track: obs.TrackRadio, Name: stateNames[r.cur]})
 	}
 	r.cur = s
 	r.at = t

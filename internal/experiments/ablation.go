@@ -69,8 +69,8 @@ func Ablation() (*report.Table, []AblationResult, error) {
 	}
 	out = append(out, AblationResult{
 		Name:     "server->mobile compression off",
-		Baseline: float64(base.Stats.BytesToMobile) / 1e6,
-		Ablated:  float64(noComp.Stats.BytesToMobile) / 1e6,
+		Baseline: float64(base.LinkStats.BytesToMobile) / 1e6,
+		Ablated:  float64(noComp.LinkStats.BytesToMobile) / 1e6,
 		Unit:     "MB to mobile",
 		Note:     "finalization write-back travels uncompressed",
 	})
@@ -180,8 +180,8 @@ func Ablation() (*report.Table, []AblationResult, error) {
 	}
 	out = append(out, AblationResult{
 		Name:     "output batching off (sphinx3)",
-		Baseline: float64(batched.Stats.MsgsToMobile),
-		Ablated:  float64(perCall.Stats.MsgsToMobile),
+		Baseline: float64(batched.LinkStats.MsgsToMobile),
+		Ablated:  float64(perCall.LinkStats.MsgsToMobile),
 		Unit:     "messages to mobile",
 		Note: fmt.Sprintf("batching cuts remote-I/O time %.2fs -> %.2fs",
 			perCall.Comp[interp.CompRemoteIO].Seconds(), batched.Comp[interp.CompRemoteIO].Seconds()),

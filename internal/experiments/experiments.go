@@ -12,6 +12,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/offrt"
 	"repro/internal/report"
 	"repro/internal/simtime"
@@ -63,8 +64,16 @@ func Sweep() ([]*ProgramResult, error) {
 
 // RunProgram evaluates one workload end to end.
 func RunProgram(w *workloads.Workload) (*ProgramResult, error) {
+	return RunProgramObserved(w, nil, nil)
+}
+
+// RunProgramObserved is RunProgram with an optional tracer and metrics
+// registry attached to the fast-network offloaded run (the one the paper's
+// headline numbers come from). Either may be nil.
+func RunProgramObserved(w *workloads.Workload, tracer *obs.Tracer, metrics *obs.Metrics) (*ProgramResult, error) {
 	fast := core.NewFramework(core.FastNetwork).WithScale(workloads.Scale, w.CostScale)
 	slow := core.NewFramework(core.SlowNetwork).WithScale(workloads.Scale, w.CostScale)
+	fast.Tracer, fast.Metrics = tracer, metrics
 
 	mod := w.Build()
 	prof, err := fast.Profile(mod, w.ProfileIO())

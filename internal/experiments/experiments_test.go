@@ -377,8 +377,8 @@ func TestSimulationIsDeterministic(t *testing.T) {
 	if a.Fast.Time != b.Fast.Time || a.Slow.Time != b.Slow.Time {
 		t.Errorf("offloaded times differ: %v/%v vs %v/%v", a.Fast.Time, a.Slow.Time, b.Fast.Time, b.Slow.Time)
 	}
-	if a.Fast.Stats.TotalBytes() != b.Fast.Stats.TotalBytes() {
-		t.Errorf("traffic differs: %d vs %d", a.Fast.Stats.TotalBytes(), b.Fast.Stats.TotalBytes())
+	if a.Fast.LinkStats.TotalBytes() != b.Fast.LinkStats.TotalBytes() {
+		t.Errorf("traffic differs: %d vs %d", a.Fast.LinkStats.TotalBytes(), b.Fast.LinkStats.TotalBytes())
 	}
 	if a.Fast.EnergyMJ != b.Fast.EnergyMJ {
 		t.Errorf("energy differs: %f vs %f", a.Fast.EnergyMJ, b.Fast.EnergyMJ)

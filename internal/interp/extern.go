@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -149,7 +150,14 @@ func (m *Machine) callExtern(f *ir.Func, args []uint64) (uint64, error) {
 		if m.Sys == nil {
 			return 0, nil // shut down immediately
 		}
-		return uint64(m.Sys.Accept(m)), nil
+		id := m.Sys.Accept(m)
+		if id > 0 {
+			// The offloaded task begins executing here (the clock was
+			// synchronized to the request arrival by Accept).
+			m.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KTaskEnter,
+				Track: m.TraceTrack, A0: int64(id)})
+		}
+		return uint64(id), nil
 
 	case ir.ExternArg:
 		if m.Sys == nil {
@@ -161,6 +169,9 @@ func (m *Machine) callExtern(f *ir.Func, args []uint64) (uint64, error) {
 		if m.Sys == nil {
 			return 0, fmt.Errorf("interp(%s): no.sendreturn without a runtime", m.Name)
 		}
+		// Task execution proper ends where finalization begins.
+		m.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KTaskExit,
+			Track: m.TraceTrack})
 		return 0, m.Sys.SendReturn(m, args[0])
 
 	case ir.ExternFptrToM:

@@ -13,6 +13,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/ir"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -72,6 +73,12 @@ type Machine struct {
 
 	// Listener, when set, observes calls and block transfers (profiler).
 	Listener Listener
+
+	// Tracer, when set, receives task enter/exit events on TraceTrack;
+	// the offload runtime installs it on both machines. Nil-safe: a
+	// machine without a tracer pays nothing.
+	Tracer     *obs.Tracer
+	TraceTrack obs.Track
 
 	// ResolveFptr maps a stored function-pointer value to a callable
 	// function. The default resolves the machine's own addresses; the

@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -25,7 +26,9 @@ type Link struct {
 	// Phases, when non-empty, make the link time-varying: phase i applies
 	// until its Until instant, the last phase thereafter. The paper's
 	// dynamic estimator exists exactly for such "unexpected slow network
-	// environments" (Section 5.1).
+	// environments" (Section 5.1). Install via SetPhases, which validates
+	// ordering; At on unsorted phases would resolve the wrong bandwidth
+	// regime.
 	Phases []Phase
 }
 
@@ -33,6 +36,29 @@ type Link struct {
 type Phase struct {
 	Until        simtime.PS
 	BandwidthBps int64
+}
+
+// SetPhases installs a time-varying bandwidth schedule, validating that the
+// Until instants strictly increase and bandwidths are non-negative. Use it
+// instead of assigning Phases directly: At resolves phases by first match,
+// so an unsorted schedule silently yields the wrong bandwidth regime.
+func (l *Link) SetPhases(phases ...Phase) error {
+	l.Phases = phases
+	return l.ValidatePhases()
+}
+
+// ValidatePhases checks an already-installed phase schedule.
+func (l *Link) ValidatePhases() error {
+	for i, p := range l.Phases {
+		if p.BandwidthBps < 0 {
+			return fmt.Errorf("netsim: phase %d of link %q has negative bandwidth %d", i, l.Name, p.BandwidthBps)
+		}
+		if i > 0 && l.Phases[i-1].Until >= p.Until {
+			return fmt.Errorf("netsim: phases of link %q not in increasing order: phase %d ends at %v, phase %d at %v",
+				l.Name, i-1, l.Phases[i-1].Until, i, p.Until)
+		}
+	}
+	return nil
 }
 
 // At resolves the effective link at instant t: the same latency and
@@ -43,14 +69,24 @@ func (l *Link) At(t simtime.PS) *Link {
 	}
 	eff := *l
 	eff.Phases = nil
-	eff.BandwidthBps = l.Phases[len(l.Phases)-1].BandwidthBps
-	for _, p := range l.Phases {
+	_, eff.BandwidthBps = l.PhaseAt(t)
+	return &eff
+}
+
+// PhaseAt returns the index and bandwidth of the phase active at t
+// (-1 and the flat bandwidth for a phase-free link). The session tracer
+// uses the index to detect regime changes.
+func (l *Link) PhaseAt(t simtime.PS) (int, int64) {
+	if len(l.Phases) == 0 {
+		return -1, l.BandwidthBps
+	}
+	for i, p := range l.Phases {
 		if t < p.Until {
-			eff.BandwidthBps = p.BandwidthBps
-			break
+			return i, p.BandwidthBps
 		}
 	}
-	return &eff
+	last := len(l.Phases) - 1
+	return last, l.Phases[last].BandwidthBps
 }
 
 // Slow80211N returns the paper's slow environment (802.11n). The effective
@@ -107,32 +143,45 @@ func (l *Link) TransferTime(size int64) simtime.PS {
 	return l.Latency + l.PerMessage + wire
 }
 
-// Stats accumulates traffic accounting for one offloading run; Table 4's
-// "Com. Traf." column and the communication segments of Figure 7 come from
-// here.
-type Stats struct {
+// LinkStats accumulates wire-level traffic accounting (bytes and messages
+// per direction) for one offloading run; Table 4's "Com. Traf." column and
+// the communication segments of Figure 7 come from here. Session-level
+// counters (pages, faults, write-backs) live in offrt.SessionStats — the
+// runtime no longer mixes its bookkeeping into the link's counter struct.
+type LinkStats struct {
 	MsgsToServer   int
 	MsgsToMobile   int
 	BytesToServer  int64
 	BytesToMobile  int64
-	RawBytesToMob  int64 // pre-compression size of server->mobile payloads
 	CommTimeMobile simtime.PS
+
+	// Tracer, when set, receives one KMessage event per Send.
+	Tracer *obs.Tracer
 }
 
-// TotalBytes returns traffic in both directions.
-func (s *Stats) TotalBytes() int64 { return s.BytesToServer + s.BytesToMobile }
+// Stats is the legacy name of LinkStats.
+//
+// Deprecated: use LinkStats; session-level counters moved to
+// offrt.SessionStats.
+type Stats = LinkStats
 
-// Send accounts one message of size bytes in the given direction and
-// returns its transfer time.
-func (s *Stats) Send(l *Link, toServer bool, size int64) simtime.PS {
+// TotalBytes returns traffic in both directions.
+func (s *LinkStats) TotalBytes() int64 { return s.BytesToServer + s.BytesToMobile }
+
+// Send accounts one message of size bytes in the given direction, departing
+// at instant at, and returns its transfer time.
+func (s *LinkStats) Send(l *Link, toServer bool, size int64, at simtime.PS) simtime.PS {
 	d := l.TransferTime(size)
+	dir := "to_mobile"
 	if toServer {
 		s.MsgsToServer++
 		s.BytesToServer += size
+		dir = "to_server"
 	} else {
 		s.MsgsToMobile++
 		s.BytesToMobile += size
 	}
 	s.CommTimeMobile += d
+	s.Tracer.Emit(obs.Event{Time: at, Dur: d, Kind: obs.KMessage, Track: obs.TrackLink, Name: dir, A0: size})
 	return d
 }

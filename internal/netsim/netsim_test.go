@@ -53,10 +53,10 @@ func TestScaledPreservesRatios(t *testing.T) {
 }
 
 func TestStatsAccounting(t *testing.T) {
-	var st Stats
+	var st LinkStats
 	l := Fast80211AC()
-	d1 := st.Send(l, true, 5000)
-	d2 := st.Send(l, false, 7000)
+	d1 := st.Send(l, true, 5000, 0)
+	d2 := st.Send(l, false, 7000, d1)
 	if st.MsgsToServer != 1 || st.MsgsToMobile != 1 {
 		t.Errorf("message counts = %d/%d, want 1/1", st.MsgsToServer, st.MsgsToMobile)
 	}
@@ -85,10 +85,12 @@ func TestSimtimeUnits(t *testing.T) {
 
 func TestTimeVaryingLink(t *testing.T) {
 	l := Fast80211AC()
-	l.Phases = []Phase{
-		{Until: simtime.Second, BandwidthBps: 650_000_000},
-		{Until: 2 * simtime.Second, BandwidthBps: 1_000_000},
-		{Until: 1 << 62, BandwidthBps: 650_000_000},
+	if err := l.SetPhases(
+		Phase{Until: simtime.Second, BandwidthBps: 650_000_000},
+		Phase{Until: 2 * simtime.Second, BandwidthBps: 1_000_000},
+		Phase{Until: 1 << 62, BandwidthBps: 650_000_000},
+	); err != nil {
+		t.Fatal(err)
 	}
 	if got := l.At(0).BandwidthBps; got != 650_000_000 {
 		t.Errorf("phase 1 bandwidth = %d", got)
@@ -108,5 +110,60 @@ func TestTimeVaryingLink(t *testing.T) {
 	flat := Slow80211N()
 	if flat.At(simtime.Second) != flat {
 		t.Error("flat link should resolve to itself")
+	}
+}
+
+func TestSetPhasesRejectsUnsortedSchedule(t *testing.T) {
+	l := Fast80211AC()
+	err := l.SetPhases(
+		Phase{Until: 2 * simtime.Second, BandwidthBps: 1_000_000},
+		Phase{Until: simtime.Second, BandwidthBps: 650_000_000},
+	)
+	if err == nil {
+		t.Fatal("unsorted phases must be rejected at construction")
+	}
+	if verr := l.ValidatePhases(); verr == nil {
+		t.Error("ValidatePhases should agree with SetPhases")
+	}
+
+	dup := Fast80211AC()
+	if err := dup.SetPhases(
+		Phase{Until: simtime.Second, BandwidthBps: 1},
+		Phase{Until: simtime.Second, BandwidthBps: 2},
+	); err == nil {
+		t.Error("duplicate Until instants must be rejected")
+	}
+
+	neg := Fast80211AC()
+	if err := neg.SetPhases(Phase{Until: simtime.Second, BandwidthBps: -5}); err == nil {
+		t.Error("negative bandwidth must be rejected")
+	}
+
+	ok := Fast80211AC()
+	if err := ok.SetPhases(
+		Phase{Until: simtime.Second, BandwidthBps: 1_000_000},
+		Phase{Until: 2 * simtime.Second, BandwidthBps: 2_000_000},
+	); err != nil {
+		t.Errorf("sorted phases rejected: %v", err)
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	flat := Slow80211N()
+	if idx, bw := flat.PhaseAt(simtime.Second); idx != -1 || bw != flat.BandwidthBps {
+		t.Errorf("flat link PhaseAt = (%d, %d)", idx, bw)
+	}
+	l := Fast80211AC()
+	if err := l.SetPhases(
+		Phase{Until: simtime.Second, BandwidthBps: 100},
+		Phase{Until: 2 * simtime.Second, BandwidthBps: 200},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if idx, bw := l.PhaseAt(0); idx != 0 || bw != 100 {
+		t.Errorf("PhaseAt(0) = (%d, %d), want (0, 100)", idx, bw)
+	}
+	if idx, bw := l.PhaseAt(3 * simtime.Second); idx != 1 || bw != 200 {
+		t.Errorf("PhaseAt(3s) = (%d, %d), want (1, 200) — last phase applies forever", idx, bw)
 	}
 }

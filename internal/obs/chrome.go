@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event exporter. The output loads directly into
+// chrome://tracing or https://ui.perfetto.dev: one process ("offload
+// session") with one thread per Track, spans for events with a duration,
+// instants for the rest, and B/E pairs for task enter/exit.
+//
+// Timestamps are microseconds of *simulated* time, so the rendered
+// timeline is the paper's timeline, not wall clock.
+
+// chromeEvent is one trace_event record. Field order is fixed by the
+// struct, and args maps marshal with sorted keys, so the exporter's output
+// is deterministic (the golden tests rely on it).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// usec converts simulated picoseconds to trace microseconds.
+func usec(ps int64) float64 { return float64(ps) / 1e6 }
+
+// chromeName picks the display name for an event.
+func chromeName(ev Event) string {
+	switch ev.Kind {
+	case KRadio:
+		if ev.Name != "" {
+			return ev.Name // the power state is the interesting label
+		}
+	case KRemoteIO:
+		if ev.Name != "" {
+			return "io:" + ev.Name
+		}
+	case KTaskEnter:
+		return fmt.Sprintf("task %d", ev.A0)
+	case KTaskExit:
+		// E records close the matching B by nesting; the name is ignored.
+		return "task"
+	}
+	return kindMeta[ev.Kind].name
+}
+
+// chromeArgs collects the kind-specific argument map.
+func chromeArgs(ev Event) map[string]any {
+	args := make(map[string]any)
+	vals := [4]int64{ev.A0, ev.A1, ev.A2, ev.A3}
+	for i, label := range kindMeta[ev.Kind].args {
+		if label != "" {
+			args[label] = vals[i]
+		}
+	}
+	if ev.Name != "" && ev.Kind != KRadio && ev.Kind != KRemoteIO {
+		args["detail"] = ev.Name
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteChrome exports the retained events as Chrome trace_event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+
+	// Metadata: process and per-track thread names, ordered as declared.
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Cat: "__metadata", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "offload session"},
+	})
+	for tr := Track(0); tr < numTracks; tr++ {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Cat: "__metadata", Ph: "M",
+				Pid: chromePid, Tid: int(tr) + 1,
+				Args: map[string]any{"name": tr.String()},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Cat: "__metadata", Ph: "M",
+				Pid: chromePid, Tid: int(tr) + 1,
+				Args: map[string]any{"sort_index": int(tr)},
+			})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: chromeName(ev),
+			Cat:  "offload",
+			Ts:   usec(int64(ev.Time)),
+			Pid:  chromePid,
+			Tid:  int(ev.Track) + 1,
+			Args: chromeArgs(ev),
+		}
+		switch {
+		case ev.Kind == KTaskEnter:
+			ce.Ph = "B"
+		case ev.Kind == KTaskExit:
+			ce.Ph = "E"
+		case ev.Dur > 0:
+			ce.Ph = "X"
+			ce.Dur = usec(int64(ev.Dur))
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a deterministic miniature of a real offload session:
+// gate decision, offload span, prefetch, task execution with a page fault,
+// remote I/O, write-back, radio states and a link phase change.
+func goldenTracer() *Tracer {
+	ms := simtime.Millisecond
+	tr := NewTracer(64)
+	tr.Emit(Event{Time: 0, Kind: KLinkPhase, Track: TrackLink, A0: 650_000_000, A1: 0})
+	tr.Emit(Event{Time: 1 * ms, Kind: KGate, Track: TrackMobile, Name: "offload",
+		A0: int64(150 * ms), A1: 1 << 20, A2: 650_000_000, A3: 5360})
+	tr.Emit(Event{Time: 1 * ms, Dur: 40 * ms, Kind: KOffload, Track: TrackMobile, Name: "crunch", A0: 1})
+	tr.Emit(Event{Time: 1 * ms, Kind: KPrefetch, Track: TrackMobile, A0: 16, A1: 16 * 4096})
+	tr.Emit(Event{Time: 1*ms + 500*simtime.Microsecond, Dur: 3 * ms, Kind: KMessage,
+		Track: TrackLink, Name: "to_server", A0: 66000})
+	tr.Emit(Event{Time: 5 * ms, Kind: KTaskEnter, Track: TrackServer, A0: 1})
+	tr.Emit(Event{Time: 9 * ms, Dur: 2 * ms, Kind: KPageFault, Track: TrackServer,
+		Name: "remote", A0: 0x7FFFe, A1: 0x7FFF_E000, A2: 4112})
+	tr.Emit(Event{Time: 14 * ms, Dur: 1 * ms, Kind: KRemoteIO, Track: TrackServer,
+		Name: "printf", A0: 24})
+	tr.Emit(Event{Time: 36 * ms, Dur: 4 * ms, Kind: KWriteBack, Track: TrackServer,
+		A0: 12, A1: 49152, A2: 9300})
+	tr.Emit(Event{Time: 40 * ms, Kind: KTaskExit, Track: TrackServer})
+	tr.Emit(Event{Time: 0, Dur: 1 * ms, Kind: KRadio, Track: TrackRadio, Name: "compute"})
+	tr.Emit(Event{Time: 1 * ms, Dur: 3 * ms, Kind: KRadio, Track: TrackRadio, Name: "tx"})
+	tr.Emit(Event{Time: 4 * ms, Dur: 36 * ms, Kind: KRadio, Track: TrackRadio, Name: "wait"})
+	return tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/obs -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; diff the output or re-run with -update\ngot:\n%s", name, got)
+	}
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Structural validity first: the exporter must emit well-formed JSON
+	// with the trace_event envelope chrome://tracing expects.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+	// 13 events + 1 process metadata + 4 tracks * 2 metadata records.
+	if want := 13 + 1 + 8; len(parsed.TraceEvents) != want {
+		t.Errorf("traceEvents count = %d, want %d", len(parsed.TraceEvents), want)
+	}
+	checkGolden(t, "chrome_golden.json", buf.Bytes())
+}
+
+func TestMetricsSummaryGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("link.bytes_to_mobile").Set(9300)
+	m.Counter("link.bytes_to_server").Set(70128)
+	m.Counter("link.msgs_to_mobile").Set(3)
+	m.Counter("link.msgs_to_server").Set(2)
+	m.Counter("session.declines").Set(0)
+	m.Counter("session.dirty_pages").Set(12)
+	m.Counter("session.faults").Set(1)
+	m.Counter("session.offloads").Set(1)
+	m.Counter("session.prefetch_pages").Set(16)
+	checkGolden(t, "metrics_golden.txt", []byte(m.Summary()))
+}

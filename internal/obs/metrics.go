@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named monotonic counters/gauges. The offload
+// runtime publishes its per-session and per-link statistics here, so the
+// experiment harness and the CLIs consume one uniform surface instead of
+// reaching into each subsystem's counter struct.
+//
+// Like the Tracer, a nil *Metrics (and a nil *Counter) is a valid disabled
+// registry: every operation is a no-op and Counter returns nil, so
+// instrumented code never branches on enablement.
+type Metrics struct {
+	mu   sync.Mutex
+	vals map[string]*Counter
+}
+
+// Counter is one named int64 metric. Add/Set are safe for concurrent use
+// and never allocate.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Safe on nil.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Set overwrites the counter. Safe on nil.
+func (c *Counter) Set(v int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
+}
+
+// Value reads the counter; 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{vals: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil counter (whose methods are no-ops).
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.vals[name]
+	if !ok {
+		c = &Counter{}
+		m.vals[name] = c
+	}
+	return c
+}
+
+// Value reads the named counter; 0 if absent or the registry is nil.
+func (m *Metrics) Value(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	c := m.vals[name]
+	m.mu.Unlock()
+	return c.Value()
+}
+
+// Names returns the registered metric names, sorted.
+func (m *Metrics) Names() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.vals))
+	for n := range m.vals {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders a deterministic name-aligned listing of every metric.
+func (m *Metrics) Summary() string {
+	names := m.Names()
+	if len(names) == 0 {
+		return "(no metrics)\n"
+	}
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-*s  %d\n", width, n, m.Value(n))
+	}
+	return sb.String()
+}

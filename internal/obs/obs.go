@@ -1,0 +1,216 @@
+// Package obs is the offload-session observability layer: a low-overhead
+// structured event tracer and a metrics registry threaded through the whole
+// pipeline (runtime, network simulator, interpreter, energy model).
+//
+// The paper's evaluation (Figures 6-8) is entirely about *explaining* where
+// time and energy go during an offload — communication vs. computation,
+// radio power plateaus, prefetch vs. copy-on-demand. Every session
+// lifecycle event (gate decision with its Equation-1 inputs, page fault,
+// prefetch batch, dirty-page write-back, remote-I/O round trip, radio
+// power-state transition, link phase change) is recorded with its
+// simtime.PS timestamp into a bounded ring buffer, and can be exported as
+// Chrome trace_event JSON (chrome://tracing, Perfetto) or aggregated into a
+// metrics summary.
+//
+// Tracing is nil-safe and allocation-free: every method on a nil *Tracer,
+// *Metrics or *Counter is a no-op, so instrumented hot paths (the
+// copy-on-demand page-fault service above all) cost nothing when
+// observability is disabled. Events are fixed-size values and the ring is
+// preallocated, so even an *enabled* tracer does not allocate per event.
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Track identifies the timeline an event belongs to; the Chrome exporter
+// renders one thread per track.
+type Track uint8
+
+const (
+	// TrackMobile is the mobile device's execution timeline.
+	TrackMobile Track = iota
+	// TrackServer is the server's execution timeline.
+	TrackServer
+	// TrackLink carries wire messages and bandwidth phase changes.
+	TrackLink
+	// TrackRadio carries the mobile radio power-state timeline.
+	TrackRadio
+	numTracks
+)
+
+func (t Track) String() string {
+	return [...]string{"mobile", "server", "link", "radio"}[t]
+}
+
+// Kind is the event taxonomy. Each kind documents the meaning of the
+// generic argument slots A0..A3 (see kindMeta for the exported names).
+type Kind uint8
+
+const (
+	// KGate is one dynamic-estimation decision (Equation 1). Name is
+	// "offload" or "decline"; A0=Tm (ps), A1=M (bytes), A2=BW (bps),
+	// A3=R*1000.
+	KGate Kind = iota
+	// KOffload spans one whole offload session on the mobile timeline
+	// (initialization through finalization). A0=task id.
+	KOffload
+	// KPrefetch is the initialization-time page batch. A0=pages, A1=bytes.
+	KPrefetch
+	// KPageFault is one copy-on-demand fault service on the server. Name is
+	// "remote" (round trip to the mobile device) or "zero-fill"; A0=page
+	// number, A1=page address, A2=wire bytes.
+	KPageFault
+	// KWriteBack is the finalization dirty-page write-back. A0=dirty pages,
+	// A1=raw (pre-compression) bytes, A2=wire bytes.
+	KWriteBack
+	// KRemoteIO is one remote I/O service operation; Name is the operation
+	// ("printf", "open", "read", "close"). A0=payload bytes.
+	KRemoteIO
+	// KMessage is one wire message; Name is "to_server" or "to_mobile".
+	// A0=bytes.
+	KMessage
+	// KRadio is one maximal radio power-state interval; Name is the energy
+	// state ("compute", "wait", "rx", "tx", "ioserve", "idle").
+	KRadio
+	// KLinkPhase marks a bandwidth regime change of a time-varying link.
+	// A0=bandwidth (bps), A1=phase index.
+	KLinkPhase
+	// KTaskEnter/KTaskExit bracket the offloaded task's execution on the
+	// server timeline. A0=task id.
+	KTaskEnter
+	KTaskExit
+	numKinds
+)
+
+// kindMeta names each kind and its argument slots for the exporters.
+var kindMeta = [numKinds]struct {
+	name string
+	args [4]string
+}{
+	KGate:      {"gate", [4]string{"tm_ps", "mem_bytes", "bw_bps", "r_milli"}},
+	KOffload:   {"offload", [4]string{"task", "", "", ""}},
+	KPrefetch:  {"prefetch", [4]string{"pages", "bytes", "", ""}},
+	KPageFault: {"page_fault", [4]string{"page", "addr", "wire_bytes", ""}},
+	KWriteBack: {"write_back", [4]string{"dirty_pages", "raw_bytes", "wire_bytes", ""}},
+	KRemoteIO:  {"remote_io", [4]string{"bytes", "", "", ""}},
+	KMessage:   {"msg", [4]string{"bytes", "", "", ""}},
+	KRadio:     {"radio", [4]string{"", "", "", ""}},
+	KLinkPhase: {"link_phase", [4]string{"bw_bps", "phase", "", ""}},
+	KTaskEnter: {"task", [4]string{"task", "", "", ""}},
+	KTaskExit:  {"task", [4]string{"", "", "", ""}},
+}
+
+func (k Kind) String() string { return kindMeta[k].name }
+
+// Event is one recorded occurrence. It is a fixed-size value so the ring
+// buffer stores it without indirection; Name must be a static (or
+// long-lived) string — instrumentation sites pass constants.
+type Event struct {
+	// Time is the event start on the simulated timeline.
+	Time simtime.PS
+	// Dur, when positive, makes this a complete span; zero is an instant.
+	Dur   simtime.PS
+	Kind  Kind
+	Track Track
+	// Name refines the kind ("offload"/"decline", an I/O op, a radio state).
+	Name string
+	// A0..A3 are kind-specific arguments (see the Kind constants).
+	A0, A1, A2, A3 int64
+}
+
+// Tracer records events into a bounded ring buffer. When the ring is full
+// the oldest events are overwritten and counted as dropped, so a runaway
+// workload degrades the trace instead of memory. A nil *Tracer is a valid
+// disabled tracer: Emit is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // next write position
+	n       int // events currently stored
+	dropped int64
+}
+
+// DefaultCapacity is the ring size used when NewTracer is given cap <= 0.
+const DefaultCapacity = 1 << 15
+
+// NewTracer creates a tracer whose ring holds capacity events
+// (DefaultCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event. Safe on a nil tracer; never allocates.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[t.head] = ev
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Reset drops all retained events and the dropped counter.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.head, t.n, t.dropped = 0, 0, 0
+	t.mu.Unlock()
+}

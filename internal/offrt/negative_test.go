@@ -92,7 +92,11 @@ func runPair(t *testing.T, cres *compiler.Result, costScale int64) (int32, error
 		tasks = append(tasks, TaskSpec{TaskID: tg.TaskID, Name: tg.Name,
 			TimePerInvocation: tg.TimePerInvocation, MemBytes: tg.MemBytes})
 	}
-	sess := New(mobile, server, netsim.Fast80211AC(), tasks, Policy{ForceOffload: true})
+	sess, err := NewSession(mobile, server, netsim.Fast80211AC(),
+		WithTasks(tasks...), WithPolicy(Policy{ForceOffload: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	return sess.RunMobile()
 }
 

@@ -1,0 +1,142 @@
+package offrt
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/estimate"
+	"repro/internal/interp"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// config collects NewSession's functional options.
+type config struct {
+	pol     Policy
+	tasks   []TaskSpec
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	ratio   float64
+}
+
+// Option configures a Session at construction.
+type Option func(*config)
+
+// WithPolicy sets the runtime policy (gate behaviour, compression,
+// prefetch, output batching).
+func WithPolicy(p Policy) Option { return func(c *config) { c.pol = p } }
+
+// WithTasks registers the offload targets the dynamic estimator knows
+// about; repeated uses accumulate.
+func WithTasks(tasks ...TaskSpec) Option {
+	return func(c *config) { c.tasks = append(c.tasks, tasks...) }
+}
+
+// WithTracer attaches a structured event tracer to the whole pipeline:
+// session lifecycle, wire messages, page faults, remote I/O, radio states
+// and the interpreter's task enter/exit all record into it. A nil tracer
+// disables tracing at zero cost.
+func WithTracer(tr *obs.Tracer) Option { return func(c *config) { c.tracer = tr } }
+
+// WithMetrics attaches a metrics registry; Shutdown publishes the link and
+// session statistics (and per-task numbers) into it.
+func WithMetrics(m *obs.Metrics) Option { return func(c *config) { c.metrics = m } }
+
+// WithEstimatorRatio overrides the server/mobile performance ratio R of
+// Equation 1; 0 (the default) derives it from the two machines' cycle
+// times. Supersedes the deprecated Policy.R.
+func WithEstimatorRatio(r float64) Option { return func(c *config) { c.ratio = r } }
+
+// NewSession builds a session over the given machines and link. The server
+// machine must not be started yet; Session runs it. The link's phase
+// schedule is validated here — a misordered schedule would silently
+// resolve the wrong bandwidth regime at every gate decision.
+func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Option) (*Session, error) {
+	if mobile == nil || server == nil {
+		return nil, fmt.Errorf("offrt: both a mobile and a server machine are required")
+	}
+	if link == nil {
+		return nil, fmt.Errorf("offrt: a link is required")
+	}
+	if err := link.ValidatePhases(); err != nil {
+		return nil, fmt.Errorf("offrt: invalid link: %w", err)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.ratio < 0 {
+		return nil, fmt.Errorf("offrt: estimator ratio must be non-negative, got %g", cfg.ratio)
+	}
+
+	s := &Session{
+		Mobile:   mobile,
+		Server:   server,
+		Link:     link,
+		Policy:   cfg.pol,
+		PerTask:  make(map[int]*TaskStats),
+		Tracer:   cfg.tracer,
+		Metrics:  cfg.metrics,
+		tasks:    make(map[int32]TaskSpec),
+		reqCh:    make(chan request),
+		repCh:    make(chan reply),
+		doneCh:   make(chan error, 1),
+		Recorder: energy.NewRecorder(0, energy.Compute),
+	}
+	for _, t := range cfg.tasks {
+		s.tasks[int32(t.TaskID)] = t
+		s.PerTask[t.TaskID] = &TaskStats{}
+	}
+	r := cfg.ratio
+	if r == 0 {
+		r = cfg.pol.R
+	}
+	if r == 0 {
+		r = float64(mobile.Spec.CyclePS) / float64(server.Spec.CyclePS)
+	}
+	s.est = estimate.Params{
+		R:            r,
+		BandwidthBps: link.BandwidthBps,
+		RTT:          2 * (link.Latency + link.PerMessage),
+	}
+
+	// Thread the tracer through every layer: wire accounting, the radio
+	// power timeline, and the interpreter's task enter/exit events.
+	s.LinkStats.Tracer = cfg.tracer
+	s.Recorder.Tracer = cfg.tracer
+	mobile.Tracer, mobile.TraceTrack = cfg.tracer, obs.TrackMobile
+	server.Tracer, server.TraceTrack = cfg.tracer, obs.TrackServer
+
+	idx, bw := link.PhaseAt(0)
+	s.lastPhase = idx
+	s.Tracer.Emit(obs.Event{Time: 0, Kind: obs.KLinkPhase, Track: obs.TrackLink,
+		A0: bw, A1: int64(idx)})
+
+	mobile.Sys = s
+	server.Sys = s
+
+	// Copy-on-demand: a server page fault fetches the page from the
+	// mobile device over the link (request + page reply), stalling the
+	// server and pulsing the mobile radio.
+	server.Mem.Fault = s.servePageFault
+
+	// Function pointers: translate any address either linker assigned to
+	// the local function of the same name; mapped call sites charge the
+	// translation cost in the interpreter.
+	server.ResolveFptr = s.resolver(server, mobile)
+	mobile.ResolveFptr = s.resolver(mobile, server)
+	return s, nil
+}
+
+// New builds a session over the given machines, link, and task table.
+//
+// Deprecated: use NewSession with WithTasks/WithPolicy (and WithTracer,
+// WithMetrics, WithEstimatorRatio as needed). New panics where NewSession
+// reports an error.
+func New(mobile, server *interp.Machine, link *netsim.Link, tasks []TaskSpec, pol Policy) *Session {
+	s, err := NewSession(mobile, server, link, WithTasks(tasks...), WithPolicy(pol))
+	if err != nil {
+		panic("offrt.New: " + err.Error())
+	}
+	return s
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -55,6 +56,8 @@ type Policy struct {
 	BatchOutput bool
 	// R overrides the performance ratio used by the dynamic estimator;
 	// 0 derives it from the two machines' cycle times.
+	//
+	// Deprecated: pass WithEstimatorRatio to NewSession instead.
 	R float64
 }
 
@@ -76,9 +79,17 @@ type Session struct {
 	Link   *netsim.Link
 	Policy Policy
 
-	Stats netsim.Stats
-	// PerTask accumulates per-task offload statistics.
-	PerTask map[int]*TaskStats
+	// LinkStats counts wire-level traffic (bytes/messages per direction);
+	// Stats aggregates the session-level offload work (pages, faults,
+	// write-backs). PerTask accumulates per-task offload statistics.
+	LinkStats netsim.LinkStats
+	Stats     SessionStats
+	PerTask   map[int]*TaskStats
+
+	// Tracer receives structured lifecycle events; Metrics receives the
+	// aggregated statistics at Shutdown. Both may be nil (disabled).
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 
 	// Comp buckets the whole-program time like Figure 7: compute, fptr,
 	// remote I/O, communication.
@@ -116,6 +127,29 @@ type Session struct {
 	inFlight     bool
 	cur          request
 	mu           sync.Mutex // guards started/shutdown state only
+
+	// lastPhase is the last observed phase index of a time-varying link,
+	// so linkAt can trace bandwidth regime changes exactly once.
+	lastPhase int
+}
+
+// SessionStats aggregates session-level offload accounting across all
+// tasks: gate outcomes, paging, faults and write-back volumes. Wire-level
+// traffic lives in netsim.LinkStats — the runtime no longer keeps its
+// bookkeeping inside the link's counter struct.
+type SessionStats struct {
+	Offloads      int
+	Declines      int
+	Faults        int
+	DirtyPages    int
+	PrefetchPages int
+	// RawBytesToMobile is the pre-compression size of server->mobile
+	// finalization payloads; against LinkStats.BytesToMobile it yields
+	// the effective compression ratio.
+	RawBytesToMobile int64
+	// WriteBackWireBytes is the encoded (post-compression) size of the
+	// finalization messages.
+	WriteBackWireBytes int64
 }
 
 // TaskStats is per-task accounting for Table 4 and Figure 6.
@@ -145,57 +179,21 @@ type reply struct {
 	err error
 }
 
-// New builds a session over the given machines, link, and task table.
-// The server machine must not be started yet; Session runs it.
-func New(mobile, server *interp.Machine, link *netsim.Link, tasks []TaskSpec, pol Policy) *Session {
-	s := &Session{
-		Mobile:   mobile,
-		Server:   server,
-		Link:     link,
-		Policy:   pol,
-		PerTask:  make(map[int]*TaskStats),
-		tasks:    make(map[int32]TaskSpec),
-		reqCh:    make(chan request),
-		repCh:    make(chan reply),
-		doneCh:   make(chan error, 1),
-		Recorder: energy.NewRecorder(0, energy.Compute),
-	}
-	for _, t := range tasks {
-		s.tasks[int32(t.TaskID)] = t
-		s.PerTask[t.TaskID] = &TaskStats{}
-	}
-	r := pol.R
-	if r == 0 {
-		r = float64(mobile.Spec.CyclePS) / float64(server.Spec.CyclePS)
-	}
-	s.est = estimate.Params{
-		R:            r,
-		BandwidthBps: link.BandwidthBps,
-		RTT:          2 * (link.Latency + link.PerMessage),
-	}
-
-	mobile.Sys = s
-	server.Sys = s
-
-	// Copy-on-demand: a server page fault fetches the page from the
-	// mobile device over the link (request + page reply), stalling the
-	// server and pulsing the mobile radio.
-	server.Mem.Fault = s.servePageFault
-
-	// Function pointers: translate any address either linker assigned to
-	// the local function of the same name; mapped call sites charge the
-	// translation cost in the interpreter.
-	server.ResolveFptr = s.resolver(server, mobile)
-	mobile.ResolveFptr = s.resolver(mobile, server)
-	return s
-}
-
 // debugGate, when set by tests, observes each dynamic-estimation decision.
 var debugGate func(clock simtime.PS, bw int64, ok bool)
 
 // linkAt resolves the effective link for an event at instant t (the link
-// may be time-varying).
-func (s *Session) linkAt(t simtime.PS) *netsim.Link { return s.Link.At(t) }
+// may be time-varying) and traces bandwidth regime changes exactly once.
+func (s *Session) linkAt(t simtime.PS) *netsim.Link {
+	if s.Tracer.Enabled() {
+		if idx, bw := s.Link.PhaseAt(t); idx != s.lastPhase {
+			s.lastPhase = idx
+			s.Tracer.Emit(obs.Event{Time: t, Kind: obs.KLinkPhase, Track: obs.TrackLink,
+				A0: bw, A1: int64(idx)})
+		}
+	}
+	return s.Link.At(t)
+}
 
 // resolver returns a function-pointer resolver for machine self that also
 // understands addresses assigned by other (the m2s/s2m function maps of
@@ -257,7 +255,41 @@ func (s *Session) Shutdown() error {
 	// Final component bookkeeping: mobile-side compute/fptr buckets.
 	s.Comp[interp.CompCompute] += s.Mobile.Comp[interp.CompCompute]
 	s.Comp[interp.CompFptr] += s.Mobile.Comp[interp.CompFptr]
+	s.publishMetrics()
 	return err
+}
+
+// publishMetrics copies the session's aggregated statistics into the
+// attached metrics registry (no-op without one).
+func (s *Session) publishMetrics() {
+	m := s.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("link.msgs_to_server").Set(int64(s.LinkStats.MsgsToServer))
+	m.Counter("link.msgs_to_mobile").Set(int64(s.LinkStats.MsgsToMobile))
+	m.Counter("link.bytes_to_server").Set(s.LinkStats.BytesToServer)
+	m.Counter("link.bytes_to_mobile").Set(s.LinkStats.BytesToMobile)
+	m.Counter("link.comm_time_ps").Set(int64(s.LinkStats.CommTimeMobile))
+	m.Counter("session.offloads").Set(int64(s.Stats.Offloads))
+	m.Counter("session.declines").Set(int64(s.Stats.Declines))
+	m.Counter("session.faults").Set(int64(s.Stats.Faults))
+	m.Counter("session.dirty_pages").Set(int64(s.Stats.DirtyPages))
+	m.Counter("session.prefetch_pages").Set(int64(s.Stats.PrefetchPages))
+	m.Counter("session.writeback_raw_bytes").Set(s.Stats.RawBytesToMobile)
+	m.Counter("session.writeback_wire_bytes").Set(s.Stats.WriteBackWireBytes)
+	for id, st := range s.PerTask {
+		p := fmt.Sprintf("task.%d.", id)
+		m.Counter(p + "offloads").Set(int64(st.Offloads))
+		m.Counter(p + "declines").Set(int64(st.Declines))
+		m.Counter(p + "traffic_bytes").Set(st.TrafficBytes)
+		m.Counter(p + "faults").Set(int64(st.Faults))
+		m.Counter(p + "dirty_pages").Set(int64(st.DirtyPages))
+		m.Counter(p + "prefetch_pages").Set(int64(st.PrefetchPgs))
+	}
+	if d := s.Tracer.Dropped(); d > 0 {
+		m.Counter("trace.dropped_events").Set(d)
+	}
 }
 
 // RunMobile executes the mobile binary under the session, returning its
@@ -282,6 +314,12 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 		return false
 	}
 	if s.Policy.ForceOffload {
+		if s.Tracer.Enabled() {
+			spec := s.tasks[taskID]
+			s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
+				Name: "offload", A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
+				A2: s.est.BandwidthBps, A3: int64(s.est.R * 1000)})
+		}
 		return true
 	}
 	spec, ok := s.tasks[taskID]
@@ -296,7 +334,17 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 	if debugGate != nil {
 		debugGate(m.Clock, est.BandwidthBps, ok)
 	}
+	if s.Tracer.Enabled() {
+		name := "offload"
+		if !ok {
+			name = "decline"
+		}
+		s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
+			Name: name, A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
+			A2: est.BandwidthBps, A3: int64(est.R * 1000)})
+	}
 	if !ok {
+		s.Stats.Declines++
 		if st := s.PerTask[int(taskID)]; st != nil {
 			st.Declines++
 		}
@@ -307,11 +355,14 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 // Offload implements the initialization / offloading execution /
 // finalization phases of Figure 5 from the mobile side.
 func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint64, error) {
-	if _, ok := s.tasks[taskID]; !ok {
+	spec, ok := s.tasks[taskID]
+	if !ok {
 		return 0, fmt.Errorf("offrt: unknown task %d", taskID)
 	}
 	st := s.PerTask[int(taskID)]
 	st.Offloads++
+	s.Stats.Offloads++
+	start := s.Mobile.Clock
 
 	// --- Initialization: offloading info + prefetched heap pages, sent
 	// as one batched message. ---
@@ -333,6 +384,9 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 		}
 	}
 	st.PrefetchPgs += len(req.Pages)
+	s.Stats.PrefetchPages += len(req.Pages)
+	s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KPrefetch, Track: obs.TrackMobile,
+		A0: int64(len(req.Pages)), A1: int64(len(req.Pages)) * mem.PageSize})
 	s.mobilePresent = make(map[uint32]bool)
 	for _, pn := range present {
 		s.mobilePresent[pn] = true
@@ -341,7 +395,7 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	// The request crosses the wire for real: encode, charge the encoded
 	// size, decode on the server side and install the prefetched pages.
 	wire := req.Encode()
-	d := s.Stats.Send(s.linkAt(s.Mobile.Clock), true, int64(len(wire)))
+	d := s.LinkStats.Send(s.linkAt(s.Mobile.Clock), true, int64(len(wire)), s.Mobile.Clock)
 	s.Recorder.Transition(s.Mobile.Clock, energy.TX)
 	s.Mobile.AddTime(d, interp.CompComm)
 	s.Comp[interp.CompComm] += d
@@ -363,6 +417,8 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	if rep.err != nil {
 		return 0, rep.err
 	}
+	s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
+		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
 	return rep.ret, nil
 }
 
@@ -412,6 +468,8 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 		st.DirtyPages += len(dirty)
 		st.Faults += s.Server.Mem.Faults
 	}
+	s.Stats.DirtyPages += len(dirty)
+	s.Stats.Faults += s.Server.Mem.Faults
 
 	if err := s.flushOutput(); err != nil {
 		return err
@@ -421,25 +479,30 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 	for _, pn := range dirty {
 		fin.Pages = append(fin.Pages, PageRecord{PN: pn, Data: s.Server.Mem.PageData(pn)})
 	}
+	var raw int64
 	if !s.Policy.NoCompress && len(fin.Pages) > 0 {
 		// Compression runs on the server only (Section 4): it is far
 		// cheaper there than decompression is on the mobile device.
-		raw, err := fin.CompressPages()
+		var err error
+		raw, err = fin.CompressPages()
 		if err != nil {
 			return err
 		}
-		s.Stats.RawBytesToMob += raw
 		// Server-side compression throughput ~1 GB/s: 1 ns per byte.
 		s.Server.AddTime(simtime.PS(raw)*simtime.Nanosecond, interp.CompComm)
 	} else {
-		s.Stats.RawBytesToMob += int64(len(fin.Pages)) * (mem.PageSize + 4)
+		raw = int64(len(fin.Pages)) * (mem.PageSize + 4)
 	}
+	s.Stats.RawBytesToMobile += raw
 
 	wireBytes := fin.Encode()
 	wire := int64(len(wireBytes))
 	link := s.linkAt(s.Server.Clock)
 	d := link.TransferTime(wire)
-	s.Stats.Send(link, false, wire)
+	s.LinkStats.Send(link, false, wire, s.Server.Clock)
+	s.Stats.WriteBackWireBytes += wire
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KWriteBack,
+		Track: obs.TrackServer, A0: int64(len(dirty)), A1: raw, A2: wire})
 	if st != nil {
 		st.TrafficBytes += wire
 	}
@@ -495,15 +558,22 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 	if !s.mobilePresent[pn] {
 		// The page table shipped at initialization says this page does
 		// not exist on the mobile device: zero-fill locally, no traffic.
+		s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KPageFault,
+			Track: obs.TrackServer, Name: "zero-fill",
+			A0: int64(pn), A1: int64(mem.PageAddr(pn))})
 		return nil, nil
 	}
 	reqMsg := &Message{Kind: MsgPageRequest, Addr: mem.PageAddr(pn)}
 	respMsg := &Message{Kind: MsgPageData,
 		Pages: []PageRecord{{PN: pn, Data: s.Mobile.Mem.PageData(pn)}}}
 	link := s.linkAt(s.Server.Clock)
-	req := s.Stats.Send(link, false, reqMsg.WireSize())
-	resp := s.Stats.Send(link, true, respMsg.WireSize())
+	req := s.LinkStats.Send(link, false, reqMsg.WireSize(), s.Server.Clock)
+	resp := s.LinkStats.Send(link, true, respMsg.WireSize(), s.Server.Clock+req)
 	data := respMsg.Pages[0].Data
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: req + resp, Kind: obs.KPageFault,
+		Track: obs.TrackServer, Name: "remote",
+		A0: int64(pn), A1: int64(mem.PageAddr(pn)),
+		A2: reqMsg.WireSize() + respMsg.WireSize()})
 	if st := s.PerTask[int(s.cur.taskID)]; st != nil {
 		st.TrafficBytes += reqMsg.WireSize() + respMsg.WireSize()
 	}
@@ -527,7 +597,9 @@ func (s *Session) RemoteWrite(m *interp.Machine, out string) error {
 		return nil
 	}
 	msg := &Message{Kind: MsgRemoteWrite, Data: []byte(out)}
-	d := s.Stats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize())
+	d := s.LinkStats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize(), s.Server.Clock)
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+		Track: obs.TrackServer, Name: "printf", A0: int64(len(out))})
 	s.addTaskTraffic(int64(len(out)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
@@ -541,7 +613,9 @@ func (s *Session) flushOutput() error {
 		return nil
 	}
 	msg := &Message{Kind: MsgRemoteWrite, Data: s.outBuf}
-	d := s.Stats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize())
+	d := s.LinkStats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize(), s.Server.Clock)
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+		Track: obs.TrackServer, Name: "printf", A0: int64(len(s.outBuf))})
 	s.addTaskTraffic(int64(len(s.outBuf)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
@@ -555,8 +629,10 @@ func (s *Session) RemoteOpen(m *interp.Machine, name string) (int32, error) {
 	req := &Message{Kind: MsgRemoteOpen, Data: []byte(name)}
 	resp := &Message{Kind: MsgRemoteOpenResp}
 	link := s.linkAt(s.Server.Clock)
-	d := s.Stats.Send(link, false, req.WireSize())
-	d += s.Stats.Send(link, true, resp.WireSize())
+	d := s.LinkStats.Send(link, false, req.WireSize(), s.Server.Clock)
+	d += s.LinkStats.Send(link, true, resp.WireSize(), s.Server.Clock+d)
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+		Track: obs.TrackServer, Name: "open", A0: int64(len(name))})
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
 	return s.Mobile.IO.Open(name)
@@ -573,8 +649,10 @@ func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error)
 	req := &Message{Kind: MsgRemoteRead, FD: fd, N: int32(n)}
 	resp := &Message{Kind: MsgRemoteReadResp, Data: data}
 	link := s.linkAt(s.Server.Clock)
-	d := s.Stats.Send(link, false, req.WireSize())
-	d += s.Stats.Send(link, true, resp.WireSize())
+	d := s.LinkStats.Send(link, false, req.WireSize(), s.Server.Clock)
+	d += s.LinkStats.Send(link, true, resp.WireSize(), s.Server.Clock+d)
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+		Track: obs.TrackServer, Name: "read", A0: int64(len(data))})
 	s.addTaskTraffic(int64(len(data)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
@@ -584,7 +662,9 @@ func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error)
 // RemoteClose closes a mobile-side file.
 func (s *Session) RemoteClose(m *interp.Machine, fd int32) error {
 	msg := &Message{Kind: MsgRemoteClose, FD: fd}
-	d := s.Stats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize())
+	d := s.LinkStats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize(), s.Server.Clock)
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+		Track: obs.TrackServer, Name: "close"})
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
 	return s.Mobile.IO.Close(fd)

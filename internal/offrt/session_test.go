@@ -102,7 +102,10 @@ func setup(t *testing.T, link *netsim.Link, pol Policy) *testEnv {
 	for _, tg := range cres.Targets {
 		tasks = append(tasks, TaskSpec{TaskID: tg.TaskID, Name: tg.Name, TimePerInvocation: tg.TimePerInvocation, MemBytes: tg.MemBytes})
 	}
-	sess := New(mobile, server, link, tasks, pol)
+	sess, err := NewSession(mobile, server, link, WithTasks(tasks...), WithPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &testEnv{cres: cres, link: link, mobile: mobile, server: server, sess: sess, io: io}
 }
 
@@ -195,13 +198,13 @@ func TestCompressionReducesWireBytes(t *testing.T) {
 	if _, err := raw.sess.RunMobile(); err != nil {
 		t.Fatal(err)
 	}
-	if comp.sess.Stats.BytesToMobile >= raw.sess.Stats.BytesToMobile {
+	if comp.sess.LinkStats.BytesToMobile >= raw.sess.LinkStats.BytesToMobile {
 		t.Errorf("compressed bytes %d should be below raw %d",
-			comp.sess.Stats.BytesToMobile, raw.sess.Stats.BytesToMobile)
+			comp.sess.LinkStats.BytesToMobile, raw.sess.LinkStats.BytesToMobile)
 	}
-	if comp.sess.Stats.RawBytesToMob != raw.sess.Stats.RawBytesToMob {
+	if comp.sess.Stats.RawBytesToMobile != raw.sess.Stats.RawBytesToMobile {
 		t.Errorf("pre-compression sizes should match: %d vs %d",
-			comp.sess.Stats.RawBytesToMob, raw.sess.Stats.RawBytesToMob)
+			comp.sess.Stats.RawBytesToMobile, raw.sess.Stats.RawBytesToMobile)
 	}
 }
 
@@ -307,9 +310,11 @@ func TestDynamicGateReactsToDegradingNetwork(t *testing.T) {
 	firstThird := lm.Clock / 50
 
 	link := netsim.Fast80211AC()
-	link.Phases = []netsim.Phase{
-		{Until: firstThird, BandwidthBps: link.BandwidthBps},
-		{Until: 1 << 62, BandwidthBps: 2_000}, // 2 kbps: effectively down
+	if err := link.SetPhases(
+		netsim.Phase{Until: firstThird, BandwidthBps: link.BandwidthBps},
+		netsim.Phase{Until: 1 << 62, BandwidthBps: 2_000}, // 2 kbps: effectively down
+	); err != nil {
+		t.Fatal(err)
 	}
 
 	mobile, err := interp.NewMachine(interp.Config{
@@ -335,7 +340,10 @@ func TestDynamicGateReactsToDegradingNetwork(t *testing.T) {
 		t.Logf("gate: clock=%v bw=%d ok=%v (degrade at %v)", clock, bw, ok, firstThird)
 	}
 	defer func() { debugGate = nil }()
-	sess := New(mobile, server, link, tasks, Policy{})
+	sess, err := NewSession(mobile, server, link, WithTasks(tasks...))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sess.RunMobile(); err != nil {
 		t.Fatal(err)
 	}
