@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test bench golden
+.PHONY: check build vet test bench golden fuzz chaos
 
-## check: the tier-1 verification — build, vet, race-enabled tests.
+## check: the tier-1 verification — build, vet, race-enabled tests, and a
+## short fuzz smoke over the hardened wire decoder.
 check: build vet
 	$(GO) test -race ./...
+	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
 build:
 	$(GO) build ./...
@@ -22,3 +24,12 @@ bench:
 ## golden: regenerate the Chrome-export and metrics-summary golden files.
 golden:
 	$(GO) test ./internal/obs/ -run Golden -update
+
+## fuzz: a longer fuzzing session over the wire decoder.
+fuzz:
+	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 60s
+
+## chaos: the fault-injection campaign — every workload under the
+## drop-rate x outage grid, asserting bit-identical output vs fault-free.
+chaos:
+	$(GO) test ./internal/experiments/ -run '^TestChaos' -v

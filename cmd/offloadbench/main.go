@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, or all")
+	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, or all")
 	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
 	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
@@ -89,6 +89,17 @@ func main() {
 				return err
 			}
 			fmt.Println(t)
+		case "chaos":
+			cells, err := experiments.ChaosSweep()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ChaosTable(cells))
+			for _, c := range cells {
+				if !c.Equal() {
+					return fmt.Errorf("chaos: %s under %s diverged from its fault-free run", c.Workload, c.Plan.String())
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -6,6 +6,7 @@
 //
 //	offloadrun -w 445.gobmk
 //	offloadrun -w chess -depth 9 -turns 2
+//	offloadrun -w 164.gzip -faults "drop=0.2,outage=900ms-20s,seed=6"
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -32,6 +34,7 @@ type observability struct {
 	traceFile string
 	tracer    *obs.Tracer
 	metrics   *obs.Metrics
+	faults    *faults.Plan
 }
 
 func newObservability(traceFile string, wantMetrics bool) *observability {
@@ -45,9 +48,10 @@ func newObservability(traceFile string, wantMetrics bool) *observability {
 	return o
 }
 
-// attach threads the instrumentation into a framework.
+// attach threads the instrumentation and fault plan into a framework.
 func (o *observability) attach(fw *core.Framework) {
 	fw.Tracer, fw.Metrics = o.tracer, o.metrics
+	fw.Faults = o.faults
 }
 
 // finish writes the Chrome trace file and prints the metrics summary.
@@ -85,9 +89,20 @@ func main() {
 	showOut := flag.Bool("output", false, "print program output")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the offloaded run")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
+	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
 	flag.Parse()
 
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		p, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offloadrun: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		plan = p
+	}
 	o := newObservability(*traceFile, *showMetrics)
+	o.faults = plan
 	if *irFile != "" {
 		runIRFile(*irFile, *stdin, *cost, *showOut, o)
 		o.finish()
@@ -103,7 +118,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "offloadrun: unknown workload %q\n", *name)
 		os.Exit(1)
 	}
-	r, err := experiments.RunProgramObserved(w, o.tracer, o.metrics)
+	r, err := experiments.RunProgramFaulted(w, plan, o.tracer, o.metrics)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offloadrun: %v\n", err)
 		os.Exit(1)
@@ -121,6 +136,10 @@ func main() {
 	add("offload fast (802.11ac)", r.Fast, energy.FastModel())
 	t.Note("speedup on fast network: %.2fx; coverage %.1f%%", r.Fast.Speedup(r.Local), 100*r.Coverage())
 	fmt.Println(t)
+	if plan != nil {
+		fmt.Printf("faults (%s): %d injected; recovery: %d retries, %d aborts, %d local fallbacks; output identical to fault-free\n",
+			plan.String(), r.Fast.FaultStats.Total(), r.Fast.Stats.Retries, r.Fast.Stats.Aborts, r.Fast.Stats.Fallbacks)
+	}
 	if *showOut {
 		fmt.Println(r.Local.Output)
 	}

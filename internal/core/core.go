@@ -22,6 +22,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/energy"
 	"repro/internal/estimate"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mem"
@@ -62,6 +63,13 @@ type Framework struct {
 	// statistics. Both are optional (nil disables them at zero cost).
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
+
+	// Faults, when set, injects deterministic link failures into every
+	// offloaded run (chaos testing); the session's recovery layer retries,
+	// aborts and falls back locally as needed. Nil leaves the link reliable.
+	Faults *faults.Plan
+	// Recovery overrides the failure-recovery policy when non-nil.
+	Recovery *offrt.Recovery
 }
 
 // NewFramework returns the default evaluation setup on the given network:
@@ -181,6 +189,12 @@ type OffloadResult struct {
 	Recorder *energy.Recorder
 	// Metrics echoes the framework's registry when one was attached.
 	Metrics *obs.Metrics
+	// MemDigest hashes the mobile device's final semantic memory (globals
+	// and heap, stacks excluded); chaos testing compares it between
+	// faulted and fault-free runs.
+	MemDigest uint64
+	// FaultStats counts the faults actually injected (zero without a plan).
+	FaultStats faults.Stats
 }
 
 // Speedup returns local.Time / off.Time.
@@ -252,15 +266,32 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 			MemBytes:          t.MemBytes,
 		})
 	}
-	sess, err := offrt.NewSession(mobile, server, fw.Link,
+	opts := []offrt.Option{
 		offrt.WithTasks(tasks...), offrt.WithPolicy(pol),
-		offrt.WithTracer(fw.Tracer), offrt.WithMetrics(fw.Metrics))
+		offrt.WithTracer(fw.Tracer), offrt.WithMetrics(fw.Metrics),
+	}
+	var injector *faults.Injector
+	if fw.Faults != nil {
+		injector, err = faults.NewInjector(*fw.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		opts = append(opts, offrt.WithFaults(injector))
+	}
+	if fw.Recovery != nil {
+		opts = append(opts, offrt.WithRecovery(*fw.Recovery))
+	}
+	sess, err := offrt.NewSession(mobile, server, fw.Link, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: session: %w", err)
 	}
 	code, err := sess.RunMobile()
 	if err != nil {
 		return nil, err
+	}
+	var fstats faults.Stats
+	if injector != nil {
+		fstats = injector.Stats()
 	}
 	return &OffloadResult{
 		Code:          code,
@@ -274,5 +305,7 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 		PerTask:       sess.PerTask,
 		Recorder:      sess.Recorder,
 		Metrics:       fw.Metrics,
+		MemDigest:     sess.MemDigest(),
+		FaultStats:    fstats,
 	}, nil
 }

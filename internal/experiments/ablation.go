@@ -60,7 +60,7 @@ func Ablation() (*report.Table, []AblationResult, error) {
 		Baseline: base.Time.Seconds(),
 		Ablated:  noPrefetch.Time.Seconds(),
 		Unit:     "s",
-		Note:     fmt.Sprintf("%d faults vs %d: per-page round trips replace one batched message", faults(noPrefetch), faults(base)),
+		Note:     fmt.Sprintf("%d faults vs %d: per-page round trips replace one batched message", pageFaults(noPrefetch), pageFaults(base)),
 	})
 
 	noComp, err := run(offrt.Policy{ForceOffload: true, NoCompress: true})
@@ -203,7 +203,7 @@ func offloads(r *core.OffloadResult) int {
 	return n
 }
 
-func faults(r *core.OffloadResult) int {
+func pageFaults(r *core.OffloadResult) int {
 	n := 0
 	for _, st := range r.PerTask {
 		n += st.Faults

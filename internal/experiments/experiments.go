@@ -12,6 +12,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/offrt"
 	"repro/internal/report"
@@ -71,9 +72,18 @@ func RunProgram(w *workloads.Workload) (*ProgramResult, error) {
 // registry attached to the fast-network offloaded run (the one the paper's
 // headline numbers come from). Either may be nil.
 func RunProgramObserved(w *workloads.Workload, tracer *obs.Tracer, metrics *obs.Metrics) (*ProgramResult, error) {
+	return RunProgramFaulted(w, nil, tracer, metrics)
+}
+
+// RunProgramFaulted is RunProgramObserved with an optional fault plan
+// injected into the fast-network offloaded run. Graceful degradation is
+// asserted either way: a faulted run whose output diverges from the local
+// baseline is an error, not a result.
+func RunProgramFaulted(w *workloads.Workload, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics) (*ProgramResult, error) {
 	fast := core.NewFramework(core.FastNetwork).WithScale(workloads.Scale, w.CostScale)
 	slow := core.NewFramework(core.SlowNetwork).WithScale(workloads.Scale, w.CostScale)
 	fast.Tracer, fast.Metrics = tracer, metrics
+	fast.Faults = plan
 
 	mod := w.Build()
 	prof, err := fast.Profile(mod, w.ProfileIO())

@@ -42,6 +42,17 @@ type SysHost interface {
 	RemoteClose(m *Machine, fd int32) error
 }
 
+// IOSnapshotter is implemented by IO hosts that can checkpoint and roll
+// back their consumable state (scanf tokens, open file cursors). The
+// offload runtime snapshots before handing a task to the server, so that
+// an aborted remote execution can be re-executed locally without
+// double-consuming input. Output is not part of the snapshot: the runtime
+// journals remote output and only commits it at successful finalization.
+type IOSnapshotter interface {
+	SnapshotIO() interface{}
+	RestoreIO(interface{})
+}
+
 // StdIO is the default IOHost: an output buffer, a token queue for scanf,
 // and a deterministic in-memory file system.
 type StdIO struct {
@@ -156,3 +167,37 @@ func (h *StdIO) Close(fd int32) error {
 	delete(h.fds, fd)
 	return nil
 }
+
+type stdIOSnapshot struct {
+	ints   []int64
+	floats []float64
+	fds    map[int32]fileCursor
+	next   int32
+}
+
+// SnapshotIO checkpoints the consumable input state. Token slices are
+// captured by header only: NextInt/NextFloat re-slice without writing to
+// the backing array, so the snapshot stays valid without copying.
+func (h *StdIO) SnapshotIO() interface{} {
+	fds := make(map[int32]fileCursor, len(h.fds))
+	for fd, c := range h.fds {
+		fds[fd] = *c
+	}
+	return &stdIOSnapshot{ints: h.ints, floats: h.floats, fds: fds, next: h.next}
+}
+
+// RestoreIO rolls the consumable input state back to a SnapshotIO result.
+func (h *StdIO) RestoreIO(v interface{}) {
+	sn, ok := v.(*stdIOSnapshot)
+	if !ok {
+		return
+	}
+	h.ints, h.floats, h.next = sn.ints, sn.floats, sn.next
+	h.fds = make(map[int32]*fileCursor, len(sn.fds))
+	for fd, c := range sn.fds {
+		c := c
+		h.fds[fd] = &c
+	}
+}
+
+var _ IOSnapshotter = (*StdIO)(nil)

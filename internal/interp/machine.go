@@ -153,7 +153,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		funcByAddr: make(map[uint32]*ir.Func),
 		globalAddr: make(map[*ir.Global]uint32),
 		sp:         cfg.Mod.StackBase,
-		spFloor:    cfg.Mod.StackBase - 8<<20, // 8 MiB stack
+		spFloor:    cfg.Mod.StackBase - mem.StackBytes,
 	}
 	m.ResolveFptr = func(addr uint32, mapped bool) (*ir.Func, error) {
 		f, ok := m.funcByAddr[addr]
@@ -323,4 +323,4 @@ func (m *Machine) SP() uint32 { return m.sp }
 
 // SetSP moves the stack pointer (used by the runtime when materializing the
 // offloaded task's stack on the server).
-func (m *Machine) SetSP(sp uint32) { m.sp = sp; m.spFloor = sp - 8<<20 }
+func (m *Machine) SetSP(sp uint32) { m.sp = sp; m.spFloor = sp - mem.StackBytes }

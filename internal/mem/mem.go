@@ -235,3 +235,64 @@ func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*page)
 	m.Faults = 0
 }
+
+// Range is a half-open byte-address interval [Lo, Hi), used to exclude
+// regions from Digest.
+type Range struct{ Lo, Hi uint32 }
+
+// StackBytes is the depth of each machine's run-time stack region.
+const StackBytes = 8 << 20
+
+// StackRanges covers both machines' stack regions. After a program
+// returns, everything below the stack tops is dead residue whose bytes
+// depend on where each frame ran (mobile vs server stack addresses), so
+// semantic memory comparisons exclude it.
+func StackRanges() []Range {
+	return []Range{
+		{MobileStackTop - StackBytes, MobileStackTop},
+		{ServerStackTop - StackBytes, ServerStackTop},
+	}
+}
+
+// Digest returns an FNV-1a hash of the memory image, iterating present
+// pages in sorted order and skipping all-zero pages — an absent page and
+// a zero-filled one hash identically, matching the copy-on-demand
+// zero-fill semantics. Two runs that end in the same logical memory state
+// digest equal even if they faulted different page sets in. Pages
+// overlapping any skip range are left out of the hash.
+func (m *Memory) Digest(skip ...Range) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+pages:
+	for _, pn := range m.PresentPages() {
+		lo := pn * PageSize
+		for _, r := range skip {
+			if lo < r.Hi && lo+PageSize > r.Lo {
+				continue pages
+			}
+		}
+		p := m.pages[pn]
+		zero := true
+		for _, b := range p.data {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(pn >> (8 * i)))
+			h *= prime64
+		}
+		for _, b := range p.data {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/simtime"
 )
@@ -157,6 +158,30 @@ type LinkStats struct {
 
 	// Tracer, when set, receives one KMessage event per Send.
 	Tracer *obs.Tracer
+
+	// Injector, when set, is consulted on every transfer and may drop,
+	// corrupt or delay it (see TrySend). Send ignores verdicts other than
+	// added delay, preserving its infallible contract for callers that
+	// predate the recovery layer.
+	Injector *faults.Injector
+}
+
+// Verdict is the delivery outcome of one TrySend.
+type Verdict uint8
+
+const (
+	// Delivered means the message arrived intact after the returned time.
+	Delivered Verdict = iota
+	// Dropped means the message was lost; the sender learns nothing until
+	// its deadline expires.
+	Dropped
+	// Corrupted means the message arrived after the returned time but
+	// fails its checksum at the receiver.
+	Corrupted
+)
+
+func (v Verdict) String() string {
+	return [...]string{"delivered", "dropped", "corrupted"}[v]
 }
 
 // Stats is the legacy name of LinkStats.
@@ -169,9 +194,35 @@ type Stats = LinkStats
 func (s *LinkStats) TotalBytes() int64 { return s.BytesToServer + s.BytesToMobile }
 
 // Send accounts one message of size bytes in the given direction, departing
-// at instant at, and returns its transfer time.
+// at instant at, and returns its transfer time. It keeps the historical
+// infallible contract: injected drops and corruptions are ignored (only
+// latency spikes show), so callers that cannot recover still simulate a
+// reliable link. Recovery-aware callers use TrySend.
 func (s *LinkStats) Send(l *Link, toServer bool, size int64, at simtime.PS) simtime.PS {
+	d, _ := s.TrySend(l, toServer, size, at)
+	return d
+}
+
+// TrySend accounts one message like Send and additionally reports its
+// delivery verdict under the installed fault injector. Lost and corrupted
+// messages still consume radio time and count as traffic — the sender's
+// radio transmitted them; only the receiver never (usefully) saw them.
+// Without an injector the verdict is always Delivered and the behavior is
+// bit-identical to the historical Send.
+func (s *LinkStats) TrySend(l *Link, toServer bool, size int64, at simtime.PS) (simtime.PS, Verdict) {
 	d := l.TransferTime(size)
+	verdict := Delivered
+	if f := s.Injector.Decide(at); f.Kind != faults.None {
+		switch f.Kind {
+		case faults.Delay:
+			d += f.Delay
+		case faults.Corrupt:
+			verdict = Corrupted
+		case faults.Drop, faults.Outage:
+			verdict = Dropped
+		}
+		s.Tracer.Emit(obs.Event{Time: at, Kind: obs.KFault, Track: obs.TrackLink, Name: f.Kind.String(), A0: size, A1: int64(f.Delay)})
+	}
 	dir := "to_mobile"
 	if toServer {
 		s.MsgsToServer++
@@ -183,5 +234,5 @@ func (s *LinkStats) Send(l *Link, toServer bool, size int64, at simtime.PS) simt
 	}
 	s.CommTimeMobile += d
 	s.Tracer.Emit(obs.Event{Time: at, Dur: d, Kind: obs.KMessage, Track: obs.TrackLink, Name: dir, A0: size})
-	return d
+	return d, verdict
 }

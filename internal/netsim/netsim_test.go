@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 
+	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -165,5 +167,58 @@ func TestPhaseAt(t *testing.T) {
 	}
 	if idx, bw := l.PhaseAt(3 * simtime.Second); idx != 1 || bw != 200 {
 		t.Errorf("PhaseAt(3s) = (%d, %d), want (1, 200) — last phase applies forever", idx, bw)
+	}
+}
+
+func TestTrySendFaults(t *testing.T) {
+	l := Fast80211AC()
+	tr := obs.NewTracer(0)
+
+	// No injector: verdict always Delivered, behavior identical to Send.
+	clean := &LinkStats{Tracer: tr}
+	d1, v := clean.TrySend(l, true, 4096, 0)
+	if v != Delivered || d1 != l.TransferTime(4096) {
+		t.Fatalf("injector-free TrySend = (%v, %v)", d1, v)
+	}
+
+	// Outage window: deterministic drops, still accounted as traffic.
+	st := &LinkStats{Tracer: obs.NewTracer(0), Injector: faults.MustInjector(faults.Plan{
+		Outages: []faults.Window{{Start: 0, End: simtime.Second}},
+	})}
+	_, v = st.TrySend(l, true, 4096, simtime.Millisecond)
+	if v != Dropped {
+		t.Fatalf("in-outage verdict = %v, want Dropped", v)
+	}
+	if st.MsgsToServer != 1 || st.BytesToServer != 4096 {
+		t.Fatalf("lost message not accounted: %+v", st)
+	}
+	if _, v = st.TrySend(l, false, 64, 2*simtime.Second); v != Delivered {
+		t.Fatalf("post-outage verdict = %v, want Delivered", v)
+	}
+	var faultEvents int
+	for _, ev := range st.Tracer.Events() {
+		if ev.Kind == obs.KFault {
+			faultEvents++
+			if ev.Name != "outage" {
+				t.Fatalf("fault event name = %q", ev.Name)
+			}
+		}
+	}
+	if faultEvents != 1 {
+		t.Fatalf("fault events = %d, want 1", faultEvents)
+	}
+
+	// Latency spike: delivered, slower than the clean transfer.
+	sp := &LinkStats{Injector: faults.MustInjector(faults.Plan{Seed: 9, DelayRate: 1, MaxDelay: simtime.Millisecond})}
+	d2, v := sp.TrySend(l, true, 4096, 0)
+	if v != Delivered || d2 <= l.TransferTime(4096) {
+		t.Fatalf("spiked TrySend = (%v, %v), want Delivered and > %v", d2, v, l.TransferTime(4096))
+	}
+
+	// Corruption: delivered-but-bad, full transfer time consumed.
+	co := &LinkStats{Injector: faults.MustInjector(faults.Plan{CorruptRate: 1})}
+	d3, v := co.TrySend(l, true, 4096, 0)
+	if v != Corrupted || d3 != l.TransferTime(4096) {
+		t.Fatalf("corrupted TrySend = (%v, %v)", d3, v)
 	}
 }

@@ -34,6 +34,15 @@ func goldenTracer() *Tracer {
 	tr.Emit(Event{Time: 36 * ms, Dur: 4 * ms, Kind: KWriteBack, Track: TrackServer,
 		A0: 12, A1: 49152, A2: 9300})
 	tr.Emit(Event{Time: 40 * ms, Kind: KTaskExit, Track: TrackServer})
+	// Failure-recovery kinds: an injected fault, the retry it forces, the
+	// abort after an exhausted budget, and the mobile's local fallback
+	// behind a quarantined gate.
+	tr.Emit(Event{Time: 41 * ms, Kind: KFault, Track: TrackLink, Name: "drop", A0: 66000, A1: 0})
+	tr.Emit(Event{Time: 43 * ms, Kind: KRetry, Track: TrackLink, Name: "page.request",
+		A0: 1, A1: int64(2 * ms)})
+	tr.Emit(Event{Time: 50 * ms, Kind: KAbort, Track: TrackServer, Name: "page.request", A0: 1})
+	tr.Emit(Event{Time: 52 * ms, Kind: KQuarantine, Track: TrackMobile, A0: 1, A1: int64(2 * simtime.Second)})
+	tr.Emit(Event{Time: 52 * ms, Dur: 90 * ms, Kind: KFallback, Track: TrackMobile, Name: "crunch", A0: 1})
 	tr.Emit(Event{Time: 0, Dur: 1 * ms, Kind: KRadio, Track: TrackRadio, Name: "compute"})
 	tr.Emit(Event{Time: 1 * ms, Dur: 3 * ms, Kind: KRadio, Track: TrackRadio, Name: "tx"})
 	tr.Emit(Event{Time: 4 * ms, Dur: 36 * ms, Kind: KRadio, Track: TrackRadio, Name: "wait"})
@@ -74,8 +83,8 @@ func TestChromeExportGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("exporter produced invalid JSON: %v", err)
 	}
-	// 13 events + 1 process metadata + 4 tracks * 2 metadata records.
-	if want := 13 + 1 + 8; len(parsed.TraceEvents) != want {
+	// 18 events + 1 process metadata + 4 tracks * 2 metadata records.
+	if want := 18 + 1 + 8; len(parsed.TraceEvents) != want {
 		t.Errorf("traceEvents count = %d, want %d", len(parsed.TraceEvents), want)
 	}
 	checkGolden(t, "chrome_golden.json", buf.Bytes())
@@ -87,10 +96,14 @@ func TestMetricsSummaryGolden(t *testing.T) {
 	m.Counter("link.bytes_to_server").Set(70128)
 	m.Counter("link.msgs_to_mobile").Set(3)
 	m.Counter("link.msgs_to_server").Set(2)
+	m.Counter("faults.injected").Set(2)
+	m.Counter("session.aborts").Set(1)
 	m.Counter("session.declines").Set(0)
 	m.Counter("session.dirty_pages").Set(12)
+	m.Counter("session.fallbacks").Set(1)
 	m.Counter("session.faults").Set(1)
 	m.Counter("session.offloads").Set(1)
 	m.Counter("session.prefetch_pages").Set(16)
+	m.Counter("session.retries").Set(3)
 	checkGolden(t, "metrics_golden.txt", []byte(m.Summary()))
 }

@@ -82,6 +82,22 @@ const (
 	// server timeline. A0=task id.
 	KTaskEnter
 	KTaskExit
+	// KFault is one injected link fault. Name is the fault kind ("drop",
+	// "corrupt", "delay", "outage"); A0=message bytes, A1=added delay (ps).
+	KFault
+	// KRetry is one wire retransmission after a deadline expiry or checksum
+	// failure. Name is the RPC being retried; A0=attempt number, A1=backoff
+	// (ps).
+	KRetry
+	// KAbort marks the runtime giving up on an offload after exhausting
+	// retries. Name is the RPC that failed; A0=task id.
+	KAbort
+	// KFallback spans the local re-execution of an abandoned offload on the
+	// mobile timeline. A0=task id.
+	KFallback
+	// KQuarantine marks the gate entering its post-abort cool-down.
+	// A0=task id, A1=cool-down length (ps).
+	KQuarantine
 	numKinds
 )
 
@@ -101,6 +117,12 @@ var kindMeta = [numKinds]struct {
 	KLinkPhase: {"link_phase", [4]string{"bw_bps", "phase", "", ""}},
 	KTaskEnter: {"task", [4]string{"task", "", "", ""}},
 	KTaskExit:  {"task", [4]string{"", "", "", ""}},
+
+	KFault:      {"fault.injected", [4]string{"bytes", "delay_ps", "", ""}},
+	KRetry:      {"rpc.retry", [4]string{"attempt", "backoff_ps", "", ""}},
+	KAbort:      {"offload.abort", [4]string{"task", "", "", ""}},
+	KFallback:   {"fallback.local", [4]string{"task", "", "", ""}},
+	KQuarantine: {"gate.quarantine", [4]string{"task", "cooldown_ps", "", ""}},
 }
 
 func (k Kind) String() string { return kindMeta[k].name }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/estimate"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -12,11 +13,13 @@ import (
 
 // config collects NewSession's functional options.
 type config struct {
-	pol     Policy
-	tasks   []TaskSpec
-	tracer  *obs.Tracer
-	metrics *obs.Metrics
-	ratio   float64
+	pol      Policy
+	tasks    []TaskSpec
+	tracer   *obs.Tracer
+	metrics  *obs.Metrics
+	ratio    float64
+	injector *faults.Injector
+	rec      *Recovery
 }
 
 // Option configures a Session at construction.
@@ -47,6 +50,16 @@ func WithMetrics(m *obs.Metrics) Option { return func(c *config) { c.metrics = m
 // times. Supersedes the deprecated Policy.R.
 func WithEstimatorRatio(r float64) Option { return func(c *config) { c.ratio = r } }
 
+// WithFaults installs a deterministic link fault injector: every wire
+// transfer consults it and may be dropped, corrupted or delayed, and the
+// session's recovery layer (deadlines, retries, local fallback) takes
+// over from there. A nil injector leaves the link perfectly reliable.
+func WithFaults(in *faults.Injector) Option { return func(c *config) { c.injector = in } }
+
+// WithRecovery replaces the failure-recovery policy (see DefaultRecovery
+// for what sessions use otherwise).
+func WithRecovery(r Recovery) Option { return func(c *config) { c.rec = &r } }
+
 // NewSession builds a session over the given machines and link. The server
 // machine must not be started yet; Session runs it. The link's phase
 // schedule is validated here — a misordered schedule would silently
@@ -68,6 +81,13 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	if cfg.ratio < 0 {
 		return nil, fmt.Errorf("offrt: estimator ratio must be non-negative, got %g", cfg.ratio)
 	}
+	rec := DefaultRecovery()
+	if cfg.rec != nil {
+		rec = *cfg.rec
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	s := &Session{
 		Mobile:   mobile,
@@ -82,6 +102,7 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 		repCh:    make(chan reply),
 		doneCh:   make(chan error, 1),
 		Recorder: energy.NewRecorder(0, energy.Compute),
+		rec:      rec,
 	}
 	for _, t := range cfg.tasks {
 		s.tasks[int32(t.TaskID)] = t
@@ -103,6 +124,7 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	// Thread the tracer through every layer: wire accounting, the radio
 	// power timeline, and the interpreter's task enter/exit events.
 	s.LinkStats.Tracer = cfg.tracer
+	s.LinkStats.Injector = cfg.injector
 	s.Recorder.Tracer = cfg.tracer
 	mobile.Tracer, mobile.TraceTrack = cfg.tracer, obs.TrackMobile
 	server.Tracer, server.TraceTrack = cfg.tracer, obs.TrackServer

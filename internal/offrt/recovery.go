@@ -1,0 +1,232 @@
+package offrt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/interp"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// Recovery tunes the failure-recovery layer: how loss is detected
+// (deadlines), how hard the runtime retries (bounded exponential backoff)
+// and how long the gate is quarantined after an abandoned offload.
+//
+// The wire RPCs are all idempotent — page fetches and remote reads return
+// the same bytes on retransmission, remote output is journaled and only
+// committed once at finalization — so blind retransmission is safe.
+type Recovery struct {
+	// MaxRetries bounds retransmissions per RPC beyond the first attempt.
+	MaxRetries int
+	// BackoffBase is the wait before the first retry; retry i waits
+	// BackoffBase << i (exponential).
+	BackoffBase simtime.PS
+	// DeadlineSlack multiplies the predicted transfer time into the
+	// per-RPC loss-detection deadline (Section 5.1's estimator already
+	// predicts transfer time from live bandwidth; the deadline reuses it).
+	DeadlineSlack float64
+	// DeadlineFloor is the minimum deadline, covering RTT jitter on links
+	// fast enough that the predicted transfer time alone is tiny.
+	DeadlineFloor simtime.PS
+	// Cooldown quarantines the gate after an abandoned offload: every
+	// gate decision inside the window declines, so a flapping link does
+	// not trap the program in repeated offload-abort-fallback cycles.
+	Cooldown simtime.PS
+}
+
+// DefaultRecovery is the recovery policy sessions start from.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		MaxRetries:    3,
+		BackoffBase:   2 * simtime.Millisecond,
+		DeadlineSlack: 3,
+		DeadlineFloor: 5 * simtime.Millisecond,
+		Cooldown:      2 * simtime.Second,
+	}
+}
+
+// Validate rejects configurations the retry loop cannot run with.
+func (r Recovery) Validate() error {
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("offrt: negative MaxRetries %d", r.MaxRetries)
+	}
+	if r.BackoffBase < 0 || r.DeadlineFloor < 0 || r.Cooldown < 0 {
+		return fmt.Errorf("offrt: negative recovery durations (backoff %v, floor %v, cooldown %v)",
+			r.BackoffBase, r.DeadlineFloor, r.Cooldown)
+	}
+	if r.DeadlineSlack < 1 {
+		return fmt.Errorf("offrt: DeadlineSlack %g < 1 would time out in-flight transfers", r.DeadlineSlack)
+	}
+	return nil
+}
+
+// errLinkDown is the terminal failure of one wire RPC after its retry
+// budget is exhausted.
+var errLinkDown = errors.New("link down")
+
+// rpcDeadline is how long the sender waits for evidence of delivery
+// before retransmitting: the estimator-predicted transfer time over the
+// current link regime, scaled by DeadlineSlack and floored.
+func (s *Session) rpcDeadline(link *netsim.Link, size int64) simtime.PS {
+	d := simtime.PS(s.rec.DeadlineSlack * float64(link.TransferTime(size)))
+	if d < s.rec.DeadlineFloor {
+		d = s.rec.DeadlineFloor
+	}
+	return d
+}
+
+// offloadDeadline is the mobile side's patience for a whole offloaded
+// task: predicted server execution time plus predicted communication,
+// scaled like an RPC deadline. When the server abandons a task the link
+// cannot tell the mobile so; this deadline is when the mobile gives up
+// and falls back to local execution.
+func (s *Session) offloadDeadline(spec TaskSpec) simtime.PS {
+	exec := simtime.PS(float64(spec.TimePerInvocation) / s.est.R)
+	comm := s.est.CommTime(spec.MemBytes, 1)
+	d := simtime.PS(s.rec.DeadlineSlack * float64(exec+comm))
+	if d < s.rec.DeadlineFloor {
+		d = s.rec.DeadlineFloor
+	}
+	return d
+}
+
+// sendReliable pushes one wire message with deadline-based loss detection
+// and bounded retransmission with exponential backoff. It returns the
+// total elapsed simulated time — transfer attempts, expired deadlines and
+// backoff waits — and a terminal error once the retry budget is spent.
+// Without a fault injector it reduces to exactly one delivered transfer,
+// bit-identical to the historical Send path.
+func (s *Session) sendReliable(toServer bool, size int64, at simtime.PS, op string) (simtime.PS, error) {
+	var elapsed simtime.PS
+	for attempt := 0; ; attempt++ {
+		now := at + elapsed
+		link := s.linkAt(now)
+		d, verdict := s.LinkStats.TrySend(link, toServer, size, now)
+		switch verdict {
+		case netsim.Delivered:
+			return elapsed + d, nil
+		case netsim.Dropped:
+			// Nothing arrives; the sender learns only from the deadline.
+			elapsed += s.rpcDeadline(link, size)
+		case netsim.Corrupted:
+			// The frame crosses the wire, then fails its CRC32 check at
+			// the receiver, which requests retransmission.
+			elapsed += d
+		}
+		if attempt >= s.rec.MaxRetries {
+			return elapsed, fmt.Errorf("offrt: %s: %w after %d attempts", op, errLinkDown, attempt+1)
+		}
+		backoff := s.rec.BackoffBase << attempt
+		elapsed += backoff
+		s.Stats.Retries++
+		s.Tracer.Emit(obs.Event{Time: at + elapsed, Kind: obs.KRetry, Track: obs.TrackLink,
+			Name: op, A0: int64(attempt + 1), A1: int64(backoff)})
+	}
+}
+
+// abortTask abandons the current offload after a terminal wire failure on
+// the server side. The rest of the task runs in "ghost mode": every
+// remote service (page faults, remote I/O, finalization) is handled
+// locally in-process with no wire traffic, so the partitioned binary's
+// listen loop completes deterministically and parks at the next Accept —
+// but all its effects are discarded and the mobile re-executes locally.
+func (s *Session) abortTask(op string) {
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	s.Stats.Aborts++
+	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KAbort, Track: obs.TrackServer,
+		Name: op, A0: int64(s.cur.taskID)})
+}
+
+// finishAborted is the ghost-mode finalization: discard the journal and
+// every server-side effect of the abandoned task, and release the mobile
+// with an abort reply instead of a result.
+func (s *Session) finishAborted() error {
+	s.ioJournal = nil
+	s.outBuf = nil
+	for _, pn := range s.Server.Mem.PresentPages() {
+		s.Server.Mem.Drop(pn)
+	}
+	s.Server.Mem.Faults = 0
+	s.Server.Mem.TrackDirty = false
+	// The ghost execution's compute never helped anyone; do not fold it
+	// into the session's Figure-7 attribution.
+	for i := range s.Server.Comp {
+		s.Server.Comp[i] = 0
+	}
+	s.aborted = false
+	s.pendingReply = &reply{aborted: true}
+	return nil
+}
+
+// fallbackLocal re-executes an abandoned offload on the mobile device:
+// roll the I/O state back to the pre-offload snapshot, quarantine the
+// gate, and run the task's local arm (the partitioner keeps every offload
+// target callable in the mobile binary — the gate diamond's else branch).
+func (s *Session) fallbackLocal(taskID int32, spec TaskSpec, args []uint64, ioSnap interface{}) (uint64, error) {
+	if ioSnap != nil {
+		if sn, ok := s.Mobile.IO.(interp.IOSnapshotter); ok {
+			sn.RestoreIO(ioSnap)
+		}
+	}
+	s.Stats.Fallbacks++
+	if s.rec.Cooldown > 0 {
+		s.quarantineUntil = s.Mobile.Clock + s.rec.Cooldown
+		s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KQuarantine, Track: obs.TrackMobile,
+			A0: int64(taskID), A1: int64(s.rec.Cooldown)})
+	}
+	s.Recorder.Transition(s.Mobile.Clock, energy.Compute)
+	f := s.Mobile.Mod.Func(spec.Name)
+	if f == nil {
+		return 0, fmt.Errorf("offrt: cannot fall back: no local %s in mobile binary", spec.Name)
+	}
+	begin := s.Mobile.Clock
+	ret, err := s.Mobile.CallFunc(f, args...)
+	s.Tracer.Emit(obs.Event{Time: begin, Dur: s.Mobile.Clock - begin, Kind: obs.KFallback,
+		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
+	return ret, err
+}
+
+// commitJournal applies the offload's journaled effects at successful
+// finalization (commit-at-return): first the validated dirty-page
+// write-back, then the remote output in original order. Nothing here can
+// fail halfway — validation happened before the first install — so a
+// partial write-back never corrupts unified memory.
+func (s *Session) commitJournal(pages []PageRecord) {
+	for _, p := range pages {
+		s.Mobile.Mem.InstallPage(p.PN, p.Data)
+	}
+	for _, out := range s.ioJournal {
+		s.Mobile.IO.Write(out)
+	}
+	s.ioJournal = nil
+}
+
+// MemDigest hashes the mobile device's final semantic memory: globals and
+// heap, with both stack regions excluded. Whether a task ran remotely (its
+// frames on the server stack, written back as dirty pages) or locally (on
+// the mobile stack), the dead residue below the stack tops differs while
+// the program's observable memory is identical — so equivalence checks
+// between faulted and fault-free runs compare this digest.
+func (s *Session) MemDigest() uint64 {
+	return s.Mobile.Mem.Digest(mem.StackRanges()...)
+}
+
+// snapshotIO checkpoints the mobile I/O state before an offload when a
+// fault injector is active (without one, offloads cannot abort and the
+// snapshot would be dead weight on every invocation).
+func (s *Session) snapshotIO() interface{} {
+	if s.LinkStats.Injector == nil {
+		return nil
+	}
+	if sn, ok := s.Mobile.IO.(interp.IOSnapshotter); ok {
+		return sn.SnapshotIO()
+	}
+	return nil
+}

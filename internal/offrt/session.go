@@ -105,6 +105,25 @@ type Session struct {
 	tasks map[int32]TaskSpec
 	est   estimate.Params
 
+	// rec is the failure-recovery policy (deadlines, retries, quarantine).
+	rec Recovery
+
+	// aborted marks the current offload abandoned after a terminal wire
+	// failure: the server finishes the task in ghost mode (all remote
+	// services handled locally, no wire traffic) and its effects are
+	// discarded at finalization.
+	aborted bool
+
+	// quarantineUntil keeps the gate declining after an abandoned offload
+	// (cool-down before re-offloading).
+	quarantineUntil simtime.PS
+
+	// ioJournal holds remote output (r_printf payloads) journaled during
+	// an offload and committed to the mobile environment only at
+	// successful finalization (commit-at-return), so an aborted offload
+	// leaves no partial output behind.
+	ioJournal []string
+
 	// outBuf accumulates batched r_printf output on the server side.
 	outBuf []byte
 
@@ -150,6 +169,15 @@ type SessionStats struct {
 	// WriteBackWireBytes is the encoded (post-compression) size of the
 	// finalization messages.
 	WriteBackWireBytes int64
+
+	// Retries counts wire retransmissions after deadline expiries or
+	// checksum failures; Aborts counts offloads abandoned after the retry
+	// budget was spent; Fallbacks counts local re-executions of abandoned
+	// tasks (Fallbacks can exceed Aborts by failed offload requests, which
+	// fall back without the server ever seeing the task).
+	Retries   int
+	Aborts    int
+	Fallbacks int
 }
 
 // TaskStats is per-task accounting for Table 4 and Figure 6.
@@ -177,6 +205,9 @@ type request struct {
 type reply struct {
 	ret uint64
 	err error
+	// aborted means the server abandoned the task after exhausting its
+	// wire retries; the mobile must re-execute locally.
+	aborted bool
 }
 
 // debugGate, when set by tests, observes each dynamic-estimation decision.
@@ -237,7 +268,11 @@ func (s *Session) Start() {
 	}()
 }
 
-// Shutdown stops the server loop and finishes the energy timeline.
+// Shutdown stops the server loop and finishes the energy timeline. It is
+// idempotent — only the first call publishes metrics and stops the loop —
+// and safe even if the server goroutine already died (e.g. after an
+// aborted offload took the listen loop down): the select below never
+// deadlocks on a listener that is no longer receiving.
 func (s *Session) Shutdown() error {
 	s.mu.Lock()
 	started, closed := s.started, s.closed
@@ -248,8 +283,12 @@ func (s *Session) Shutdown() error {
 	}
 	var err error
 	if started {
-		s.reqCh <- request{taskID: 0}
-		err = <-s.doneCh
+		select {
+		case s.reqCh <- request{taskID: 0}:
+			err = <-s.doneCh
+		case err = <-s.doneCh:
+			// The server exited on its own; nothing left to stop.
+		}
 	}
 	s.Recorder.Finish(s.Mobile.Clock)
 	// Final component bookkeeping: mobile-side compute/fptr buckets.
@@ -278,6 +317,10 @@ func (s *Session) publishMetrics() {
 	m.Counter("session.prefetch_pages").Set(int64(s.Stats.PrefetchPages))
 	m.Counter("session.writeback_raw_bytes").Set(s.Stats.RawBytesToMobile)
 	m.Counter("session.writeback_wire_bytes").Set(s.Stats.WriteBackWireBytes)
+	m.Counter("session.retries").Set(int64(s.Stats.Retries))
+	m.Counter("session.aborts").Set(int64(s.Stats.Aborts))
+	m.Counter("session.fallbacks").Set(int64(s.Stats.Fallbacks))
+	m.Counter("faults.injected").Set(s.LinkStats.Injector.Stats().Total())
 	for id, st := range s.PerTask {
 		p := fmt.Sprintf("task.%d.", id)
 		m.Counter(p + "offloads").Set(int64(st.Offloads))
@@ -311,6 +354,22 @@ func (s *Session) RunMobile() (int32, error) {
 // offload in unfavourable conditions (gzip on 802.11n is the paper's star).
 func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 	if s.Policy.DisableGate {
+		return false
+	}
+	if m.Clock < s.quarantineUntil {
+		// Post-abort cool-down: the link just failed an offload, don't
+		// trust it again yet. Overrides ForceOffload — a quarantined gate
+		// is the recovery mechanism, not a policy preference.
+		s.Stats.Declines++
+		if st := s.PerTask[int(taskID)]; st != nil {
+			st.Declines++
+		}
+		if s.Tracer.Enabled() {
+			spec := s.tasks[taskID]
+			s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
+				Name: "quarantine", A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
+				A2: s.est.BandwidthBps, A3: int64(s.est.R * 1000)})
+		}
 		return false
 	}
 	if s.Policy.ForceOffload {
@@ -392,15 +451,24 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 		s.mobilePresent[pn] = true
 	}
 
+	// Checkpoint the mobile I/O state while it is still untouched: if the
+	// offload aborts, the local re-execution must consume the same input.
+	ioSnap := s.snapshotIO()
+
 	// The request crosses the wire for real: encode, charge the encoded
 	// size, decode on the server side and install the prefetched pages.
 	wire := req.Encode()
-	d := s.LinkStats.Send(s.linkAt(s.Mobile.Clock), true, int64(len(wire)), s.Mobile.Clock)
+	d, sendErr := s.sendReliable(true, int64(len(wire)), s.Mobile.Clock, "offload.request")
 	s.Recorder.Transition(s.Mobile.Clock, energy.TX)
 	s.Mobile.AddTime(d, interp.CompComm)
 	s.Comp[interp.CompComm] += d
 	s.Recorder.Transition(s.Mobile.Clock, energy.Wait)
 	st.TrafficBytes += int64(len(wire))
+	if sendErr != nil {
+		// The server never saw the request; degrade to local execution
+		// without involving the listen loop at all.
+		return s.fallbackLocal(taskID, spec, args, ioSnap)
+	}
 
 	got, err := Decode(wire)
 	if err != nil {
@@ -416,6 +484,15 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	s.inFlight = false
 	if rep.err != nil {
 		return 0, rep.err
+	}
+	if rep.aborted {
+		// The server abandoned the task mid-flight. A dead link cannot
+		// deliver that news, so the mobile's own patience — the offload
+		// deadline — is what actually expires before it re-executes.
+		wait := s.offloadDeadline(spec)
+		s.Mobile.AddTime(wait, interp.CompComm)
+		s.Comp[interp.CompComm] += wait
+		return s.fallbackLocal(taskID, spec, args, ioSnap)
 	}
 	s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
 		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
@@ -460,8 +537,15 @@ func (s *Session) Arg(m *interp.Machine, i int32) uint64 {
 
 // SendReturn implements finalization: the server sends the return value,
 // the dirty pages, and the updated page table back in one batched,
-// compressed message, then drops its copy of the offloading data.
+// compressed message, then drops its copy of the offloading data. The
+// write-back is journaled: the whole frame is validated (checksum,
+// structure, decompression) before the first page is installed on the
+// mobile device, so a corrupted or partial finalization never taints
+// unified memory (commit-at-return).
 func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
+	if s.aborted {
+		return s.finishAborted()
+	}
 	dirty := s.Server.Mem.DirtyPages()
 	st := s.PerTask[int(s.cur.taskID)]
 	if st != nil {
@@ -473,6 +557,10 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 
 	if err := s.flushOutput(); err != nil {
 		return err
+	}
+	if s.aborted {
+		// The batched-output flush exhausted its retries.
+		return s.finishAborted()
 	}
 	fin := &Message{Kind: MsgFinalize, TaskID: s.cur.taskID, Ret: v,
 		PageTable: s.Server.Mem.PresentPages()}
@@ -497,9 +585,12 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 
 	wireBytes := fin.Encode()
 	wire := int64(len(wireBytes))
-	link := s.linkAt(s.Server.Clock)
-	d := link.TransferTime(wire)
-	s.LinkStats.Send(link, false, wire, s.Server.Clock)
+	d, sendErr := s.sendReliable(false, wire, s.Server.Clock, "finalize")
+	if sendErr != nil {
+		s.Server.AddTime(d, interp.CompComm)
+		s.abortTask("finalize")
+		return s.finishAborted()
+	}
 	s.Stats.WriteBackWireBytes += wire
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KWriteBack,
 		Track: obs.TrackServer, A0: int64(len(dirty)), A1: raw, A2: wire})
@@ -507,8 +598,10 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 		st.TrafficBytes += wire
 	}
 
-	// Apply the write-back on the mobile device and synchronize clocks:
-	// the mobile resumes when the finalization message has arrived.
+	// Validate the complete write-back, then commit it atomically on the
+	// mobile device together with the journaled remote output, and
+	// synchronize clocks: the mobile resumes when the finalization
+	// message has arrived.
 	decoded, err := Decode(wireBytes)
 	if err != nil {
 		return fmt.Errorf("offrt: finalize message corrupt: %w", err)
@@ -517,9 +610,7 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 	if err != nil {
 		return fmt.Errorf("offrt: finalize payload corrupt: %w", err)
 	}
-	for _, p := range pages {
-		s.Mobile.Mem.InstallPage(p.PN, p.Data)
-	}
+	s.commitJournal(pages)
 	arrive := s.Server.Clock + d
 	if arrive > s.Mobile.Clock {
 		gap := arrive - s.Mobile.Clock
@@ -558,17 +649,33 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 	if !s.mobilePresent[pn] {
 		// The page table shipped at initialization says this page does
 		// not exist on the mobile device: zero-fill locally, no traffic.
-		s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KPageFault,
-			Track: obs.TrackServer, Name: "zero-fill",
-			A0: int64(pn), A1: int64(mem.PageAddr(pn))})
+		if !s.aborted {
+			s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KPageFault,
+				Track: obs.TrackServer, Name: "zero-fill",
+				A0: int64(pn), A1: int64(mem.PageAddr(pn))})
+		}
 		return nil, nil
+	}
+	if s.aborted {
+		// Ghost mode: serve the page in-process so the abandoned task can
+		// run to completion; its results are discarded at finalization.
+		return s.Mobile.Mem.PageData(pn), nil
 	}
 	reqMsg := &Message{Kind: MsgPageRequest, Addr: mem.PageAddr(pn)}
 	respMsg := &Message{Kind: MsgPageData,
 		Pages: []PageRecord{{PN: pn, Data: s.Mobile.Mem.PageData(pn)}}}
-	link := s.linkAt(s.Server.Clock)
-	req := s.LinkStats.Send(link, false, reqMsg.WireSize(), s.Server.Clock)
-	resp := s.LinkStats.Send(link, true, respMsg.WireSize(), s.Server.Clock+req)
+	req, rerr := s.sendReliable(false, reqMsg.WireSize(), s.Server.Clock, "page.request")
+	if rerr != nil {
+		s.Server.AddTime(req, interp.CompComm)
+		s.abortTask("page.request")
+		return s.Mobile.Mem.PageData(pn), nil
+	}
+	resp, rerr := s.sendReliable(true, respMsg.WireSize(), s.Server.Clock+req, "page.data")
+	if rerr != nil {
+		s.Server.AddTime(req+resp, interp.CompComm)
+		s.abortTask("page.data")
+		return s.Mobile.Mem.PageData(pn), nil
+	}
 	data := respMsg.Pages[0].Data
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: req + resp, Kind: obs.KPageFault,
 		Track: obs.TrackServer, Name: "remote",
@@ -586,9 +693,14 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 
 // ---- SysHost: remote I/O (Section 3.4) ----
 
-// RemoteWrite ships r_printf output to the mobile device and executes the
-// original printf there.
+// RemoteWrite ships r_printf output to the mobile device, where it is
+// journaled and committed at successful finalization (commit-at-return).
 func (s *Session) RemoteWrite(m *interp.Machine, out string) error {
+	if s.aborted {
+		// Ghost mode: the output would be discarded at finalization
+		// anyway; the local re-execution reproduces it.
+		return nil
+	}
 	if s.Policy.BatchOutput {
 		s.outBuf = append(s.outBuf, out...)
 		if len(s.outBuf) >= 8<<10 {
@@ -597,13 +709,18 @@ func (s *Session) RemoteWrite(m *interp.Machine, out string) error {
 		return nil
 	}
 	msg := &Message{Kind: MsgRemoteWrite, Data: []byte(out)}
-	d := s.LinkStats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize(), s.Server.Clock)
+	d, sendErr := s.sendReliable(false, msg.WireSize(), s.Server.Clock, "remote.printf")
+	if sendErr != nil {
+		s.Server.AddTime(d, interp.CompRemoteIO)
+		s.abortTask("remote.printf")
+		return nil
+	}
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "printf", A0: int64(len(out))})
 	s.addTaskTraffic(int64(len(out)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
-	s.Mobile.IO.Write(out)
+	s.ioJournal = append(s.ioJournal, out)
 	return nil
 }
 
@@ -612,25 +729,46 @@ func (s *Session) flushOutput() error {
 	if len(s.outBuf) == 0 {
 		return nil
 	}
+	if s.aborted {
+		s.outBuf = nil
+		return nil
+	}
 	msg := &Message{Kind: MsgRemoteWrite, Data: s.outBuf}
-	d := s.LinkStats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize(), s.Server.Clock)
+	d, sendErr := s.sendReliable(false, msg.WireSize(), s.Server.Clock, "remote.printf")
+	if sendErr != nil {
+		s.Server.AddTime(d, interp.CompRemoteIO)
+		s.abortTask("remote.printf")
+		s.outBuf = nil
+		return nil
+	}
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "printf", A0: int64(len(s.outBuf))})
 	s.addTaskTraffic(int64(len(s.outBuf)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
-	s.Mobile.IO.Write(string(s.outBuf))
+	s.ioJournal = append(s.ioJournal, string(s.outBuf))
 	s.outBuf = nil
 	return nil
 }
 
 // RemoteOpen opens a file in the mobile environment (round trip).
 func (s *Session) RemoteOpen(m *interp.Machine, name string) (int32, error) {
+	if s.aborted {
+		return s.Mobile.IO.Open(name)
+	}
 	req := &Message{Kind: MsgRemoteOpen, Data: []byte(name)}
 	resp := &Message{Kind: MsgRemoteOpenResp}
-	link := s.linkAt(s.Server.Clock)
-	d := s.LinkStats.Send(link, false, req.WireSize(), s.Server.Clock)
-	d += s.LinkStats.Send(link, true, resp.WireSize(), s.Server.Clock+d)
+	d, sendErr := s.sendReliable(false, req.WireSize(), s.Server.Clock, "remote.open")
+	if sendErr == nil {
+		var dr simtime.PS
+		dr, sendErr = s.sendReliable(true, resp.WireSize(), s.Server.Clock+d, "remote.open")
+		d += dr
+	}
+	if sendErr != nil {
+		s.Server.AddTime(d, interp.CompRemoteIO)
+		s.abortTask("remote.open")
+		return s.Mobile.IO.Open(name)
+	}
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "open", A0: int64(len(name))})
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
@@ -646,11 +784,22 @@ func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	if s.aborted {
+		return data, nil
+	}
 	req := &Message{Kind: MsgRemoteRead, FD: fd, N: int32(n)}
 	resp := &Message{Kind: MsgRemoteReadResp, Data: data}
-	link := s.linkAt(s.Server.Clock)
-	d := s.LinkStats.Send(link, false, req.WireSize(), s.Server.Clock)
-	d += s.LinkStats.Send(link, true, resp.WireSize(), s.Server.Clock+d)
+	d, sendErr := s.sendReliable(false, req.WireSize(), s.Server.Clock, "remote.read")
+	if sendErr == nil {
+		var dr simtime.PS
+		dr, sendErr = s.sendReliable(true, resp.WireSize(), s.Server.Clock+d, "remote.read")
+		d += dr
+	}
+	if sendErr != nil {
+		s.Server.AddTime(d, interp.CompRemoteIO)
+		s.abortTask("remote.read")
+		return data, nil
+	}
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "read", A0: int64(len(data))})
 	s.addTaskTraffic(int64(len(data)))
@@ -661,8 +810,16 @@ func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error)
 
 // RemoteClose closes a mobile-side file.
 func (s *Session) RemoteClose(m *interp.Machine, fd int32) error {
+	if s.aborted {
+		return s.Mobile.IO.Close(fd)
+	}
 	msg := &Message{Kind: MsgRemoteClose, FD: fd}
-	d := s.LinkStats.Send(s.linkAt(s.Server.Clock), false, msg.WireSize(), s.Server.Clock)
+	d, sendErr := s.sendReliable(false, msg.WireSize(), s.Server.Clock, "remote.close")
+	if sendErr != nil {
+		s.Server.AddTime(d, interp.CompRemoteIO)
+		s.abortTask("remote.close")
+		return s.Mobile.IO.Close(fd)
+	}
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "close"})
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)

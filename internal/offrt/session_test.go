@@ -63,7 +63,7 @@ type testEnv struct {
 	io     *interp.StdIO
 }
 
-func setup(t *testing.T, link *netsim.Link, pol Policy) *testEnv {
+func setup(t *testing.T, link *netsim.Link, pol Policy, extra ...Option) *testEnv {
 	t.Helper()
 	mod := buildHeavy()
 
@@ -102,7 +102,8 @@ func setup(t *testing.T, link *netsim.Link, pol Policy) *testEnv {
 	for _, tg := range cres.Targets {
 		tasks = append(tasks, TaskSpec{TaskID: tg.TaskID, Name: tg.Name, TimePerInvocation: tg.TimePerInvocation, MemBytes: tg.MemBytes})
 	}
-	sess, err := NewSession(mobile, server, link, WithTasks(tasks...), WithPolicy(pol))
+	opts := append([]Option{WithTasks(tasks...), WithPolicy(pol)}, extra...)
+	sess, err := NewSession(mobile, server, link, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/mem"
@@ -65,7 +66,19 @@ type Message struct {
 	Compressed bool
 }
 
-// Encode serializes the message with a 4-byte length prefix.
+// MaxWireBytes bounds one encoded message. The largest legitimate frames
+// are offload requests carrying a prefetched working set and finalization
+// messages carrying compressed dirty pages; even unscaled workloads stay
+// far below 1 GiB, so anything bigger is a malformed or hostile frame.
+const MaxWireBytes = 1 << 30
+
+// Encode serializes the message as
+//
+//	[4-byte length][body][4-byte CRC32 (IEEE) of body]
+//
+// with the length prefix counting everything after itself (body + CRC).
+// The checksum lets the receiver detect payload corruption on a faulty
+// link and request a retransmission instead of interpreting garbage.
 func (m *Message) Encode() []byte {
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
@@ -104,21 +117,37 @@ func (m *Message) Encode() []byte {
 	w(uint32(len(m.Data)))
 	buf.Write(m.Data)
 
+	sum := crc32.ChecksumIEEE(buf.Bytes()[4:])
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	buf.Write(crc[:])
+
 	out := buf.Bytes()
 	binary.LittleEndian.PutUint32(out[:4], uint32(len(out)-4))
 	return out
 }
 
-// Decode parses one encoded message.
+// Decode parses and validates one encoded message. It never panics on
+// hostile input: the frame length, CRC32 checksum, message kind and every
+// declared element count are checked against the bytes actually present
+// before any allocation sized from them.
 func Decode(b []byte) (*Message, error) {
-	if len(b) < 4 {
+	if len(b) < 8 {
 		return nil, fmt.Errorf("offrt: short message (%d bytes)", len(b))
 	}
+	if len(b) > MaxWireBytes {
+		return nil, fmt.Errorf("offrt: oversized message (%d bytes > %d cap)", len(b), MaxWireBytes)
+	}
 	want := binary.LittleEndian.Uint32(b[:4])
-	if int(want) != len(b)-4 {
+	if int64(want) != int64(len(b)-4) {
 		return nil, fmt.Errorf("offrt: length prefix %d does not match body %d", want, len(b)-4)
 	}
-	r := bytes.NewReader(b[4:])
+	body := b[4 : len(b)-4]
+	wantSum := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != wantSum {
+		return nil, fmt.Errorf("offrt: checksum mismatch (got %08x, frame says %08x)", got, wantSum)
+	}
+	r := bytes.NewReader(body)
 	m := &Message{}
 	var kind, comp uint8
 	var nArgs, nPT, nPages, nData uint32
@@ -128,9 +157,15 @@ func Decode(b []byte) (*Message, error) {
 	); err != nil {
 		return nil, err
 	}
+	if kind == 0 || MsgKind(kind) > MsgShutdown {
+		return nil, fmt.Errorf("offrt: unknown message kind %d", kind)
+	}
 	m.Kind = MsgKind(kind)
-	if nArgs > 1<<16 {
+	if nArgs > 1<<16 || int64(nArgs)*8 > int64(r.Len()) {
 		return nil, fmt.Errorf("offrt: absurd arg count %d", nArgs)
+	}
+	if nArgs > 0 {
+		m.Args = make([]uint64, 0, nArgs)
 	}
 	for i := uint32(0); i < nArgs; i++ {
 		var a uint64
@@ -142,8 +177,11 @@ func Decode(b []byte) (*Message, error) {
 	if err := rd(&nPT); err != nil {
 		return nil, err
 	}
-	if nPT > 1<<24 {
+	if nPT > 1<<24 || int64(nPT)*4 > int64(r.Len()) {
 		return nil, fmt.Errorf("offrt: absurd page table size %d", nPT)
+	}
+	if nPT > 0 {
+		m.PageTable = make([]uint32, 0, nPT)
 	}
 	for i := uint32(0); i < nPT; i++ {
 		var pn uint32
@@ -155,8 +193,11 @@ func Decode(b []byte) (*Message, error) {
 	if err := rd(&nPages); err != nil {
 		return nil, err
 	}
-	if nPages > 1<<20 {
+	if nPages > 1<<20 || int64(nPages)*(4+mem.PageSize) > int64(r.Len()) {
 		return nil, fmt.Errorf("offrt: absurd page count %d", nPages)
+	}
+	if nPages > 0 {
+		m.Pages = make([]PageRecord, 0, nPages)
 	}
 	for i := uint32(0); i < nPages; i++ {
 		var pn uint32
@@ -172,8 +213,11 @@ func Decode(b []byte) (*Message, error) {
 	if err := firstErr(rd(&m.Addr), rd(&m.FD), rd(&m.N), rd(&m.Ret), rd(&comp), rd(&nData)); err != nil {
 		return nil, err
 	}
+	if comp > 1 {
+		return nil, fmt.Errorf("offrt: bad compression flag %d", comp)
+	}
 	m.Compressed = comp == 1
-	if int(nData) != r.Len() {
+	if int64(nData) != int64(r.Len()) {
 		return nil, fmt.Errorf("offrt: trailing data mismatch: declared %d, have %d", nData, r.Len())
 	}
 	if nData > 0 {

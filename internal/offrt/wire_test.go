@@ -2,6 +2,8 @@ package offrt
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 
@@ -155,5 +157,55 @@ func TestWireSizeTracksPayload(t *testing.T) {
 func TestMsgKindString(t *testing.T) {
 	if MsgFinalize.String() != "finalize" || MsgKind(99).String() == "" {
 		t.Error("MsgKind.String broken")
+	}
+}
+
+func TestDecodeRejectsBitFlip(t *testing.T) {
+	m := &Message{Kind: MsgRemoteWrite, Data: []byte("score 42\n")}
+	enc := m.Encode()
+	// Flip every body byte in turn: the CRC must catch each single-bit error.
+	for i := 4; i < len(enc)-4; i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		}
+	}
+	// Flipping the checksum itself must fail too.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("broken checksum accepted")
+	}
+}
+
+func TestDecodeRejectsMalformedStructure(t *testing.T) {
+	reseal := func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[4:len(b)-4]))
+		binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+		return b
+	}
+	base := (&Message{Kind: MsgFinalize, Ret: 7}).Encode()
+
+	// Unknown kind with a valid checksum.
+	bad := append([]byte(nil), base...)
+	bad[4] = byte(MsgShutdown) + 1
+	if _, err := Decode(reseal(bad)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	bad = append([]byte(nil), base...)
+	bad[4] = 0
+	if _, err := Decode(reseal(bad)); err == nil {
+		t.Error("zero kind accepted")
+	}
+
+	// Element counts exceeding the bytes present (valid checksum, hostile
+	// counts): args, page table, pages.
+	for _, off := range []int{4 + 1 + 4 + 4} { // nArgs offset after kind+task+sp
+		bad = append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(bad[off:], 1<<15)
+		if _, err := Decode(reseal(bad)); err == nil {
+			t.Errorf("hostile count at offset %d accepted", off)
+		}
 	}
 }
