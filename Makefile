@@ -17,9 +17,15 @@ vet:
 test:
 	$(GO) test ./...
 
-## bench: the observability hot-path allocation benchmarks.
+## bench: the interpreter/memory micro-benchmarks (fast vs reference
+## engine, with steps/sec and allocations) plus the observability hot-path
+## allocation benchmarks. Writes the machine-readable record to
+## BENCH_interp.json and fails if the fast engine regresses below the 5x
+## steps/sec floor or allocates in steady state.
 bench:
+	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest' -benchmem ./internal/interp/
 	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
+	BENCH_JSON=$(CURDIR)/BENCH_interp.json $(GO) test ./internal/interp/ -run '^TestBenchJSON$$' -count=1 -v
 
 ## golden: regenerate the Chrome-export and metrics-summary golden files.
 golden:

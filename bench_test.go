@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -34,7 +35,11 @@ func BenchmarkTable1(b *testing.B) {
 		gap = t.Rows[len(t.Rows)-1][3]
 		logArtifact(b, "table1", t.String())
 	}
-	b.ReportMetric(atof(gap), "gap_x")
+	v, err := strconv.ParseFloat(gap, 64)
+	if err != nil {
+		b.Fatalf("parse gap %q: %v", gap, err)
+	}
+	b.ReportMetric(v, "gap_x")
 }
 
 // BenchmarkTable2 renders the Android native-code study.
@@ -137,22 +142,6 @@ func BenchmarkFig8(b *testing.B) {
 		}
 		logArtifact(b, "fig8", text)
 	}
-}
-
-func atof(s string) float64 {
-	var v float64
-	for i := 0; i < len(s); i++ {
-		if s[i] == '.' {
-			frac := 0.1
-			for j := i + 1; j < len(s); j++ {
-				v += float64(s[j]-'0') * frac
-				frac /= 10
-			}
-			break
-		}
-		v = v*10 + float64(s[i]-'0')
-	}
-	return v
 }
 
 // BenchmarkAblation regenerates the design-choice ablation table.

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -23,7 +25,15 @@ func main() {
 	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
+	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	flag.Parse()
+
+	eng, err := interp.ParseEngine(*engineSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offloadbench: -engine: %v\n", err)
+		os.Exit(1)
+	}
+	core.DefaultEngine = eng
 
 	if *observe != "" || *traceFile != "" || *showMetrics {
 		if err := runObserved(*observe, *traceFile, *showMetrics); err != nil {

@@ -90,7 +90,15 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the offloaded run")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
 	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
+	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	flag.Parse()
+
+	eng, err := interp.ParseEngine(*engineSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offloadrun: -engine: %v\n", err)
+		os.Exit(1)
+	}
+	core.DefaultEngine = eng
 
 	var plan *faults.Plan
 	if *faultSpec != "" {

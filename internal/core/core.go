@@ -70,7 +70,19 @@ type Framework struct {
 	Faults *faults.Plan
 	// Recovery overrides the failure-recovery policy when non-nil.
 	Recovery *offrt.Recovery
+
+	// Engine selects the interpreter engine for every machine this
+	// framework builds (RunLocal, RunOffloaded, Profile's machine). The
+	// zero value is the pre-decoded fast engine; interp.EngineRef selects
+	// the reference tree-walker. Profiling runs always fall back to the
+	// reference engine internally because the profiler attaches a Listener.
+	Engine interp.Engine
 }
+
+// DefaultEngine is the engine NewFramework installs. It exists so entry
+// points (CLIs, experiments) can flip every framework they construct with a
+// single assignment, e.g. from an -engine flag.
+var DefaultEngine = interp.EngineFast
 
 // NewFramework returns the default evaluation setup on the given network:
 // ARM32 mobile, x86-64 server.
@@ -81,6 +93,7 @@ func NewFramework(n Network) *Framework {
 		CostScale: 1,
 		Scale:     1,
 		RemoteIO:  true,
+		Engine:    DefaultEngine,
 	}
 	switch n {
 	case SlowNetwork:
@@ -119,6 +132,7 @@ func (fw *Framework) Profile(mod *ir.Module, io *interp.StdIO) (*profile.Report,
 	m, err := interp.NewMachine(interp.Config{
 		Name: "profiler", Spec: fw.Mobile, Mod: work,
 		IO: io, CostScale: fw.CostScale, InitUVAGlobals: true,
+		Engine: fw.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +167,7 @@ func (fw *Framework) RunLocal(mod *ir.Module, io *interp.StdIO) (*LocalResult, e
 	m, err := interp.NewMachine(interp.Config{
 		Name: "mobile", Spec: fw.Mobile, Mod: work,
 		IO: io, CostScale: fw.CostScale, InitUVAGlobals: true,
+		Engine: fw.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -243,7 +258,7 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 	mobile, err := interp.NewMachine(interp.Config{
 		Name: "mobile", Spec: fw.Mobile, Std: fw.Mobile, Mod: cres.Mobile,
 		FuncBase: mem.FuncBaseMobile, InitUVAGlobals: true,
-		IO: io, CostScale: fw.CostScale,
+		IO: io, CostScale: fw.CostScale, Engine: fw.Engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: mobile machine: %w", err)
@@ -251,7 +266,7 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 	server, err := interp.NewMachine(interp.Config{
 		Name: "server", Spec: fw.Server, Std: fw.Mobile, Mod: cres.Server,
 		FuncBase: mem.FuncBaseServer, ShuffleFuncs: true, ShuffleGlobals: true,
-		CostScale: fw.CostScale,
+		CostScale: fw.CostScale, Engine: fw.Engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: server machine: %w", err)

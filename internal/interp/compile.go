@@ -1,0 +1,532 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// Engine selects how a Machine executes function bodies.
+type Engine int
+
+const (
+	// EngineFast pre-decodes every function into a flat instruction array
+	// at bind time and interprets that (the default). A machine with a
+	// Listener attached falls back to the reference engine regardless,
+	// because the profiler needs per-block clock observations.
+	EngineFast Engine = iota
+	// EngineRef is the original tree-walking interpreter, kept as the
+	// semantic reference the fast engine is differentially tested against.
+	EngineRef
+)
+
+func (e Engine) String() string {
+	if e == EngineRef {
+		return "ref"
+	}
+	return "fast"
+}
+
+// ParseEngine parses the -engine CLI flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "fast":
+		return EngineFast, nil
+	case "ref", "reference":
+		return EngineRef, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want fast or ref)", s)
+}
+
+// cop is the pre-decoded opcode. The fast engine's hot loop is a switch
+// over this enum; no interface dispatch, no per-operand type switch.
+type cop uint8
+
+const (
+	cInvalid cop = iota
+
+	// cCharge applies one straight-line segment's aggregate cost: aux
+	// counts the IR instructions (Steps), imm their summed cycle charge
+	// (including Swap/Widen layout charges). A segment ends after every
+	// instruction whose execution can observe the clock or fail (memory
+	// access, call, alloca, integer divide), so the clock any such
+	// instruction sees is bit-identical to the reference engine's
+	// charge-per-instruction interleaving.
+	cCharge
+	// cTrap returns the precomputed error traps[aux].
+	cTrap
+
+	cAlloca // imm = aligned size; c = dst; aux = stack-overflow trap
+
+	// Loads: address in (a,imm); b = byte size; c = dst.
+	cLoadSExt // aux = significant bits (sign-extended integer)
+	cLoadZExt // pointers: zero-extend
+	cLoadF32  // promote f32 bits to f64 register form
+	cLoadF64
+	cLoadSlow // ref = *ir.Load; unlowered, big-endian or exotic accesses
+
+	// Stores: address in (a,imm); value in (b,imm2); aux = byte size.
+	cStoreInt
+	cStoreF32
+	cStoreSlow // ref = *ir.Store
+
+	// Binary ops: x in (a,imm), y in (b,imm2), dst in c.
+	cAdd
+	cSub
+	cMul
+	cDiv // aux = divide-by-zero trap
+	cRem // aux = remainder-by-zero trap
+	cAnd
+	cOr
+	cXor
+	cShl
+	cShr
+	cFAdd
+	cFSub
+	cFMul
+	cFDiv
+
+	// Compares: aux = ir.CmpPred.
+	cCmpS // signed integers
+	cCmpU // pointers (unsigned)
+	cCmpF // floats
+
+	cIndexAddr // base in (a,imm), index in (b,imm2), stride in aux
+
+	// Conversions: x in (a,imm), dst in c.
+	cMov    // sext/fpext/bitcast/no-op widenings, and FuncAddr constants
+	cTrunc  // aux = bits, sign-extends the result
+	cZExt   // imm2 = value mask
+	cIntToFP
+	cFPToInt // aux = bits
+	cFPTrunc
+
+	cCall    // callee/ctarget/args; c = dst (-1 discards)
+	cCallInd // fn addr in (a,imm); aux = 1 when Mapped; args; c = dst
+	cBr      // a = target pc
+	cCondBr  // cond in (a,imm); b = then pc, c = else pc
+	cRet     // aux = 1: value in (a,imm)
+)
+
+// carg is one pre-decoded call argument: a caller register slot, or an
+// inlined constant when slot < 0.
+type carg struct {
+	slot int32
+	imm  uint64
+}
+
+// cinstr is one fixed-size pre-decoded instruction. Operand convention:
+// X in (a,imm), Y in (b,imm2) — slot < 0 selects the inlined constant —
+// destination slot in c, static extras (bits, predicate, stride, size,
+// trap index, branch target) in aux/a/b/c as each opcode documents.
+type cinstr struct {
+	op      cop
+	aux     int32
+	a, b, c int32
+	imm     uint64
+	imm2    uint64
+	args    []carg
+	callee  *ir.Func
+	ctarget *cfunc
+	ref     ir.Instr
+}
+
+// cfunc is one function compiled for one Machine (operands resolve
+// machine-specific global and function addresses). pool recycles frames.
+type cfunc struct {
+	fn       *ir.Func
+	compiled bool
+	code     []cinstr
+	traps    []error
+	pool     [][]uint64
+}
+
+func (cf *cfunc) acquire() []uint64 {
+	if n := len(cf.pool); n > 0 {
+		regs := cf.pool[n-1]
+		cf.pool = cf.pool[:n-1]
+		clear(regs)
+		return regs
+	}
+	return make([]uint64, cf.fn.NumSlots)
+}
+
+func (cf *cfunc) release(regs []uint64) { cf.pool = append(cf.pool, regs) }
+
+// shell returns the (possibly not yet compiled) cfunc for f, creating an
+// empty shell on first request so mutually recursive functions can link.
+func (m *Machine) shell(f *ir.Func) *cfunc {
+	cf := m.cfuncs[f]
+	if cf == nil {
+		cf = &cfunc{fn: f}
+		m.cfuncs[f] = cf
+	}
+	return cf
+}
+
+// ensureCompiled returns f's compiled form, compiling on first use (bind
+// time for module functions; lazily for functions reached only through a
+// translating function-pointer resolver).
+func (m *Machine) ensureCompiled(f *ir.Func) *cfunc {
+	cf := m.shell(f)
+	if !cf.compiled {
+		m.compileInto(cf)
+	}
+	return cf
+}
+
+// cval resolves an operand to (register slot, inlined constant); slot < 0
+// means the constant. Mirrors the reference engine's operand().
+func (m *Machine) cval(v ir.Value) (int32, uint64) {
+	switch v := v.(type) {
+	case *ir.ConstInt:
+		return -1, uint64(v.V)
+	case *ir.ConstFloat:
+		return -1, floatBits(v.Typ, v.V)
+	case *ir.ConstNull:
+		return -1, 0
+	case *ir.ConstUVA:
+		return -1, uint64(v.Addr)
+	case *ir.Param:
+		return int32(v.Slot), 0
+	case *ir.Global:
+		return -1, uint64(m.globalAddr[v])
+	case *ir.Func:
+		return -1, uint64(m.funcAddr[v])
+	case ir.Instr:
+		return int32(v.(interface{ Slot() int }).Slot()), 0
+	}
+	panic(fmt.Sprintf("interp: unhandled operand %T", v))
+}
+
+func (m *Machine) cargs(args []ir.Value) []carg {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]carg, len(args))
+	for i, a := range args {
+		out[i].slot, out[i].imm = m.cval(a)
+	}
+	return out
+}
+
+func cdst(in ir.Instr) int32 { return int32(in.(interface{ Slot() int }).Slot()) }
+
+// compileInto flattens cf.fn into cf.code. Each basic block becomes one or
+// more charge segments: a cCharge carrying the aggregate Steps/cycles of
+// the segment's instructions, followed by their pre-decoded forms. Branch
+// targets are pc indices patched after all blocks are placed.
+func (m *Machine) compileInto(cf *cfunc) {
+	f := cf.fn
+	cost := m.Spec.Cost
+	start := make(map[*ir.Block]int32, len(f.Blocks))
+	type fixup struct {
+		pc    int
+		field int // 0 = a, 1 = b, 2 = c
+		dst   *ir.Block
+	}
+	var fixups []fixup
+
+	var seg []cinstr
+	var segCycles int64
+	var segSteps int32
+	flush := func() {
+		if segSteps > 0 {
+			cf.code = append(cf.code, cinstr{op: cCharge, aux: segSteps, imm: uint64(segCycles)})
+			segCycles, segSteps = 0, 0
+		}
+		cf.code = append(cf.code, seg...)
+		seg = seg[:0]
+	}
+	newTrap := func(err error) int32 {
+		cf.traps = append(cf.traps, err)
+		return int32(len(cf.traps) - 1)
+	}
+	trap := func(err error) {
+		seg = append(seg, cinstr{op: cTrap, aux: newTrap(err)})
+		flush()
+	}
+
+	for _, blk := range f.Blocks {
+		start[blk] = int32(len(cf.code))
+		terminated := false
+	instrs:
+		for _, in := range blk.Instrs {
+			segSteps++
+			switch in := in.(type) {
+			case *ir.Alloca:
+				segCycles += cost.Cycles(arch.OpAlloca)
+				seg = append(seg, cinstr{
+					op:  cAlloca,
+					c:   cdst(in),
+					imm: uint64(alignUp32(uint32(in.SizeBytes), 16)),
+					aux: newTrap(fmt.Errorf("interp(%s): stack overflow in %s", m.Name, f.Nam)),
+				})
+				flush()
+
+			case *ir.Load:
+				segCycles += cost.Cycles(arch.OpLoad)
+				if in.Lay.Swap {
+					segCycles += cost.Cycles(arch.OpEndianSwap)
+				}
+				if in.Lay.Widen {
+					segCycles += cost.Cycles(arch.OpPtrConvert)
+				}
+				ci := cinstr{c: cdst(in), b: int32(in.Lay.Size)}
+				ci.a, ci.imm = m.cval(in.Ptr)
+				if in.Lay.Size == 0 || m.Std.Endian != arch.Little {
+					ci.op, ci.ref = cLoadSlow, in
+				} else {
+					switch t := in.Elem.(type) {
+					case *ir.IntType:
+						ci.op = cLoadSExt
+						ci.aux = int32(min(t.Bits, in.Lay.Size*8))
+					case *ir.PointerType:
+						ci.op = cLoadZExt
+					case *ir.FloatType:
+						if t.Bits == 32 {
+							ci.op = cLoadF32
+						} else {
+							ci.op = cLoadF64
+						}
+					default:
+						ci.op, ci.ref = cLoadSlow, in
+					}
+				}
+				seg = append(seg, ci)
+				flush()
+
+			case *ir.Store:
+				segCycles += cost.Cycles(arch.OpStore)
+				if in.Lay.Swap {
+					segCycles += cost.Cycles(arch.OpEndianSwap)
+				}
+				if in.Lay.Widen {
+					segCycles += cost.Cycles(arch.OpPtrConvert)
+				}
+				ci := cinstr{aux: int32(in.Lay.Size)}
+				ci.a, ci.imm = m.cval(in.Ptr)
+				ci.b, ci.imm2 = m.cval(in.Val)
+				if in.Lay.Size == 0 || m.Std.Endian != arch.Little {
+					ci.op, ci.ref = cStoreSlow, in
+				} else if ft, ok := in.Val.Type().(*ir.FloatType); ok && ft.Bits == 32 {
+					ci.op = cStoreF32
+				} else {
+					ci.op = cStoreInt
+				}
+				seg = append(seg, ci)
+				flush()
+
+			case *ir.Bin:
+				ci := cinstr{c: cdst(in)}
+				ci.a, ci.imm = m.cval(in.X)
+				ci.b, ci.imm2 = m.cval(in.Y)
+				if ir.IsFloat(in.X.Type()) {
+					switch in.Op {
+					case ir.Add:
+						segCycles += cost.Cycles(arch.OpFloatALU)
+						ci.op = cFAdd
+					case ir.Sub:
+						segCycles += cost.Cycles(arch.OpFloatALU)
+						ci.op = cFSub
+					case ir.Mul:
+						segCycles += cost.Cycles(arch.OpFloatMul)
+						ci.op = cFMul
+					case ir.Div:
+						segCycles += cost.Cycles(arch.OpFloatDiv)
+						ci.op = cFDiv
+					default:
+						trap(fmt.Errorf("interp: float op %s unsupported", in.Op))
+						break instrs
+					}
+					seg = append(seg, ci)
+					break
+				}
+				switch in.Op {
+				case ir.Add:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cAdd
+				case ir.Sub:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cSub
+				case ir.Mul:
+					segCycles += cost.Cycles(arch.OpIntMul)
+					ci.op = cMul
+				case ir.Div:
+					segCycles += cost.Cycles(arch.OpIntDiv)
+					ci.op = cDiv
+					ci.aux = newTrap(fmt.Errorf("interp(%s): integer division by zero in %s", m.Name, f.Nam))
+				case ir.Rem:
+					segCycles += cost.Cycles(arch.OpIntDiv)
+					ci.op = cRem
+					ci.aux = newTrap(fmt.Errorf("interp(%s): integer remainder by zero in %s", m.Name, f.Nam))
+				case ir.And:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cAnd
+				case ir.Or:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cOr
+				case ir.Xor:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cXor
+				case ir.Shl:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cShl
+				case ir.Shr:
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cShr
+				default:
+					trap(fmt.Errorf("interp: unknown bin op %v", in.Op))
+					break instrs
+				}
+				seg = append(seg, ci)
+				if in.Op == ir.Div || in.Op == ir.Rem {
+					// Division can fail; end the segment so its trap sees
+					// the same clock as the reference engine.
+					flush()
+				}
+
+			case *ir.Cmp:
+				ci := cinstr{c: cdst(in), aux: int32(in.Pred)}
+				ci.a, ci.imm = m.cval(in.X)
+				ci.b, ci.imm2 = m.cval(in.Y)
+				if ir.IsFloat(in.X.Type()) {
+					segCycles += cost.Cycles(arch.OpFloatALU)
+					ci.op = cCmpF
+				} else if ir.IsPointer(in.X.Type()) {
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cCmpU
+				} else {
+					segCycles += cost.Cycles(arch.OpIntALU)
+					ci.op = cCmpS
+				}
+				seg = append(seg, ci)
+
+			case *ir.FieldAddr:
+				segCycles += cost.Cycles(arch.OpIntALU)
+				ci := cinstr{op: cAdd, c: cdst(in), b: -1, imm2: uint64(in.Offset)}
+				ci.a, ci.imm = m.cval(in.Ptr)
+				seg = append(seg, ci)
+
+			case *ir.IndexAddr:
+				segCycles += cost.Cycles(arch.OpIntALU)
+				ci := cinstr{op: cIndexAddr, c: cdst(in), aux: int32(in.Stride)}
+				ci.a, ci.imm = m.cval(in.Ptr)
+				ci.b, ci.imm2 = m.cval(in.Index)
+				seg = append(seg, ci)
+
+			case *ir.Convert:
+				segCycles += cost.Cycles(arch.OpConvert)
+				ci := cinstr{c: cdst(in)}
+				ci.a, ci.imm = m.cval(in.Val)
+				switch in.Kind {
+				case ir.ConvTrunc:
+					if bits := in.To.(*ir.IntType).Bits; bits >= 64 {
+						ci.op = cMov
+					} else {
+						ci.op = cTrunc
+						ci.aux = int32(bits)
+					}
+				case ir.ConvZExt:
+					if bits := in.Val.Type().(*ir.IntType).Bits; bits >= 64 {
+						ci.op = cMov
+					} else {
+						ci.op = cZExt
+						ci.imm2 = 1<<uint(bits) - 1
+					}
+				case ir.ConvSExt, ir.ConvFPExt, ir.ConvBitcast:
+					ci.op = cMov // registers already hold the extended form
+				case ir.ConvIntToFP:
+					ci.op = cIntToFP
+				case ir.ConvFPToInt:
+					ci.op = cFPToInt
+					ci.aux = int32(in.To.(*ir.IntType).Bits)
+				case ir.ConvFPTrunc:
+					ci.op = cFPTrunc
+				default:
+					panic(fmt.Sprintf("interp: unknown conversion %v", in.Kind))
+				}
+				seg = append(seg, ci)
+
+			case *ir.FuncAddr:
+				segCycles += cost.Cycles(arch.OpIntALU)
+				seg = append(seg, cinstr{op: cMov, c: cdst(in), a: -1, imm: uint64(m.funcAddr[in.Callee])})
+
+			case *ir.Call:
+				segCycles += cost.Cycles(arch.OpCall)
+				ci := cinstr{op: cCall, c: cdst(in), callee: in.Callee, args: m.cargs(in.Args)}
+				if !in.Callee.IsExtern() {
+					if len(in.Args) != len(in.Callee.Params) {
+						trap(fmt.Errorf("interp(%s): call %s with %d args, want %d",
+							m.Name, in.Callee.Nam, len(in.Args), len(in.Callee.Params)))
+						break instrs
+					}
+					ci.ctarget = m.shell(in.Callee)
+				}
+				seg = append(seg, ci)
+				flush()
+
+			case *ir.CallInd:
+				segCycles += cost.Cycles(arch.OpCallInd)
+				ci := cinstr{op: cCallInd, c: cdst(in), args: m.cargs(in.Args)}
+				ci.a, ci.imm = m.cval(in.Fn)
+				if in.Mapped {
+					ci.aux = 1
+				}
+				seg = append(seg, ci)
+				flush()
+
+			case *ir.Br:
+				segCycles += cost.Cycles(arch.OpBranch)
+				flush()
+				fixups = append(fixups, fixup{pc: len(cf.code), field: 0, dst: in.Dst})
+				cf.code = append(cf.code, cinstr{op: cBr})
+				terminated = true
+				break instrs
+
+			case *ir.CondBr:
+				segCycles += cost.Cycles(arch.OpBranch)
+				flush()
+				ci := cinstr{op: cCondBr}
+				ci.a, ci.imm = m.cval(in.Cond)
+				fixups = append(fixups,
+					fixup{pc: len(cf.code), field: 1, dst: in.Then},
+					fixup{pc: len(cf.code), field: 2, dst: in.Else})
+				cf.code = append(cf.code, ci)
+				terminated = true
+				break instrs
+
+			case *ir.Ret:
+				flush() // Ret itself charges nothing
+				ci := cinstr{op: cRet}
+				if in.Val != nil {
+					ci.aux = 1
+					ci.a, ci.imm = m.cval(in.Val)
+				}
+				cf.code = append(cf.code, ci)
+				terminated = true
+				break instrs
+
+			default:
+				trap(fmt.Errorf("interp(%s): unhandled instruction %T", m.Name, in))
+				break instrs
+			}
+		}
+		if !terminated {
+			trap(fmt.Errorf("interp(%s): block %s.%s fell through without terminator", m.Name, f.Nam, blk.Nam))
+		}
+	}
+
+	for _, fx := range fixups {
+		switch fx.field {
+		case 0:
+			cf.code[fx.pc].a = start[fx.dst]
+		case 1:
+			cf.code[fx.pc].b = start[fx.dst]
+		case 2:
+			cf.code[fx.pc].c = start[fx.dst]
+		}
+	}
+	cf.compiled = true
+}

@@ -41,8 +41,21 @@ func (m *Machine) RunMain() (int32, error) {
 	return int32(ret), nil
 }
 
-// CallFunc invokes f with the given argument bits.
+// CallFunc invokes f with the given argument bits. It dispatches to the
+// pre-decoded fast engine unless the machine selected the reference
+// tree-walker or has a profiling Listener attached (which needs the
+// per-block hooks and clock observations only the reference engine makes).
 func (m *Machine) CallFunc(f *ir.Func, args ...uint64) (uint64, error) {
+	if m.Engine == EngineFast && m.Listener == nil {
+		return m.callFast(f, args)
+	}
+	return m.callRef(f, args)
+}
+
+// callRef is the reference tree-walking engine: it executes the ir.Func
+// structure directly, charging and counting per instruction. The fast
+// engine is differentially tested against it (engine_test.go).
+func (m *Machine) callRef(f *ir.Func, args []uint64) (uint64, error) {
 	if f.IsExtern() {
 		return m.callExtern(f, args)
 	}

@@ -1,0 +1,377 @@
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// tlbWays sizes the direct-mapped page caches. A handful of entries keeps
+// loops that alternate between a data page and an accumulator page from
+// thrashing a single slot; indexing by the low page-number bits spreads
+// adjacent pages across distinct entries.
+const tlbWays = 4
+
+// tlbEntry is one slot of the page cache: a page's resident data array,
+// revalidated against the memory's invalidation generation on every access.
+// Write entries additionally pin the TrackDirty mode under which the page
+// was marked dirty.
+type tlbEntry struct {
+	data  *[mem.PageSize]byte
+	pn    uint32
+	gen   uint64
+	track bool
+}
+
+// callFast is CallFunc on the pre-decoded engine.
+func (m *Machine) callFast(f *ir.Func, args []uint64) (uint64, error) {
+	if f.IsExtern() {
+		return m.callExtern(f, args)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("interp(%s): call %s with %d args, want %d", m.Name, f.Nam, len(args), len(f.Params))
+	}
+	cf := m.ensureCompiled(f)
+	regs := cf.acquire()
+	for i, p := range f.Params {
+		regs[p.Slot] = args[i]
+	}
+	v, err := m.runCompiled(cf, regs)
+	cf.release(regs)
+	return v, err
+}
+
+// callCompiled invokes a compiled callee from inside the fast loop,
+// evaluating pre-decoded arguments directly into the callee's frame.
+func (m *Machine) callCompiled(cf *cfunc, args []carg, caller []uint64) (uint64, error) {
+	if !cf.compiled {
+		m.compileInto(cf)
+	}
+	regs := cf.acquire()
+	for i := range args {
+		regs[cf.fn.Params[i].Slot] = rv(caller, args[i].slot, args[i].imm)
+	}
+	v, err := m.runCompiled(cf, regs)
+	cf.release(regs)
+	return v, err
+}
+
+func (m *Machine) runCompiled(cf *cfunc, regs []uint64) (uint64, error) {
+	spSave := m.sp
+	defer func() { m.sp = spSave }()
+	return m.execCompiled(cf, regs)
+}
+
+// rv reads operand (slot, imm): a register when slot >= 0, else the
+// inlined constant.
+func rv(regs []uint64, slot int32, imm uint64) uint64 {
+	if slot >= 0 {
+		return regs[slot]
+	}
+	return imm
+}
+
+func cmpBits(pred int32, lt, eq bool) uint64 {
+	var r bool
+	switch ir.CmpPred(pred) {
+	case ir.EQ:
+		r = eq
+	case ir.NE:
+		r = !eq
+	case ir.LT:
+		r = lt
+	case ir.LE:
+		r = lt || eq
+	case ir.GT:
+		r = !lt && !eq
+	case ir.GE:
+		r = !lt
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+// readMem is the aligned scalar read fast path: a TLB hit indexes the
+// resident page array without allocating. Accesses that straddle a page,
+// hit a Touch observer, or miss the TLB on a faulting page fall back to
+// the allocating slow path with identical semantics.
+func (m *Machine) readMem(addr uint32, size int) (uint64, error) {
+	mm := m.Mem
+	off := addr & (mem.PageSize - 1)
+	if mm.Touch == nil && int(off)+size <= mem.PageSize {
+		pn := addr >> mem.PageShift
+		e := &m.rtlb[pn&(tlbWays-1)]
+		if e.data == nil || e.pn != pn || e.gen != mm.Gen() {
+			data, err := mm.Page(pn)
+			if err != nil {
+				return 0, err
+			}
+			e.data, e.pn, e.gen = data, pn, mm.Gen()
+		}
+		b := e.data[off:]
+		switch size {
+		case 1:
+			return uint64(b[0]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(b)), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(b)), nil
+		default:
+			return binary.LittleEndian.Uint64(b), nil
+		}
+	}
+	return mm.ReadUint(addr, size)
+}
+
+// writeMem is the store counterpart of readMem. The write TLB entry keeps
+// the page pre-marked dirty, so steady-state stores touch only the array.
+func (m *Machine) writeMem(addr uint32, size int, v uint64) error {
+	mm := m.Mem
+	off := addr & (mem.PageSize - 1)
+	if mm.Touch == nil && int(off)+size <= mem.PageSize {
+		pn := addr >> mem.PageShift
+		e := &m.wtlb[pn&(tlbWays-1)]
+		if e.data == nil || e.pn != pn || e.gen != mm.Gen() || e.track != mm.TrackDirty {
+			data, err := mm.DirtyPage(pn)
+			if err != nil {
+				return err
+			}
+			e.data, e.pn, e.gen, e.track = data, pn, mm.Gen(), mm.TrackDirty
+		}
+		b := e.data[off:]
+		switch size {
+		case 1:
+			b[0] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(b, uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(b, uint32(v))
+		default:
+			binary.LittleEndian.PutUint64(b, v)
+		}
+		return nil
+	}
+	return mm.WriteUint(addr, size, v)
+}
+
+// execCompiled is the fast engine's hot loop: a switch over the small
+// pre-decoded opcode enum, with aggregate charging per straight-line
+// segment (see cCharge).
+func (m *Machine) execCompiled(cf *cfunc, regs []uint64) (uint64, error) {
+	code := cf.code
+	pc := int32(0)
+	for {
+		in := &code[pc]
+		pc++
+		switch in.op {
+		case cCharge:
+			m.Steps += int64(in.aux)
+			d := simtime.PS(int64(in.imm)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
+			m.Clock += d
+			m.Comp[CompCompute] += d
+
+		case cAdd:
+			regs[in.c] = rv(regs, in.a, in.imm) + rv(regs, in.b, in.imm2)
+		case cSub:
+			regs[in.c] = rv(regs, in.a, in.imm) - rv(regs, in.b, in.imm2)
+		case cMul:
+			regs[in.c] = rv(regs, in.a, in.imm) * rv(regs, in.b, in.imm2)
+		case cDiv:
+			y := int64(rv(regs, in.b, in.imm2))
+			if y == 0 {
+				return 0, cf.traps[in.aux]
+			}
+			regs[in.c] = uint64(int64(rv(regs, in.a, in.imm)) / y)
+		case cRem:
+			y := int64(rv(regs, in.b, in.imm2))
+			if y == 0 {
+				return 0, cf.traps[in.aux]
+			}
+			regs[in.c] = uint64(int64(rv(regs, in.a, in.imm)) % y)
+		case cAnd:
+			regs[in.c] = rv(regs, in.a, in.imm) & rv(regs, in.b, in.imm2)
+		case cOr:
+			regs[in.c] = rv(regs, in.a, in.imm) | rv(regs, in.b, in.imm2)
+		case cXor:
+			regs[in.c] = rv(regs, in.a, in.imm) ^ rv(regs, in.b, in.imm2)
+		case cShl:
+			regs[in.c] = rv(regs, in.a, in.imm) << (rv(regs, in.b, in.imm2) & 63)
+		case cShr:
+			regs[in.c] = uint64(int64(rv(regs, in.a, in.imm)) >> (rv(regs, in.b, in.imm2) & 63))
+
+		case cFAdd:
+			regs[in.c] = math.Float64bits(math.Float64frombits(rv(regs, in.a, in.imm)) + math.Float64frombits(rv(regs, in.b, in.imm2)))
+		case cFSub:
+			regs[in.c] = math.Float64bits(math.Float64frombits(rv(regs, in.a, in.imm)) - math.Float64frombits(rv(regs, in.b, in.imm2)))
+		case cFMul:
+			regs[in.c] = math.Float64bits(math.Float64frombits(rv(regs, in.a, in.imm)) * math.Float64frombits(rv(regs, in.b, in.imm2)))
+		case cFDiv:
+			regs[in.c] = math.Float64bits(math.Float64frombits(rv(regs, in.a, in.imm)) / math.Float64frombits(rv(regs, in.b, in.imm2)))
+
+		case cCmpS:
+			x, y := rv(regs, in.a, in.imm), rv(regs, in.b, in.imm2)
+			regs[in.c] = cmpBits(in.aux, int64(x) < int64(y), x == y)
+		case cCmpU:
+			x, y := rv(regs, in.a, in.imm), rv(regs, in.b, in.imm2)
+			regs[in.c] = cmpBits(in.aux, x < y, x == y)
+		case cCmpF:
+			fx := math.Float64frombits(rv(regs, in.a, in.imm))
+			fy := math.Float64frombits(rv(regs, in.b, in.imm2))
+			regs[in.c] = cmpBits(in.aux, fx < fy, fx == fy)
+
+		case cIndexAddr:
+			base := rv(regs, in.a, in.imm)
+			idx := int64(rv(regs, in.b, in.imm2))
+			regs[in.c] = uint64(int64(base) + idx*int64(in.aux))
+
+		case cMov:
+			regs[in.c] = rv(regs, in.a, in.imm)
+		case cTrunc:
+			regs[in.c] = signExtend(rv(regs, in.a, in.imm), int(in.aux))
+		case cZExt:
+			regs[in.c] = rv(regs, in.a, in.imm) & in.imm2
+		case cIntToFP:
+			regs[in.c] = math.Float64bits(float64(int64(rv(regs, in.a, in.imm))))
+		case cFPToInt:
+			f := math.Float64frombits(rv(regs, in.a, in.imm))
+			regs[in.c] = signExtend(uint64(int64(f)), int(in.aux))
+		case cFPTrunc:
+			regs[in.c] = math.Float64bits(float64(float32(math.Float64frombits(rv(regs, in.a, in.imm)))))
+
+		case cAlloca:
+			size := uint32(in.imm)
+			if m.sp < m.spFloor+size {
+				return 0, cf.traps[in.aux]
+			}
+			m.sp -= size
+			regs[in.c] = uint64(m.sp)
+
+		case cLoadSExt:
+			raw, err := m.readMem(uint32(rv(regs, in.a, in.imm)), int(in.b))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.c] = signExtend(raw, int(in.aux))
+		case cLoadZExt:
+			raw, err := m.readMem(uint32(rv(regs, in.a, in.imm)), int(in.b))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.c] = raw
+		case cLoadF32:
+			raw, err := m.readMem(uint32(rv(regs, in.a, in.imm)), int(in.b))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.c] = math.Float64bits(float64(math.Float32frombits(uint32(raw))))
+		case cLoadF64:
+			raw, err := m.readMem(uint32(rv(regs, in.a, in.imm)), int(in.b))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.c] = raw
+		case cLoadSlow:
+			ld := in.ref.(*ir.Load)
+			bits, err := m.loadScalarNoCharge(uint32(rv(regs, in.a, in.imm)), ld.Elem, ld.Lay)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.c] = bits
+
+		case cStoreInt:
+			if err := m.writeMem(uint32(rv(regs, in.a, in.imm)), int(in.aux), rv(regs, in.b, in.imm2)); err != nil {
+				return 0, err
+			}
+		case cStoreF32:
+			v := uint64(math.Float32bits(float32(math.Float64frombits(rv(regs, in.b, in.imm2)))))
+			if err := m.writeMem(uint32(rv(regs, in.a, in.imm)), int(in.aux), v); err != nil {
+				return 0, err
+			}
+		case cStoreSlow:
+			st := in.ref.(*ir.Store)
+			if err := m.storeScalarNoCharge(uint32(rv(regs, in.a, in.imm)), st.Val.Type(), st.Lay, rv(regs, in.b, in.imm2)); err != nil {
+				return 0, err
+			}
+
+		case cCall:
+			var v uint64
+			var err error
+			if in.ctarget != nil {
+				v, err = m.callCompiled(in.ctarget, in.args, regs)
+			} else {
+				ea := make([]uint64, len(in.args))
+				for i := range in.args {
+					ea[i] = rv(regs, in.args[i].slot, in.args[i].imm)
+				}
+				v, err = m.callExtern(in.callee, ea)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if in.c >= 0 {
+				regs[in.c] = v
+			}
+
+		case cCallInd:
+			if in.aux != 0 {
+				// Function pointer translation (Section 3.4); its cost is
+				// the Fig. 7 "fptr" component.
+				d := simtime.PS(m.Spec.Cost.Cycles(arch.OpFptrMap)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
+				m.Clock += d
+				m.Comp[CompFptr] += d
+			}
+			addr := uint32(rv(regs, in.a, in.imm))
+			callee, rerr := m.ResolveFptr(addr, in.aux != 0)
+			if rerr != nil {
+				return 0, rerr
+			}
+			var v uint64
+			var err error
+			if callee.IsExtern() {
+				ea := make([]uint64, len(in.args))
+				for i := range in.args {
+					ea[i] = rv(regs, in.args[i].slot, in.args[i].imm)
+				}
+				v, err = m.callExtern(callee, ea)
+			} else {
+				if len(in.args) != len(callee.Params) {
+					return 0, fmt.Errorf("interp(%s): call %s with %d args, want %d",
+						m.Name, callee.Nam, len(in.args), len(callee.Params))
+				}
+				v, err = m.callCompiled(m.ensureCompiled(callee), in.args, regs)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if in.c >= 0 {
+				regs[in.c] = v
+			}
+
+		case cBr:
+			pc = in.a
+		case cCondBr:
+			if rv(regs, in.a, in.imm) != 0 {
+				pc = in.b
+			} else {
+				pc = in.c
+			}
+		case cRet:
+			if in.aux != 0 {
+				return rv(regs, in.a, in.imm), nil
+			}
+			return 0, nil
+		case cTrap:
+			return 0, cf.traps[in.aux]
+
+		default:
+			return 0, fmt.Errorf("interp(%s): invalid compiled opcode %d in %s", m.Name, in.op, cf.fn.Nam)
+		}
+	}
+}

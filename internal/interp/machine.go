@@ -94,6 +94,21 @@ type Machine struct {
 
 	globalAddr map[*ir.Global]uint32
 
+	// Engine selects the execution engine. EngineFast (the default)
+	// interprets pre-decoded flat instruction streams; a Listener forces
+	// the reference tree-walker regardless (the profiler needs per-block
+	// clock observations).
+	Engine Engine
+
+	// cfuncs holds this machine's compiled functions (fast engine);
+	// operands inline machine-specific global and function addresses, so
+	// compilation is per machine.
+	cfuncs map[*ir.Func]*cfunc
+
+	// rtlb/wtlb are the direct-mapped page caches of the memory fast path.
+	rtlb [tlbWays]tlbEntry
+	wtlb [tlbWays]tlbEntry
+
 	sp      uint32
 	spFloor uint32
 }
@@ -120,6 +135,8 @@ type Config struct {
 	CostScale      int64
 	IO             IOHost
 	Sys            SysHost
+	// Engine selects the execution engine (default EngineFast).
+	Engine Engine
 }
 
 // NewMachine builds, links and loads a machine. The module must already be
@@ -169,6 +186,19 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.link(cfg.FuncBase, cfg.ShuffleFuncs)
 	if err := m.loadGlobals(cfg.ShuffleGlobals, cfg.InitUVAGlobals); err != nil {
 		return nil, err
+	}
+	m.Engine = cfg.Engine
+	m.cfuncs = make(map[*ir.Func]*cfunc, len(m.Mod.Funcs))
+	if m.Engine == EngineFast && m.Mod.Lowered {
+		// Bind-time pre-decode: flatten every function body once, so the
+		// run pays no per-instruction decode cost. Modules lowered only
+		// after machine construction compile lazily on first call instead
+		// (pre-decoding bakes in layout-resolved sizes and strides).
+		for _, f := range m.Mod.Funcs {
+			if !f.IsExtern() {
+				m.ensureCompiled(f)
+			}
+		}
 	}
 	return m, nil
 }

@@ -1,11 +1,13 @@
 package interp
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/mem"
 )
 
 // loadScalar reads one scalar at addr following the access layout resolved
@@ -23,6 +25,15 @@ func (m *Machine) loadScalar(addr uint32, elem ir.Type, lay ir.MemLayout) (uint6
 	}
 	if lay.Widen {
 		m.charge(arch.OpPtrConvert, CompCompute)
+	}
+	return m.loadScalarNoCharge(addr, elem, lay)
+}
+
+// loadScalarNoCharge is loadScalar without the layout charges; the fast
+// engine folds those into the segment aggregate at compile time.
+func (m *Machine) loadScalarNoCharge(addr uint32, elem ir.Type, lay ir.MemLayout) (uint64, error) {
+	if lay.Size == 0 {
+		return 0, fmt.Errorf("interp(%s): unlowered memory access (run ir.Lower)", m.Name)
 	}
 	b, err := m.Mem.ReadBytes(addr, lay.Size)
 	if err != nil {
@@ -53,6 +64,15 @@ func (m *Machine) storeScalar(addr uint32, elem ir.Type, lay ir.MemLayout, bits 
 	}
 	if lay.Widen {
 		m.charge(arch.OpPtrConvert, CompCompute)
+	}
+	return m.storeScalarNoCharge(addr, elem, lay, bits)
+}
+
+// storeScalarNoCharge is storeScalar without the layout charges (see
+// loadScalarNoCharge).
+func (m *Machine) storeScalarNoCharge(addr uint32, elem ir.Type, lay ir.MemLayout, bits uint64) error {
+	if lay.Size == 0 {
+		return fmt.Errorf("interp(%s): unlowered memory access (run ir.Lower)", m.Name)
 	}
 	raw := bits
 	if ft, ok := elem.(*ir.FloatType); ok && ft.Bits == 32 {
@@ -96,19 +116,22 @@ func disassemble(v uint64, size int, order arch.Endianness) []byte {
 }
 
 // readCString reads a NUL-terminated string from memory (printf formats and
-// %s arguments).
+// %s arguments), scanning one resident page at a time rather than paying a
+// one-byte ReadBytes allocation per character.
 func (m *Machine) readCString(addr uint32) (string, error) {
 	var out []byte
 	for {
-		b, err := m.Mem.ReadBytes(addr, 1)
+		pg, err := m.Mem.Page(mem.PageNum(addr))
 		if err != nil {
 			return "", err
 		}
-		if b[0] == 0 {
-			return string(out), nil
+		off := int(addr & (mem.PageSize - 1))
+		chunk := pg[off:]
+		if i := bytes.IndexByte(chunk, 0); i >= 0 {
+			return string(append(out, chunk[:i]...)), nil
 		}
-		out = append(out, b[0])
-		addr++
+		out = append(out, chunk...)
+		addr += uint32(len(chunk))
 		if len(out) > 1<<16 {
 			return "", fmt.Errorf("interp(%s): unterminated string at 0x%x", m.Name, addr)
 		}

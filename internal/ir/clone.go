@@ -12,6 +12,7 @@ func (m *Module) Clone(name string) *Module {
 		Name:      name,
 		StackBase: m.StackBase,
 		Unified:   m.Unified,
+		Lowered:   m.Lowered,
 		Structs:   m.Structs,
 	}
 

@@ -30,6 +30,7 @@ func Lower(m *Module, target, standard *arch.Spec) {
 		}
 		f.Renumber()
 	}
+	m.Lowered = true
 }
 
 func lowerInstr(in Instr, target, standard *arch.Spec) {

@@ -129,6 +129,11 @@ type Module struct {
 
 	// Unified records that the memory unification passes have run.
 	Unified bool
+
+	// Lowered records that Lower has resolved layouts, so an execution
+	// engine may bake layout-dependent fields (sizes, strides, offsets)
+	// into a pre-decoded form at machine bind time.
+	Lowered bool
 }
 
 // DefaultStackBase is where an unmodified binary places its stack.

@@ -9,8 +9,9 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Page geometry. 4 KiB pages match the paper's mobile/server platforms.
@@ -72,6 +73,12 @@ type Memory struct {
 
 	// Faults counts copy-on-demand faults served via Fault.
 	Faults int
+
+	// gen counts structural changes that can invalidate cached page
+	// pointers: page replacement (InstallPage), removal (Drop, Reset) and
+	// dirty-bit clearing (ClearDirty). Faulting a page in does not bump it
+	// — existing page arrays never move.
+	gen uint64
 }
 
 type page struct {
@@ -109,6 +116,38 @@ func (m *Memory) getPage(pn uint32) (*page, error) {
 	return p, nil
 }
 
+// Gen returns the invalidation generation. A cached page pointer obtained
+// from Page or DirtyPage stays valid (and, for DirtyPage, stays marked
+// dirty) as long as Gen is unchanged, Touch is nil, and — for write caches —
+// TrackDirty has not been toggled.
+func (m *Memory) Gen() uint64 { return m.gen }
+
+// Page returns the resident data array of page pn, faulting it in as
+// needed. The pointer aliases live memory: it observes later writes and is
+// invalidated when Gen changes.
+func (m *Memory) Page(pn uint32) (*[PageSize]byte, error) {
+	p, err := m.getPage(pn)
+	if err != nil {
+		return nil, err
+	}
+	return &p.data, nil
+}
+
+// DirtyPage is Page plus dirty marking: when TrackDirty is on, the page is
+// marked dirty up front, so the caller may keep writing through the
+// returned array without further bookkeeping (until Gen changes or
+// TrackDirty is toggled).
+func (m *Memory) DirtyPage(pn uint32) (*[PageSize]byte, error) {
+	p, err := m.getPage(pn)
+	if err != nil {
+		return nil, err
+	}
+	if m.TrackDirty {
+		p.dirty = true
+	}
+	return &p.data, nil
+}
+
 // HasPage reports whether pn is present without faulting it in.
 func (m *Memory) HasPage(pn uint32) bool {
 	_, ok := m.pages[pn]
@@ -132,6 +171,7 @@ func (m *Memory) InstallPage(pn uint32, data []byte) {
 	p := &page{}
 	copy(p.data[:], data)
 	m.pages[pn] = p
+	m.gen++
 }
 
 // ReadBytes copies size bytes at addr into a fresh slice, faulting pages in
@@ -205,7 +245,7 @@ func (m *Memory) DirtyPages() []uint32 {
 			out = append(out, pn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -214,6 +254,7 @@ func (m *Memory) ClearDirty() {
 	for _, p := range m.pages {
 		p.dirty = false
 	}
+	m.gen++
 }
 
 // PresentPages returns the sorted page numbers currently resident.
@@ -222,18 +263,19 @@ func (m *Memory) PresentPages() []uint32 {
 	for pn := range m.pages {
 		out = append(out, pn)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // Drop discards page pn (used when a server process terminates without
 // keeping offloading data, Section 4 finalization).
-func (m *Memory) Drop(pn uint32) { delete(m.pages, pn) }
+func (m *Memory) Drop(pn uint32) { delete(m.pages, pn); m.gen++ }
 
 // Reset discards all pages and counters.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*page)
 	m.Faults = 0
+	m.gen++
 }
 
 // Range is a half-open byte-address interval [Lo, Hi), used to exclude
@@ -276,8 +318,8 @@ pages:
 		}
 		p := m.pages[pn]
 		zero := true
-		for _, b := range p.data {
-			if b != 0 {
+		for i := 0; i < PageSize; i += 8 {
+			if binary.LittleEndian.Uint64(p.data[i:]) != 0 {
 				zero = false
 				break
 			}

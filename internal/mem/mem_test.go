@@ -244,3 +244,118 @@ func TestPageNumAddrInverse(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerationCounter pins down the invalidation contract the interpreter's
+// page caches rely on: structural mutations (install, drop, reset, dirty-bit
+// clearing) bump the generation; faulting a page in does not, because the
+// resident array a cached pointer refers to never moves.
+func TestGenerationCounter(t *testing.T) {
+	m := New()
+	g0 := m.Gen()
+	if _, err := m.Page(3); err != nil { // fault-in: no bump
+		t.Fatal(err)
+	}
+	if m.Gen() != g0 {
+		t.Errorf("fault-in bumped gen %d -> %d; cached page pointers are still valid", g0, m.Gen())
+	}
+	m.InstallPage(3, []byte{1, 2, 3})
+	if m.Gen() == g0 {
+		t.Error("InstallPage must bump gen: it replaces the page array")
+	}
+	g1 := m.Gen()
+	m.Drop(3)
+	if m.Gen() == g1 {
+		t.Error("Drop must bump gen")
+	}
+	g2 := m.Gen()
+	m.ClearDirty()
+	if m.Gen() == g2 {
+		t.Error("ClearDirty must bump gen: write caches pin the dirty bit")
+	}
+	g3 := m.Gen()
+	m.Reset()
+	if m.Gen() == g3 {
+		t.Error("Reset must bump gen")
+	}
+}
+
+// TestPageAndDirtyPage exercises the fast-path accessors: Page faults the
+// page in and returns the resident array; DirtyPage additionally marks it
+// dirty under TrackDirty, and writes through the returned array land in the
+// page image.
+func TestPageAndDirtyPage(t *testing.T) {
+	m := New()
+	m.TrackDirty = true
+	pg, err := m.DirtyPage(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg[12] = 0xAB
+	if d := m.DirtyPages(); len(d) != 1 || d[0] != 7 {
+		t.Errorf("DirtyPages = %v, want [7]", d)
+	}
+	v, err := m.ReadUint(PageAddr(7)+12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xAB {
+		t.Errorf("write through DirtyPage array invisible: read 0x%x", v)
+	}
+
+	rp, err := m.Page(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp[0] != 0 {
+		t.Error("fresh page should be zero-filled")
+	}
+	for _, d := range m.DirtyPages() {
+		if d == 9 {
+			t.Error("Page (read accessor) must not dirty the page")
+		}
+	}
+	if !m.HasPage(9) {
+		t.Error("Page should have faulted page 9 in")
+	}
+}
+
+// TestDigestZeroPageEquivalence: a page that was written and then zeroed
+// again must digest identically to a never-present page — the word-wise
+// zero scan must not be fooled by nonzero bytes anywhere in the page.
+func TestDigestZeroPageEquivalence(t *testing.T) {
+	empty := New().Digest()
+	m := New()
+	for _, off := range []uint32{0, 7, PageSize - 1} {
+		if err := m.WriteUint(PageAddr(4)+off, 1, 0xFF); err != nil {
+			t.Fatal(err)
+		}
+		if m.Digest() == empty {
+			t.Errorf("nonzero byte at offset %d not reflected in digest", off)
+		}
+		if err := m.WriteUint(PageAddr(4)+off, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Digest() != empty {
+		t.Error("all-zero resident page must digest like an absent page")
+	}
+}
+
+// TestSortedPageLists: DirtyPages and PresentPages return ascending page
+// numbers regardless of map iteration order.
+func TestSortedPageLists(t *testing.T) {
+	m := New()
+	m.TrackDirty = true
+	for _, pn := range []uint32{90, 3, 511, 42, 7} {
+		if err := m.WriteUint(PageAddr(pn), 4, uint64(pn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, got := range map[string][]uint32{"dirty": m.DirtyPages(), "present": m.PresentPages()} {
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Errorf("%s pages not ascending: %v", name, got)
+			}
+		}
+	}
+}
