@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test bench golden fuzz chaos
+.PHONY: check build vet test bench golden fuzz chaos fleet
 
-## check: the tier-1 verification — build, vet, race-enabled tests, and a
-## short fuzz smoke over the hardened wire decoder.
-check: build vet
+## check: the tier-1 verification — build, vet, race-enabled tests, a
+## short fuzz smoke over the hardened wire decoder, and the fleet
+## scheduler smoke.
+check: build vet fleet
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
@@ -26,6 +27,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest' -benchmem ./internal/interp/
 	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
 	BENCH_JSON=$(CURDIR)/BENCH_interp.json $(GO) test ./internal/interp/ -run '^TestBenchJSON$$' -count=1 -v
+	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
 
 ## golden: regenerate the Chrome-export and metrics-summary golden files.
 golden:
@@ -34,6 +36,11 @@ golden:
 ## fuzz: a longer fuzzing session over the wire decoder.
 fuzz:
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 60s
+
+## fleet: the server-fleet scheduler smoke — determinism, the est-aware
+## vs random property, and admission sheds under overload, under -race.
+fleet:
+	$(GO) test -race ./internal/fleet/ ./internal/experiments/ -run 'Fleet|Pool|Sheds|Admission'
 
 ## chaos: the fault-injection campaign — every workload under the
 ## drop-rate x outage grid, asserting bit-identical output vs fault-free.

@@ -2,8 +2,11 @@
 // evaluation. Usage:
 //
 //	offloadbench -exp table1|table2|table3|table4|table5|fig6a|fig6b|fig7|fig8|all
+//	offloadbench -exp fleet -clients=64 -servers=4 -policy=est-aware
 //
 // Table 1 accepts -depth to bound the most expensive chess difficulty.
+// The fleet experiment compares dispatch policies over a shared server
+// pool and writes its machine-readable record to -fleet-out.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -20,8 +24,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, or all")
+	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, fleet, or all")
 	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
+	clients := flag.Int("clients", 64, "with -exp fleet: number of concurrent mobile clients")
+	servers := flag.Int("servers", 4, "with -exp fleet: size of the server pool")
+	policy := flag.String("policy", "all", "with -exp fleet: dispatch policy (random, round-robin, least-loaded, est-aware) or all")
+	seed := flag.Uint64("seed", 1, "with -exp fleet: simulation seed")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "with -exp fleet: machine-readable sweep record path (empty to skip)")
 	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
@@ -109,6 +118,26 @@ func main() {
 				if !c.Equal() {
 					return fmt.Errorf("chaos: %s under %s diverged from its fault-free run", c.Workload, c.Plan.String())
 				}
+			}
+		case "fleet":
+			var pols []fleet.Policy
+			if *policy != "all" {
+				p, err := fleet.ParsePolicy(*policy)
+				if err != nil {
+					return err
+				}
+				pols = append(pols, p)
+			}
+			results, err := experiments.FleetSweep([]int{*clients}, *servers, *seed, pols...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FleetTable(results))
+			if *fleetOut != "" {
+				if err := experiments.WriteFleetBench(*fleetOut, results); err != nil {
+					return err
+				}
+				fmt.Printf("fleet: %d cells -> %s\n", len(results), *fleetOut)
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)

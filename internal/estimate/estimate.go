@@ -59,6 +59,27 @@ func (p Params) Profitable(tm simtime.PS, memBytes int64, invocations int) bool 
 	return p.Gain(tm, memBytes, invocations) > 0
 }
 
+// RemoteTime estimates the end-to-end remote completion time of one
+// invocation: the two memory transfers of Equation 1, the server-side
+// execution Tm/R, and the queueing delay a loaded server currently
+// charges. With queue = 0 it is exactly the remote side of Equation 1
+// (RemoteTime < Tm iff Profitable), so the single-server gate and the
+// fleet's contention-aware gate agree on an idle fleet.
+func (p Params) RemoteTime(tm simtime.PS, memBytes int64, queue simtime.PS) simtime.PS {
+	exec := tm
+	if p.R > 0 {
+		exec = simtime.PS(float64(tm) / p.R)
+	}
+	return p.CommTime(memBytes, 1) + exec + queue
+}
+
+// ProfitableQueued generalizes Profitable to shared servers: offloading
+// wins only if it still beats local execution after the dispatcher's
+// current queueing delay is charged on top of communication.
+func (p Params) ProfitableQueued(tm simtime.PS, memBytes int64, queue simtime.PS) bool {
+	return p.RemoteTime(tm, memBytes, queue) < tm
+}
+
 // Estimate is the per-candidate result the target selector records
 // (Table 3's right-hand columns).
 type Estimate struct {

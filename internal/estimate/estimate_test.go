@@ -90,3 +90,27 @@ func TestDegenerateParams(t *testing.T) {
 		t.Error("degenerate params should yield zero gain")
 	}
 }
+
+func TestRemoteTimeMatchesEquationOne(t *testing.T) {
+	p := Params{R: 5, BandwidthBps: 80_000_000, RTT: 4 * simtime.Millisecond}
+	tm := simtime.FromSeconds(2)
+	mem := int64(4 << 20)
+	// With an empty queue the queued gate must agree with Equation 1.
+	if p.Profitable(tm, mem, 1) != p.ProfitableQueued(tm, mem, 0) {
+		t.Error("ProfitableQueued(queue=0) disagrees with Profitable")
+	}
+	base := p.RemoteTime(tm, mem, 0)
+	if want := p.CommTime(mem, 1) + simtime.PS(float64(tm)/p.R); base != want {
+		t.Errorf("RemoteTime = %v, want %v", base, want)
+	}
+	// Queueing delay is charged linearly and eventually flips the verdict.
+	if p.RemoteTime(tm, mem, simtime.Second) != base+simtime.Second {
+		t.Error("queue delay not charged")
+	}
+	if !p.ProfitableQueued(tm, mem, 0) {
+		t.Fatal("baseline task should offload when idle")
+	}
+	if p.ProfitableQueued(tm, mem, 10*simtime.Second) {
+		t.Error("a 10s queue should flip a 2s task back to local")
+	}
+}

@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Pool is the live capacity view of a server fleet that real offrt
+// sessions bind against (offrt.WithFleet): instead of assuming a
+// dedicated peer, a session's dynamic gate asks the pool how long an
+// offload dispatched now would queue. Slot reservations are explicit
+// (Occupy/estimated completion instants), so tests and harnesses can
+// model background fleet load without simulating the other clients.
+//
+// Pool is safe for concurrent use: sessions consult it from their own
+// goroutines.
+type Pool struct {
+	mu    sync.Mutex
+	specs []ServerSpec
+	// freeAt[i][k] is when slot k of server i finishes its current work;
+	// instants in the past mean the slot is idle.
+	freeAt [][]simtime.PS
+}
+
+// NewPool builds a pool over the given server specs.
+func NewPool(specs ...ServerSpec) *Pool {
+	p := &Pool{specs: specs}
+	for _, s := range specs {
+		p.freeAt = append(p.freeAt, make([]simtime.PS, s.Slots))
+	}
+	return p
+}
+
+// Occupy reserves the earliest-free slot of server i until the given
+// instant (background load, or a dispatched offload's estimated
+// completion). Reservations on a busy server stack: the new work starts
+// when the slot frees.
+func (p *Pool) Occupy(i int, dur simtime.PS, now simtime.PS) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slots := p.freeAt[i]
+	best := 0
+	for k := 1; k < len(slots); k++ {
+		if slots[k] < slots[best] {
+			best = k
+		}
+	}
+	start := simtime.Max(now, slots[best])
+	slots[best] = start + dur
+}
+
+// EstQueueDelay implements offrt.LoadSignal: the queueing delay an
+// offload dispatched now would face on the *best* server — zero while any
+// slot anywhere is idle, and the earliest slot-free horizon otherwise.
+// The exec argument is accepted for interface symmetry with richer
+// dispatchers (a per-server speed-aware estimate would use it).
+func (p *Pool) EstQueueDelay(now simtime.PS, exec simtime.PS) simtime.PS {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := simtime.PS(-1)
+	for _, slots := range p.freeAt {
+		for _, free := range slots {
+			wait := free - now
+			if wait < 0 {
+				wait = 0
+			}
+			if best < 0 || wait < best {
+				best = wait
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

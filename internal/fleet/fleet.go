@@ -1,0 +1,222 @@
+// Package fleet is the server-fleet scheduler: a deterministic simulated
+// offload-serving subsystem that runs N concurrent mobile clients against
+// a pool of M servers on the shared simtime clock.
+//
+// The paper's runtime serves one mobile client from one dedicated x86
+// server. This package generalizes that shape toward the production-scale
+// system the ROADMAP names: every client keeps the paper's dynamic
+// Equation-1 gate, but the break-even point now includes the *queueing
+// delay* a shared server charges (estimate.ProfitableQueued), so a busy
+// fleet flips marginal tasks back to local execution. On top sit a
+// pluggable load-balancing dispatcher (random, round-robin, least-loaded,
+// est-aware) and admission control that sheds requests past a queue-depth
+// or wait bound down the existing local-fallback path.
+//
+// Everything is seeded-deterministic: the same Config (including Seed)
+// produces byte-identical schedules and statistics, so policy comparisons
+// and tests are exact.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// ServerSpec is one server's capacity: its server/mobile performance
+// ratio (the cost scale of Equation 1's R) and how many offloaded tasks
+// it executes concurrently.
+type ServerSpec struct {
+	// R is the server/mobile performance ratio; an offloaded task with
+	// mobile execution time Tm runs in Tm/R here.
+	R float64
+	// Slots is the number of concurrent execution slots; requests beyond
+	// it wait in the run queue.
+	Slots int
+}
+
+// Discipline orders a server's run queue.
+type Discipline uint8
+
+const (
+	// FIFO serves queued requests in arrival order.
+	FIFO Discipline = iota
+	// SJF serves the shortest (estimated server execution time) first,
+	// breaking ties by arrival order.
+	SJF
+)
+
+func (d Discipline) String() string {
+	if d == SJF {
+		return "sjf"
+	}
+	return "fifo"
+}
+
+// Admission bounds what a server accepts. A request failing either bound
+// at arrival is shed: the client is notified and re-executes locally,
+// exactly the runtime's local-fallback path.
+type Admission struct {
+	// MaxQueue sheds a request arriving at a server whose run queue
+	// already holds this many waiting requests (0 = unbounded).
+	MaxQueue int
+	// MaxWait sheds a request whose estimated queueing delay at arrival
+	// exceeds this bound (0 = unbounded): a deadline the fleet refuses to
+	// knowingly miss.
+	MaxWait simtime.PS
+}
+
+// WorkloadModel is the synthetic per-client request population: each
+// request draws a mobile execution time Tm and a memory footprint M (the
+// two inputs of Equation 1), and clients pause for a think time between
+// requests. All draws are uniform over the given ranges from the client's
+// seeded stream.
+type WorkloadModel struct {
+	TmMin, TmMax       simtime.PS
+	MemMin, MemMax     int64
+	ThinkMin, ThinkMax simtime.PS
+}
+
+// Config describes one fleet run.
+type Config struct {
+	// Seed drives every random stream (per-client workload draws, initial
+	// think offsets, the random policy). Same seed, same everything.
+	Seed uint64
+	// Clients is the number of concurrent mobile clients.
+	Clients int
+	// RequestsPerClient is how many offload candidates each client issues.
+	RequestsPerClient int
+	// Servers is the pool; heterogeneous specs are fine.
+	Servers []ServerSpec
+	// Policy is the dispatcher's load-balancing policy.
+	Policy Policy
+	// Queue selects the servers' run-queue discipline.
+	Queue Discipline
+	// Admission bounds what servers accept.
+	Admission Admission
+	// Workload is the synthetic request population.
+	Workload WorkloadModel
+	// LinkProfiles names the netsim presets cycled across clients
+	// (client i gets a Clone of profile i mod len). Empty defaults to
+	// {"fast", "slow", "lte"}.
+	LinkProfiles []string
+
+	// Tracer receives fleet.dispatch / fleet.queue / fleet.shed events
+	// (plus per-request gate decisions); Metrics receives the end-of-run
+	// gauges. Both may be nil.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
+}
+
+// DefaultServers builds a heterogeneous pool of n servers: fast machines
+// (R=6, the paper's ~5.8 rounded up) alternating with half-speed ones
+// (R=3), two slots each — the shape that makes est-aware routing matter.
+func DefaultServers(n int) []ServerSpec {
+	specs := make([]ServerSpec, n)
+	for i := range specs {
+		r := 6.0
+		if i%2 == 1 {
+			r = 3.0
+		}
+		specs[i] = ServerSpec{R: r, Slots: 2}
+	}
+	return specs
+}
+
+// DefaultConfig is the standard scaling-experiment cell: n clients over a
+// DefaultServers pool of m, tasks of 0.2-2 s mobile time and 0.25-4 MB
+// footprint, 50-500 ms think times, bounded admission.
+func DefaultConfig(clients, servers int, pol Policy) Config {
+	return Config{
+		Seed:              1,
+		Clients:           clients,
+		RequestsPerClient: 10,
+		Servers:           DefaultServers(servers),
+		Policy:            pol,
+		Admission:         Admission{MaxQueue: 8, MaxWait: 4 * simtime.Second},
+		Workload: WorkloadModel{
+			TmMin: 200 * simtime.Millisecond, TmMax: 2 * simtime.Second,
+			MemMin: 256 << 10, MemMax: 4 << 20,
+			ThinkMin: 50 * simtime.Millisecond, ThinkMax: 500 * simtime.Millisecond,
+		},
+	}
+}
+
+// Validate rejects configurations the simulation cannot run with.
+func (c *Config) Validate() error {
+	if c.Clients <= 0 || c.RequestsPerClient <= 0 {
+		return fmt.Errorf("fleet: need at least one client and one request, got %d x %d", c.Clients, c.RequestsPerClient)
+	}
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("fleet: empty server pool")
+	}
+	for i, s := range c.Servers {
+		if s.R <= 0 || s.Slots <= 0 {
+			return fmt.Errorf("fleet: server %d has non-positive capacity (R=%g, slots=%d)", i, s.R, s.Slots)
+		}
+	}
+	if _, err := ParsePolicy(string(c.Policy)); err != nil {
+		return err
+	}
+	w := c.Workload
+	if w.TmMin <= 0 || w.TmMax < w.TmMin || w.MemMin <= 0 || w.MemMax < w.MemMin ||
+		w.ThinkMin < 0 || w.ThinkMax < w.ThinkMin {
+		return fmt.Errorf("fleet: malformed workload model %+v", w)
+	}
+	return nil
+}
+
+// ClientLink stamps out client i's private link from the profile cycle:
+// a Clone of profiles[i mod len] named "<profile>#<i>". It is what gives
+// the fleet its heterogeneous client population without repeating phase
+// tables.
+func ClientLink(profiles []string, i int) (*netsim.Link, error) {
+	if len(profiles) == 0 {
+		profiles = []string{"fast", "slow", "lte"}
+	}
+	name := profiles[i%len(profiles)]
+	l, err := netsim.Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	return l.Clone(fmt.Sprintf("%s#%d", name, i)), nil
+}
+
+// rng is a splitmix64 stream: tiny, seedable, and stable across Go
+// versions (math/rand's shuffling internals are not part of its
+// compatibility promise, and determinism here is load-bearing).
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) rng { return rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangePS returns a uniform draw in [lo, hi].
+func (r *rng) rangePS(lo, hi simtime.PS) simtime.PS {
+	if hi <= lo {
+		return lo
+	}
+	return lo + simtime.PS(r.float()*float64(hi-lo))
+}
+
+// rangeI64 returns a uniform draw in [lo, hi].
+func (r *rng) rangeI64(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int64(r.float()*float64(hi-lo))
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Policy names a dispatcher load-balancing policy.
+type Policy string
+
+const (
+	// Random routes each request to a uniformly random server.
+	Random Policy = "random"
+	// RoundRobin cycles through the pool in order.
+	RoundRobin Policy = "round-robin"
+	// LeastLoaded picks the server with the least outstanding work per
+	// slot (queue depth weighted by service time), ignoring the request
+	// itself and the client's link.
+	LeastLoaded Policy = "least-loaded"
+	// EstAware picks the server minimizing the *estimated remote
+	// completion time of this request*: transfer over the client's own
+	// link, the server's current queueing delay, and execution at that
+	// server's speed — Equation 1 extended with live load
+	// (estimate.Params.RemoteTime).
+	EstAware Policy = "est-aware"
+)
+
+// Policies lists every dispatch policy, in comparison order.
+func Policies() []Policy { return []Policy{Random, RoundRobin, LeastLoaded, EstAware} }
+
+// ParsePolicy resolves a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("fleet: unknown policy %q (want random, round-robin, least-loaded or est-aware)", s)
+}
+
+// dispatcher routes offload requests to servers under one policy.
+type dispatcher struct {
+	policy Policy
+	rng    rng // the random policy's private stream
+	rr     int // round-robin cursor
+}
+
+// pick chooses the server for a request a client decides to offload at
+// instant now: tm is the task's mobile execution time, up/down the
+// transfer times over this client's link. It returns the server index and
+// the estimated queueing delay there (the load signal the gate charges).
+func (d *dispatcher) pick(servers []*server, now simtime.PS, tm simtime.PS, up, down simtime.PS) (int, simtime.PS) {
+	switch d.policy {
+	case Random:
+		i := d.rng.intn(len(servers))
+		return i, servers[i].estWait(now)
+	case RoundRobin:
+		i := d.rr % len(servers)
+		d.rr++
+		return i, servers[i].estWait(now)
+	case LeastLoaded:
+		best, bestWait := 0, servers[0].estWait(now)
+		for i := 1; i < len(servers); i++ {
+			if w := servers[i].estWait(now); w < bestWait {
+				best, bestWait = i, w
+			}
+		}
+		return best, bestWait
+	default: // EstAware
+		best := 0
+		bestWait := servers[0].estWait(now)
+		bestTotal := up + bestWait + servers[0].execTime(tm) + down
+		for i := 1; i < len(servers); i++ {
+			w := servers[i].estWait(now)
+			total := up + w + servers[i].execTime(tm) + down
+			if total < bestTotal {
+				best, bestWait, bestTotal = i, w, total
+			}
+		}
+		return best, bestWait
+	}
+}

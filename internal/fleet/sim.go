@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// job is one offload request in flight through the fleet.
+type job struct {
+	client int
+	tm     simtime.PS // mobile execution time (Equation 1's Tm)
+	mem    int64      // memory footprint (Equation 1's M)
+	exec   simtime.PS // execution time at the chosen server
+	decide simtime.PS // when the client decided to offload
+	enq    simtime.PS // when the request entered the run queue
+	finish simtime.PS // when the server will complete it (running jobs)
+	down   simtime.PS // reply transfer time over the client's link
+	seq    int64      // FIFO tie-break
+}
+
+// server is one pool member's live state.
+type server struct {
+	spec    ServerSpec
+	busy    int    // occupied slots
+	running []*job // jobs in slots (finish times feed the load estimate)
+	queue   []*job // waiting jobs, ordered by the queue discipline at pop
+
+	// reserved is dispatcher-side bookkeeping: service time of requests
+	// routed here but still in flight over their clients' links. Without
+	// it every concurrent est-aware decision sees the same idle server
+	// and herds onto it — the classic join-shortest-queue-with-stale-info
+	// pathology.
+	reserved simtime.PS
+
+	// busyPS integrates busy slots over time for the utilization gauge;
+	// maxDepth tracks the deepest queue ever observed.
+	busyPS   simtime.PS
+	lastT    simtime.PS
+	maxDepth int
+	waitPS   simtime.PS // total queueing delay charged
+	served   int        // jobs that entered a slot
+}
+
+// advance integrates the utilization clock to now.
+func (s *server) advance(now simtime.PS) {
+	if now > s.lastT {
+		s.busyPS += simtime.PS(int64(s.busy) * int64(now-s.lastT))
+		s.lastT = now
+	}
+}
+
+// execTime is the task's service time at this server's speed.
+func (s *server) execTime(tm simtime.PS) simtime.PS {
+	return simtime.PS(float64(tm) / s.spec.R)
+}
+
+// estWait estimates the queueing delay a request dispatched now would
+// face: all outstanding work (remaining service of running jobs, the full
+// service of queued ones, and in-flight reservations) spread across the
+// slots. This is the live load signal the dispatcher exposes — to its own
+// policies, to the admission bound, and to the est-aware gate.
+func (s *server) estWait(now simtime.PS) simtime.PS {
+	left := s.reserved
+	for _, j := range s.running {
+		if j.finish > now {
+			left += j.finish - now
+		}
+	}
+	for _, j := range s.queue {
+		left += j.exec
+	}
+	return left / simtime.PS(s.spec.Slots)
+}
+
+// pop removes the next queued job under the discipline: FIFO takes the
+// oldest, SJF the shortest service time (ties by arrival order).
+func (s *server) pop(d Discipline) *job {
+	best := 0
+	if d == SJF {
+		for i := 1; i < len(s.queue); i++ {
+			if s.queue[i].exec < s.queue[best].exec ||
+				(s.queue[i].exec == s.queue[best].exec && s.queue[i].seq < s.queue[best].seq) {
+				best = i
+			}
+		}
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return j
+}
+
+// dropRunning removes a completed job from the slot list.
+func (s *server) dropRunning(j *job) {
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// event kinds of the discrete-event loop.
+const (
+	evReady  = iota // a client is ready to issue its next request
+	evArrive        // an offload request reaches its server
+	evFinish        // a server slot completes a job
+)
+
+// event is one scheduled occurrence; the heap orders by (time, seq) so
+// simultaneous events resolve deterministically.
+type event struct {
+	t    simtime.PS
+	seq  int64
+	kind int
+	ci   int // client
+	si   int // server (evArrive/evFinish)
+	j    *job
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].t != h[b].t {
+		return h[a].t < h[b].t
+	}
+	return h[a].seq < h[b].seq
+}
+func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// client is one simulated mobile device.
+type client struct {
+	id        int
+	link      *netsim.Link
+	rng       rng
+	remaining int
+}
+
+// shedNoticeBytes is the size of the admission-reject notification the
+// client waits for before falling back locally.
+const shedNoticeBytes = 64
+
+// Run executes one fleet simulation to completion and returns its
+// statistics. The run is strictly deterministic in cfg (including Seed).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	servers := make([]*server, len(cfg.Servers))
+	for i, spec := range cfg.Servers {
+		servers[i] = &server{spec: spec}
+	}
+	clients := make([]*client, cfg.Clients)
+	disp := &dispatcher{policy: cfg.Policy, rng: newRng(cfg.Seed ^ 0xD15847C4)}
+
+	var evs eventHeap
+	var seq int64
+	push := func(t simtime.PS, kind, ci, si int, j *job) {
+		seq++
+		heap.Push(&evs, event{t: t, seq: seq, kind: kind, ci: ci, si: si, j: j})
+	}
+
+	for i := range clients {
+		link, err := ClientLink(cfg.LinkProfiles, i)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = &client{
+			id:        i,
+			link:      link,
+			rng:       newRng(cfg.Seed ^ (0x9E3779B97F4A7C15 * uint64(i+1))),
+			remaining: cfg.RequestsPerClient,
+		}
+		// Stagger the fleet's first wave by one think time per client.
+		push(clients[i].rng.rangePS(cfg.Workload.ThinkMin, cfg.Workload.ThinkMax), evReady, i, 0, nil)
+	}
+
+	res := &Result{
+		Policy:  string(cfg.Policy),
+		Queue:   cfg.Queue.String(),
+		Clients: cfg.Clients,
+		Servers: len(cfg.Servers),
+		Seed:    cfg.Seed,
+	}
+	var latencies []simtime.PS
+	var now simtime.PS
+
+	// complete records one finished request and schedules the client's
+	// next think/issue cycle.
+	complete := func(c *client, decide, done simtime.PS) {
+		latencies = append(latencies, done-decide)
+		next := done + c.rng.rangePS(cfg.Workload.ThinkMin, cfg.Workload.ThinkMax)
+		push(next, evReady, c.id, 0, nil)
+	}
+
+	// startJob moves a job into a slot of server si at instant t.
+	startJob := func(si int, j *job, t simtime.PS) {
+		s := servers[si]
+		s.busy++
+		s.served++
+		j.finish = t + j.exec
+		s.running = append(s.running, j)
+		push(j.finish, evFinish, j.client, si, j)
+	}
+
+	for evs.Len() > 0 {
+		ev := heap.Pop(&evs).(event)
+		now = ev.t
+		switch ev.kind {
+		case evReady:
+			c := clients[ev.ci]
+			if c.remaining == 0 {
+				break
+			}
+			c.remaining--
+			res.Requests++
+			tm := c.rng.rangePS(cfg.Workload.TmMin, cfg.Workload.TmMax)
+			mem := c.rng.rangeI64(cfg.Workload.MemMin, cfg.Workload.MemMax)
+			link := c.link.At(now)
+			up := link.TransferTime(mem)
+			down := link.TransferTime(mem)
+			si, wait := disp.pick(servers, now, tm, up, down)
+			srv := servers[si]
+			// The dynamic gate: Equation 1 against the picked server's
+			// speed. Only the est-aware policy extends it with the live
+			// queueing-delay signal (the contention-aware gate); the
+			// naive policies keep the paper's load-blind gate, assuming
+			// a dedicated server — which is exactly what overruns queues
+			// and triggers admission sheds under heavy traffic.
+			gateWait := simtime.PS(0)
+			if cfg.Policy == EstAware {
+				gateWait = wait
+			}
+			p := estimate.Params{
+				R:            srv.spec.R,
+				BandwidthBps: link.BandwidthBps,
+				RTT:          2 * (link.Latency + link.PerMessage),
+			}
+			if !p.ProfitableQueued(tm, mem, gateWait) {
+				res.Declines++
+				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
+					Name: "decline", A0: int64(tm), A1: mem, A2: link.BandwidthBps, A3: int64(wait)})
+				complete(c, now, now+tm)
+				break
+			}
+			res.Dispatched++
+			cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KDispatch, Track: obs.TrackFleet,
+				Name: string(cfg.Policy), A0: int64(c.id), A1: int64(si),
+				A2: int64(len(srv.queue)), A3: int64(wait)})
+			seq++
+			j := &job{client: c.id, tm: tm, mem: mem, exec: srv.execTime(tm),
+				decide: now, down: down, seq: seq}
+			srv.reserved += j.exec
+			push(now+up, evArrive, c.id, si, j)
+
+		case evArrive:
+			s := servers[ev.si]
+			j := ev.j
+			// The reservation materializes: the job is now visible in the
+			// queue or a slot instead.
+			s.reserved -= j.exec
+			if s.reserved < 0 {
+				s.reserved = 0
+			}
+			depth := len(s.queue)
+			if depth > s.maxDepth {
+				s.maxDepth = depth
+			}
+			// Admission control runs against the server's *actual* state
+			// at arrival — decision-time estimates are already stale by
+			// one transfer time, which is exactly how a thundering herd
+			// overruns a queue bound.
+			if (cfg.Admission.MaxQueue > 0 && depth >= cfg.Admission.MaxQueue && s.busy >= s.spec.Slots) ||
+				(cfg.Admission.MaxWait > 0 && s.estWait(now) > cfg.Admission.MaxWait) {
+				res.Sheds++
+				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KShed, Track: obs.TrackFleet,
+					A0: int64(j.client), A1: int64(ev.si), A2: int64(depth)})
+				c := clients[j.client]
+				notice := c.link.At(now).TransferTime(shedNoticeBytes)
+				// Local fallback: the client hears the reject, then runs
+				// the task itself.
+				complete(c, j.decide, now+notice+j.tm)
+				break
+			}
+			s.advance(now)
+			if s.busy < s.spec.Slots {
+				startJob(ev.si, j, now)
+			} else {
+				j.enq = now
+				s.queue = append(s.queue, j)
+				if len(s.queue) > s.maxDepth {
+					s.maxDepth = len(s.queue)
+				}
+			}
+
+		case evFinish:
+			s := servers[ev.si]
+			j := ev.j
+			s.advance(now)
+			s.busy--
+			s.dropRunning(j)
+			res.Offloads++
+			complete(clients[j.client], j.decide, now+j.down)
+			if len(s.queue) > 0 && s.busy < s.spec.Slots {
+				next := s.pop(cfg.Queue)
+				wait := now - next.enq
+				s.waitPS += wait
+				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KQueue, Track: obs.TrackFleet,
+					A0: int64(next.client), A1: int64(ev.si), A2: int64(wait)})
+				startJob(ev.si, next, now)
+			}
+		}
+	}
+
+	for _, s := range servers {
+		s.advance(now)
+	}
+	if got := res.Offloads + res.Declines + res.Sheds; got != res.Requests {
+		return nil, fmt.Errorf("fleet: request accounting broken: %d completed of %d issued", got, res.Requests)
+	}
+	res.finish(latencies, servers, now)
+	res.publish(cfg.Metrics, servers)
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// Result is the statistics of one fleet run. All fields are plain values
+// derived deterministically from the Config, so two runs with the same
+// seed marshal to byte-identical JSON.
+type Result struct {
+	Policy  string `json:"policy"`
+	Queue   string `json:"queue"`
+	Clients int    `json:"clients"`
+	Servers int    `json:"servers"`
+	Seed    uint64 `json:"seed"`
+
+	// Requests = Offloads + Declines + Sheds: every request completes,
+	// remotely or down one of the two local paths.
+	Requests   int `json:"requests"`
+	Offloads   int `json:"offloads"`   // completed remotely
+	Dispatched int `json:"dispatched"` // sent toward a server (Offloads + Sheds)
+	Declines   int `json:"declines"`   // contention-aware gate chose local
+	Sheds      int `json:"sheds"`      // admission control forced local fallback
+
+	// LocalRate is the fraction of requests that ran on the client
+	// (gate declines plus admission sheds).
+	LocalRate float64 `json:"local_rate"`
+	// ThroughputRPS is completed requests per simulated second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// End-to-end request latency (decision to result in hand), ms.
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	GeomeanMs float64 `json:"geomean_ms"`
+
+	// MakespanMs is when the last request completed.
+	MakespanMs float64 `json:"makespan_ms"`
+	// ServerUtilPct is per-server slot occupancy over the makespan.
+	ServerUtilPct []float64 `json:"server_util_pct"`
+	// MaxQueueDepth is the deepest run queue observed anywhere.
+	MaxQueueDepth int `json:"max_queue_depth"`
+	// AvgQueueWaitMs averages the queueing delay over jobs that waited.
+	AvgQueueWaitMs float64 `json:"avg_queue_wait_ms"`
+}
+
+// percentile returns the q-quantile (0..1) of sorted latencies by nearest
+// rank.
+func percentile(sorted []simtime.PS, q float64) simtime.PS {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// finish derives the aggregate fields from the raw latency population and
+// final server states.
+func (r *Result) finish(latencies []simtime.PS, servers []*server, makespan simtime.PS) {
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	r.P50Ms = percentile(latencies, 0.50).Millis()
+	r.P99Ms = percentile(latencies, 0.99).Millis()
+	var sum simtime.PS
+	logSum := 0.0
+	for _, l := range latencies {
+		sum += l
+		logSum += math.Log(l.Millis())
+	}
+	if n := len(latencies); n > 0 {
+		r.MeanMs = (sum / simtime.PS(n)).Millis()
+		r.GeomeanMs = math.Exp(logSum / float64(n))
+	}
+	if r.Requests > 0 {
+		r.LocalRate = float64(r.Declines+r.Sheds) / float64(r.Requests)
+	}
+	if makespan > 0 {
+		r.ThroughputRPS = float64(len(latencies)) / makespan.Seconds()
+	}
+	r.MakespanMs = makespan.Millis()
+	var waited simtime.PS
+	queued := 0
+	for _, s := range servers {
+		cap := simtime.PS(int64(s.spec.Slots) * int64(makespan))
+		util := 0.0
+		if cap > 0 {
+			util = 100 * float64(s.busyPS) / float64(cap)
+		}
+		r.ServerUtilPct = append(r.ServerUtilPct, math.Round(util*100)/100)
+		if s.maxDepth > r.MaxQueueDepth {
+			r.MaxQueueDepth = s.maxDepth
+		}
+		waited += s.waitPS
+		queued += s.served
+	}
+	if queued > 0 {
+		r.AvgQueueWaitMs = (waited / simtime.PS(queued)).Millis()
+	}
+}
+
+// publish exposes the run's gauges on a metrics registry (no-op on nil):
+// shed rate, queue depth and per-server utilization, the fleet analogue of
+// the session-level counters offrt publishes at Shutdown.
+func (r *Result) publish(m *obs.Metrics, servers []*server) {
+	if m == nil {
+		return
+	}
+	m.Counter("fleet.requests").Set(int64(r.Requests))
+	m.Counter("fleet.offloads").Set(int64(r.Offloads))
+	m.Counter("fleet.dispatched").Set(int64(r.Dispatched))
+	m.Counter("fleet.declines").Set(int64(r.Declines))
+	m.Counter("fleet.sheds").Set(int64(r.Sheds))
+	m.Counter("fleet.shed_rate_milli").Set(int64(1000 * float64(r.Sheds) / float64(r.Requests)))
+	m.Counter("fleet.queue_depth.max").Set(int64(r.MaxQueueDepth))
+	m.Counter("fleet.queue_wait_ms.avg").Set(int64(r.AvgQueueWaitMs))
+	for i, s := range servers {
+		m.Counter(fmt.Sprintf("fleet.server.%d.util_milli", i)).Set(int64(10 * r.ServerUtilPct[i]))
+		m.Counter(fmt.Sprintf("fleet.server.%d.served", i)).Set(int64(s.served))
+	}
+}

@@ -117,6 +117,50 @@ func Ideal() *Link {
 	return &Link{Name: "ideal", BandwidthBps: 0, Latency: 0, PerMessage: 0}
 }
 
+// LTE returns a cellular environment: far lower goodput and much higher
+// latency than either WLAN. The fleet's heterogeneous client populations
+// mix it with the two 802.11 profiles.
+func LTE() *Link {
+	return &Link{
+		Name:         "lte",
+		BandwidthBps: 35_000_000,
+		Latency:      25 * simtime.Millisecond,
+		PerMessage:   300 * simtime.Microsecond,
+	}
+}
+
+// Clone returns an independent deep copy of l (including any phase
+// schedule) renamed to name; an empty name keeps l's. The fleet uses it to
+// stamp out per-client links from one named profile without re-declaring
+// phase tables.
+func (l *Link) Clone(name string) *Link {
+	c := *l
+	if name != "" {
+		c.Name = name
+	}
+	if len(l.Phases) > 0 {
+		c.Phases = append([]Phase(nil), l.Phases...)
+	}
+	return &c
+}
+
+// Profile resolves a named link preset: "slow" (802.11n), "fast"
+// (802.11ac), "lte", or "ideal". Each call returns a fresh Link, so
+// callers may mutate the result freely.
+func Profile(name string) (*Link, error) {
+	switch name {
+	case "slow":
+		return Slow80211N(), nil
+	case "fast":
+		return Fast80211AC(), nil
+	case "lte":
+		return LTE(), nil
+	case "ideal":
+		return Ideal(), nil
+	}
+	return nil, fmt.Errorf("netsim: unknown link profile %q (want slow, fast, lte or ideal)", name)
+}
+
 // Scaled returns a copy of l with bandwidth divided by factor. The
 // workloads shrink their memory footprints by the same factor, so all
 // time ratios are preserved while the simulation stays small.

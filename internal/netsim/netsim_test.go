@@ -222,3 +222,61 @@ func TestTrySendFaults(t *testing.T) {
 		t.Fatalf("corrupted TrySend = (%v, %v)", d3, v)
 	}
 }
+
+func TestProfilePresets(t *testing.T) {
+	cases := []struct {
+		name    string
+		wantBps int64
+		wantLat simtime.PS
+		wantMsg simtime.PS
+	}{
+		{"slow", 110_000_000, 2 * simtime.Millisecond, 120 * simtime.Microsecond},
+		{"fast", 650_000_000, 1 * simtime.Millisecond, 60 * simtime.Microsecond},
+		{"lte", 35_000_000, 25 * simtime.Millisecond, 300 * simtime.Microsecond},
+		{"ideal", 0, 0, 0},
+	}
+	for _, c := range cases {
+		l, err := Profile(c.name)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", c.name, err)
+		}
+		if l.BandwidthBps != c.wantBps || l.Latency != c.wantLat || l.PerMessage != c.wantMsg {
+			t.Errorf("Profile(%q) = {bw %d, lat %v, msg %v}, want {bw %d, lat %v, msg %v}",
+				c.name, l.BandwidthBps, l.Latency, l.PerMessage, c.wantBps, c.wantLat, c.wantMsg)
+		}
+		// Each call must hand out an independent link.
+		l.BandwidthBps = 1
+		again, _ := Profile(c.name)
+		if c.name != "ideal" && again.BandwidthBps == 1 {
+			t.Errorf("Profile(%q) returns a shared link", c.name)
+		}
+	}
+	if _, err := Profile("carrier-pigeon"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := Slow80211N()
+	if err := l.SetPhases(
+		Phase{Until: simtime.Second, BandwidthBps: 110_000_000},
+		Phase{Until: 2 * simtime.Second, BandwidthBps: 9_000_000},
+	); err != nil {
+		t.Fatal(err)
+	}
+	c := l.Clone("client-0")
+	if c.Name != "client-0" {
+		t.Errorf("clone name = %q", c.Name)
+	}
+	if len(c.Phases) != 2 {
+		t.Fatalf("clone lost the phase schedule: %v", c.Phases)
+	}
+	c.Phases[1].BandwidthBps = 1
+	if l.Phases[1].BandwidthBps != 9_000_000 {
+		t.Error("mutating the clone's phases reached the original")
+	}
+	keep := l.Clone("")
+	if keep.Name != l.Name {
+		t.Errorf("empty clone name should keep %q, got %q", l.Name, keep.Name)
+	}
+}

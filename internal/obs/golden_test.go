@@ -43,6 +43,12 @@ func goldenTracer() *Tracer {
 	tr.Emit(Event{Time: 50 * ms, Kind: KAbort, Track: TrackServer, Name: "page.request", A0: 1})
 	tr.Emit(Event{Time: 52 * ms, Kind: KQuarantine, Track: TrackMobile, A0: 1, A1: int64(2 * simtime.Second)})
 	tr.Emit(Event{Time: 52 * ms, Dur: 90 * ms, Kind: KFallback, Track: TrackMobile, Name: "crunch", A0: 1})
+	// Fleet-scheduler kinds: a dispatch routed by the est-aware policy, the
+	// queued request starting after its wait, and an admission shed.
+	tr.Emit(Event{Time: 60 * ms, Kind: KDispatch, Track: TrackFleet, Name: "est-aware",
+		A0: 7, A1: 2, A2: 3, A3: int64(12 * ms)})
+	tr.Emit(Event{Time: 72 * ms, Kind: KQueue, Track: TrackFleet, A0: 7, A1: 2, A2: int64(12 * ms)})
+	tr.Emit(Event{Time: 75 * ms, Kind: KShed, Track: TrackFleet, A0: 9, A1: 2, A2: 8})
 	tr.Emit(Event{Time: 0, Dur: 1 * ms, Kind: KRadio, Track: TrackRadio, Name: "compute"})
 	tr.Emit(Event{Time: 1 * ms, Dur: 3 * ms, Kind: KRadio, Track: TrackRadio, Name: "tx"})
 	tr.Emit(Event{Time: 4 * ms, Dur: 36 * ms, Kind: KRadio, Track: TrackRadio, Name: "wait"})
@@ -83,8 +89,8 @@ func TestChromeExportGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("exporter produced invalid JSON: %v", err)
 	}
-	// 18 events + 1 process metadata + 4 tracks * 2 metadata records.
-	if want := 18 + 1 + 8; len(parsed.TraceEvents) != want {
+	// 21 events + 1 process metadata + 5 tracks * 2 metadata records.
+	if want := 21 + 1 + 10; len(parsed.TraceEvents) != want {
 		t.Errorf("traceEvents count = %d, want %d", len(parsed.TraceEvents), want)
 	}
 	checkGolden(t, "chrome_golden.json", buf.Bytes())

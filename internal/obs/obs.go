@@ -38,11 +38,14 @@ const (
 	TrackLink
 	// TrackRadio carries the mobile radio power-state timeline.
 	TrackRadio
+	// TrackFleet carries the server-fleet scheduler: dispatch decisions,
+	// queue waits and admission sheds.
+	TrackFleet
 	numTracks
 )
 
 func (t Track) String() string {
-	return [...]string{"mobile", "server", "link", "radio"}[t]
+	return [...]string{"mobile", "server", "link", "radio", "fleet"}[t]
 }
 
 // Kind is the event taxonomy. Each kind documents the meaning of the
@@ -98,6 +101,16 @@ const (
 	// KQuarantine marks the gate entering its post-abort cool-down.
 	// A0=task id, A1=cool-down length (ps).
 	KQuarantine
+	// KDispatch is one fleet dispatch decision: a client's offload request
+	// routed to a server. Name is the load-balancing policy; A0=client,
+	// A1=server, A2=queue depth at dispatch, A3=estimated wait (ps).
+	KDispatch
+	// KQueue is one queued request leaving a server's run queue for a free
+	// slot, charging its queueing delay. A0=client, A1=server, A2=wait (ps).
+	KQueue
+	// KShed is one offload request rejected by admission control and sent
+	// down the local-fallback path. A0=client, A1=server, A2=queue depth.
+	KShed
 	numKinds
 )
 
@@ -123,6 +136,10 @@ var kindMeta = [numKinds]struct {
 	KAbort:      {"offload.abort", [4]string{"task", "", "", ""}},
 	KFallback:   {"fallback.local", [4]string{"task", "", "", ""}},
 	KQuarantine: {"gate.quarantine", [4]string{"task", "cooldown_ps", "", ""}},
+
+	KDispatch: {"fleet.dispatch", [4]string{"client", "server", "queue_depth", "est_wait_ps"}},
+	KQueue:    {"fleet.queue", [4]string{"client", "server", "wait_ps", ""}},
+	KShed:     {"fleet.shed", [4]string{"client", "server", "queue_depth", ""}},
 }
 
 func (k Kind) String() string { return kindMeta[k].name }

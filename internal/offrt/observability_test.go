@@ -60,6 +60,25 @@ func TestTracedSessionEmitsLifecycleEvents(t *testing.T) {
 	if m.Value("task.1.offloads") != 1 {
 		t.Errorf("task.1.offloads metric = %d, want 1", m.Value("task.1.offloads"))
 	}
+
+	// Per-session end-to-end offload latency: nonzero, published, and (in
+	// this fault-free run, where every attempt succeeds) exactly the sum of
+	// the KOffload span durations.
+	if env.sess.Stats.E2ELatency == 0 {
+		t.Error("Stats.E2ELatency is zero after a completed offload")
+	}
+	if got, want := m.Value("session.e2e_latency_ps"), int64(env.sess.Stats.E2ELatency); got != want {
+		t.Errorf("session.e2e_latency_ps metric = %d, want %d", got, want)
+	}
+	var spanSum int64
+	for _, ev := range env.sess.Tracer.Events() {
+		if ev.Kind == obs.KOffload {
+			spanSum += int64(ev.Dur)
+		}
+	}
+	if spanSum != int64(env.sess.Stats.E2ELatency) {
+		t.Errorf("E2ELatency %d != sum of offload span durations %d", env.sess.Stats.E2ELatency, spanSum)
+	}
 }
 
 // setupTraced is setup() plus an attached tracer and metrics registry.

@@ -9,7 +9,18 @@ import (
 	"repro/internal/interp"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/simtime"
 )
+
+// LoadSignal is the dispatcher-side load view a server fleet exposes to
+// sessions: the estimated queueing delay an offload dispatched at instant
+// now would face, given its predicted server-side execution time. The
+// dynamic gate charges it on top of Equation 1's communication cost, so a
+// busy fleet flips marginal tasks back to local execution.
+// fleet.Pool implements it.
+type LoadSignal interface {
+	EstQueueDelay(now simtime.PS, exec simtime.PS) simtime.PS
+}
 
 // config collects NewSession's functional options.
 type config struct {
@@ -20,6 +31,8 @@ type config struct {
 	ratio    float64
 	injector *faults.Injector
 	rec      *Recovery
+	load     LoadSignal
+	start    simtime.PS
 }
 
 // Option configures a Session at construction.
@@ -60,6 +73,20 @@ func WithFaults(in *faults.Injector) Option { return func(c *config) { c.injecto
 // for what sessions use otherwise).
 func WithRecovery(r Recovery) Option { return func(c *config) { c.rec = &r } }
 
+// WithFleet constructs the session against a shared server fleet instead
+// of a dedicated peer: the dynamic gate consults the fleet's live load
+// signal and declines offloads whose queueing delay would erase the gain.
+// A nil signal leaves the session in its dedicated-server shape.
+func WithFleet(load LoadSignal) Option { return func(c *config) { c.load = load } }
+
+// WithStartTime places the session at instant t on the shared simulated
+// timeline instead of 0: both machines' clocks, the energy recorder, and
+// the initial link-phase resolution all start there. A fleet admitting a
+// queued client mid-run constructs its session this way, so every
+// time-varying quantity (link phases above all) is evaluated against the
+// regime actually in effect.
+func WithStartTime(t simtime.PS) Option { return func(c *config) { c.start = t } }
+
 // NewSession builds a session over the given machines and link. The server
 // machine must not be started yet; Session runs it. The link's phase
 // schedule is validated here — a misordered schedule would silently
@@ -81,6 +108,9 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	if cfg.ratio < 0 {
 		return nil, fmt.Errorf("offrt: estimator ratio must be non-negative, got %g", cfg.ratio)
 	}
+	if cfg.start < 0 {
+		return nil, fmt.Errorf("offrt: start time must be non-negative, got %v", cfg.start)
+	}
 	rec := DefaultRecovery()
 	if cfg.rec != nil {
 		rec = *cfg.rec
@@ -101,9 +131,14 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 		reqCh:    make(chan request),
 		repCh:    make(chan reply),
 		doneCh:   make(chan error, 1),
-		Recorder: energy.NewRecorder(0, energy.Compute),
+		Recorder: energy.NewRecorder(cfg.start, energy.Compute),
 		rec:      rec,
+		load:     cfg.load,
 	}
+	// Sessions joining a shared timeline mid-run (fleet clients) begin at
+	// their admission instant, not 0.
+	mobile.Clock = simtime.Max(mobile.Clock, cfg.start)
+	server.Clock = simtime.Max(server.Clock, cfg.start)
 	for _, t := range cfg.tasks {
 		s.tasks[int32(t.TaskID)] = t
 		s.PerTask[t.TaskID] = &TaskStats{}
@@ -129,9 +164,12 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	mobile.Tracer, mobile.TraceTrack = cfg.tracer, obs.TrackMobile
 	server.Tracer, server.TraceTrack = cfg.tracer, obs.TrackServer
 
-	idx, bw := link.PhaseAt(0)
+	// Resolve the initial link phase at the session's start instant: a
+	// session admitted at t > 0 must not trace (or estimate against) the
+	// phase-0 regime.
+	idx, bw := link.PhaseAt(cfg.start)
 	s.lastPhase = idx
-	s.Tracer.Emit(obs.Event{Time: 0, Kind: obs.KLinkPhase, Track: obs.TrackLink,
+	s.Tracer.Emit(obs.Event{Time: cfg.start, Kind: obs.KLinkPhase, Track: obs.TrackLink,
 		A0: bw, A1: int64(idx)})
 
 	mobile.Sys = s

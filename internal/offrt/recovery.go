@@ -83,10 +83,15 @@ func (s *Session) rpcDeadline(link *netsim.Link, size int64) simtime.PS {
 // task: predicted server execution time plus predicted communication,
 // scaled like an RPC deadline. When the server abandons a task the link
 // cannot tell the mobile so; this deadline is when the mobile gives up
-// and falls back to local execution.
-func (s *Session) offloadDeadline(spec TaskSpec) simtime.PS {
-	exec := simtime.PS(float64(spec.TimePerInvocation) / s.est.R)
-	comm := s.est.CommTime(spec.MemBytes, 1)
+// and falls back to local execution. Communication is predicted from the
+// link phase in effect at now — a session that queued behind a fleet (or
+// simply ran long on a time-varying link) must not size its patience from
+// the bandwidth regime it was constructed under.
+func (s *Session) offloadDeadline(spec TaskSpec, now simtime.PS) simtime.PS {
+	est := s.est
+	est.BandwidthBps = s.linkAt(now).BandwidthBps
+	exec := simtime.PS(float64(spec.TimePerInvocation) / est.R)
+	comm := est.CommTime(spec.MemBytes, 1)
 	d := simtime.PS(s.rec.DeadlineSlack * float64(exec+comm))
 	if d < s.rec.DeadlineFloor {
 		d = s.rec.DeadlineFloor

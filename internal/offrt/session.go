@@ -105,6 +105,11 @@ type Session struct {
 	tasks map[int32]TaskSpec
 	est   estimate.Params
 
+	// load, when set, is the fleet dispatcher's live load signal: the
+	// gate charges its estimated queueing delay on top of communication,
+	// so a busy fleet flips marginal tasks back to local execution.
+	load LoadSignal
+
 	// rec is the failure-recovery policy (deadlines, retries, quarantine).
 	rec Recovery
 
@@ -178,6 +183,12 @@ type SessionStats struct {
 	Retries   int
 	Aborts    int
 	Fallbacks int
+
+	// E2ELatency accumulates per-offload end-to-end latency (Offload
+	// entry to result in hand, simulated ps) across every offload attempt
+	// — including ones that ended in a local fallback, whose latency is
+	// what the user actually waited.
+	E2ELatency simtime.PS
 }
 
 // TaskStats is per-task accounting for Table 4 and Figure 6.
@@ -320,6 +331,7 @@ func (s *Session) publishMetrics() {
 	m.Counter("session.retries").Set(int64(s.Stats.Retries))
 	m.Counter("session.aborts").Set(int64(s.Stats.Aborts))
 	m.Counter("session.fallbacks").Set(int64(s.Stats.Fallbacks))
+	m.Counter("session.e2e_latency_ps").Set(int64(s.Stats.E2ELatency))
 	m.Counter("faults.injected").Set(s.LinkStats.Injector.Stats().Total())
 	for id, st := range s.PerTask {
 		p := fmt.Sprintf("task.%d.", id)
@@ -385,11 +397,21 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 	if !ok {
 		return false
 	}
-	// Dynamic estimation uses the *current* network bandwidth, which is
-	// the whole point of deciding at run time (Section 4).
+	// Dynamic estimation uses the *current* network bandwidth — and, when
+	// the session serves against a shared fleet, the dispatcher's current
+	// queueing delay — which is the whole point of deciding at run time
+	// (Section 4, generalized to shared servers).
 	est := s.est
 	est.BandwidthBps = s.linkAt(m.Clock).BandwidthBps
-	ok = est.Profitable(spec.TimePerInvocation, spec.MemBytes, 1)
+	var queue simtime.PS
+	if s.load != nil {
+		exec := spec.TimePerInvocation
+		if est.R > 0 {
+			exec = simtime.PS(float64(exec) / est.R)
+		}
+		queue = s.load.EstQueueDelay(m.Clock, exec)
+	}
+	ok = est.ProfitableQueued(spec.TimePerInvocation, spec.MemBytes, queue)
 	if debugGate != nil {
 		debugGate(m.Clock, est.BandwidthBps, ok)
 	}
@@ -467,7 +489,9 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	if sendErr != nil {
 		// The server never saw the request; degrade to local execution
 		// without involving the listen loop at all.
-		return s.fallbackLocal(taskID, spec, args, ioSnap)
+		ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
+		s.Stats.E2ELatency += s.Mobile.Clock - start
+		return ret, err
 	}
 
 	got, err := Decode(wire)
@@ -488,12 +512,18 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	if rep.aborted {
 		// The server abandoned the task mid-flight. A dead link cannot
 		// deliver that news, so the mobile's own patience — the offload
-		// deadline — is what actually expires before it re-executes.
-		wait := s.offloadDeadline(spec)
+		// deadline — is what actually expires before it re-executes. The
+		// deadline is estimated at the clock instant the wait begins, so
+		// it reflects the link phase actually in effect, not the regime
+		// the session was constructed under.
+		wait := s.offloadDeadline(spec, s.Mobile.Clock)
 		s.Mobile.AddTime(wait, interp.CompComm)
 		s.Comp[interp.CompComm] += wait
-		return s.fallbackLocal(taskID, spec, args, ioSnap)
+		ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
+		s.Stats.E2ELatency += s.Mobile.Clock - start
+		return ret, err
 	}
+	s.Stats.E2ELatency += s.Mobile.Clock - start
 	s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
 		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
 	return rep.ret, nil
