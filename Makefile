@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test bench golden fuzz chaos fleet
+.PHONY: check build vet test bench golden fuzz chaos fleet profsmoke
 
 ## check: the tier-1 verification — build, vet, race-enabled tests, a
-## short fuzz smoke over the hardened wire decoder, and the fleet
-## scheduler smoke.
-check: build vet fleet
+## short fuzz smoke over the hardened wire decoder, the fleet scheduler
+## smoke, and the profiler/breakdown CLI smoke.
+check: build vet fleet profsmoke
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
@@ -29,9 +29,19 @@ bench:
 	BENCH_JSON=$(CURDIR)/BENCH_interp.json $(GO) test ./internal/interp/ -run '^TestBenchJSON$$' -count=1 -v
 	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
 
-## golden: regenerate the Chrome-export and metrics-summary golden files.
+## golden: regenerate every golden file (Chrome export, metrics summary,
+## breakdown tables) through the shared goldentest -update flag.
 golden:
-	$(GO) test ./internal/obs/ -run Golden -update
+	$(GO) test ./internal/obs/ ./internal/obs/analyze/ -update
+
+## profsmoke: end-to-end smoke of the trace-analysis pipeline — a chess
+## run with the guest profiler and the breakdown report enabled, checking
+## the folded profile is non-empty.
+profsmoke:
+	$(GO) run ./cmd/offloadrun -w chess -depth 8 -turns 1 \
+		-profile $(CURDIR)/.profsmoke.folded -breakdown > /dev/null
+	test -s $(CURDIR)/.profsmoke.folded
+	rm -f $(CURDIR)/.profsmoke.folded
 
 ## fuzz: a longer fuzzing session over the wire decoder.
 fuzz:

@@ -34,6 +34,7 @@ func main() {
 	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
+	showHist := flag.Bool("hist", false, "with -w: print the latency histogram snapshots (p50/p90/p99/max)")
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	flag.Parse()
 
@@ -44,8 +45,8 @@ func main() {
 	}
 	core.DefaultEngine = eng
 
-	if *observe != "" || *traceFile != "" || *showMetrics {
-		if err := runObserved(*observe, *traceFile, *showMetrics); err != nil {
+	if *observe != "" || *traceFile != "" || *showMetrics || *showHist {
+		if err := runObserved(*observe, *traceFile, *showMetrics, *showHist); err != nil {
 			fmt.Fprintf(os.Stderr, "offloadbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -159,9 +160,9 @@ func main() {
 
 // runObserved evaluates one workload with the observability layer attached,
 // writing the Chrome trace and/or printing the metrics summary.
-func runObserved(name, traceFile string, showMetrics bool) error {
+func runObserved(name, traceFile string, showMetrics, showHist bool) error {
 	if name == "" {
-		return fmt.Errorf("-trace/-metrics need a workload: add -w <name>")
+		return fmt.Errorf("-trace/-metrics/-hist need a workload: add -w <name>")
 	}
 	w := workloads.ByName(name)
 	if w == nil {
@@ -172,7 +173,7 @@ func runObserved(name, traceFile string, showMetrics bool) error {
 		tracer = obs.NewTracer(0)
 	}
 	var metrics *obs.Metrics
-	if showMetrics {
+	if showMetrics || showHist {
 		metrics = obs.NewMetrics()
 	}
 	r, err := experiments.RunProgramObserved(w, tracer, metrics)
@@ -196,8 +197,15 @@ func runObserved(name, traceFile string, showMetrics bool) error {
 		fmt.Printf("trace: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
 			tracer.Len(), traceFile)
 	}
-	if metrics != nil {
+	if showMetrics {
 		fmt.Println(report.MetricsTable(w.Name+" session metrics", metrics.Names(), metrics.Value))
+	}
+	if showHist {
+		if hs := metrics.HistogramSummary(); hs != "" {
+			fmt.Print(hs)
+		} else {
+			fmt.Println("(no histograms recorded)")
+		}
 	}
 	return nil
 }

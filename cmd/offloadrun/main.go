@@ -23,27 +23,40 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/offrt"
 	"repro/internal/report"
+	"repro/internal/simtime"
 	"repro/internal/workloads"
 )
 
-// observability carries the optional -trace/-metrics instrumentation
-// through a run and writes/prints the artifacts at the end.
+// observability carries the optional -trace/-metrics/-profile/-breakdown
+// instrumentation through a run and writes/prints the artifacts at the end.
 type observability struct {
-	traceFile string
-	tracer    *obs.Tracer
-	metrics   *obs.Metrics
-	faults    *faults.Plan
+	traceFile   string
+	profileFile string
+	breakdown   bool
+	tracer      *obs.Tracer
+	metrics     *obs.Metrics
+	faults      *faults.Plan
+	sampleEvery simtime.PS
 }
 
-func newObservability(traceFile string, wantMetrics bool) *observability {
-	o := &observability{traceFile: traceFile}
+func newObservability(traceFile, profileFile string, breakdown, wantMetrics bool) *observability {
+	o := &observability{traceFile: traceFile, profileFile: profileFile, breakdown: breakdown}
 	if traceFile != "" {
 		o.tracer = obs.NewTracer(0)
 	}
+	if breakdown && o.tracer == nil {
+		// The breakdown replays the trace; without -trace, capture into a
+		// generous in-memory ring (never written to disk).
+		o.tracer = obs.NewTracer(1 << 20)
+	}
 	if wantMetrics {
 		o.metrics = obs.NewMetrics()
+	}
+	if profileFile != "" {
+		o.sampleEvery = interp.DefaultSamplePeriod
 	}
 	return o
 }
@@ -52,11 +65,44 @@ func newObservability(traceFile string, wantMetrics bool) *observability {
 func (o *observability) attach(fw *core.Framework) {
 	fw.Tracer, fw.Metrics = o.tracer, o.metrics
 	fw.Faults = o.faults
+	fw.SampleEvery = o.sampleEvery
+}
+
+// reportRun prints/writes the per-run analysis artifacts for the offloaded
+// execution the flags asked about: the folded flamegraph profile + top
+// functions (-profile) and the Figure 6/7-shaped breakdown (-breakdown).
+func (o *observability) reportRun(off *core.OffloadResult, model energy.PowerModel) {
+	if o.profileFile != "" && off.MobileProf != nil {
+		f, err := os.Create(o.profileFile)
+		if err == nil {
+			err = off.MobileProf.WriteFolded(f, "mobile")
+			if err == nil {
+				err = off.ServerProf.WriteFolded(f, "server")
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "offloadrun: profile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile: %s (folded stacks; feed to flamegraph.pl or speedscope)\n", o.profileFile)
+		fmt.Printf("  mobile: %d samples over %v; server: %d samples over %v\n",
+			off.MobileProf.Samples(), simtime.PS(off.MobileProf.Total()),
+			off.ServerProf.Samples(), simtime.PS(off.ServerProf.Total()))
+		fmt.Println(experiments.ProfileTable(off.MobileProf, off.ServerProf, 15))
+	}
+	if o.breakdown && o.tracer != nil {
+		evs := o.tracer.Events()
+		fmt.Println(analyze.TimeTable(analyze.Breakdown(evs)))
+		fmt.Println(analyze.RadioTable(analyze.Radio(evs, model)))
+	}
 }
 
 // finish writes the Chrome trace file and prints the metrics summary.
 func (o *observability) finish() {
-	if o.tracer != nil {
+	if o.tracer != nil && o.traceFile != "" {
 		f, err := os.Create(o.traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "offloadrun: trace:", err)
@@ -76,6 +122,9 @@ func (o *observability) finish() {
 	}
 	if o.metrics != nil {
 		fmt.Println(report.MetricsTable("offload session metrics", o.metrics.Names(), o.metrics.Value))
+		if hs := o.metrics.HistogramSummary(); hs != "" {
+			fmt.Println(hs)
+		}
 	}
 }
 
@@ -88,6 +137,8 @@ func main() {
 	turns := flag.Int64("turns", 2, "chess game turns (chess workload only)")
 	showOut := flag.Bool("output", false, "print program output")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the offloaded run")
+	profileFile := flag.String("profile", "", "write a folded-stack guest flamegraph profile of the offloaded run and print the top-functions table")
+	breakdown := flag.Bool("breakdown", false, "print the per-offload time and radio-energy breakdown (Fig. 6/7 shape) replayed from the trace")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
 	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
@@ -109,7 +160,7 @@ func main() {
 		}
 		plan = p
 	}
-	o := newObservability(*traceFile, *showMetrics)
+	o := newObservability(*traceFile, *profileFile, *breakdown, *showMetrics)
 	o.faults = plan
 	if *irFile != "" {
 		runIRFile(*irFile, *stdin, *cost, *showOut, o)
@@ -126,12 +177,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "offloadrun: unknown workload %q\n", *name)
 		os.Exit(1)
 	}
-	r, err := experiments.RunProgramFaulted(w, plan, o.tracer, o.metrics)
+	var r *experiments.ProgramResult
+	if o.sampleEvery > 0 {
+		if plan != nil {
+			fmt.Fprintln(os.Stderr, "offloadrun: -profile cannot be combined with -faults")
+			os.Exit(1)
+		}
+		r, err = experiments.RunProgramProfiled(w, o.tracer, o.metrics, o.sampleEvery)
+	} else {
+		r, err = experiments.RunProgramFaulted(w, plan, o.tracer, o.metrics)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offloadrun: %v\n", err)
 		os.Exit(1)
 	}
 	defer o.finish()
+	defer o.reportRun(r.Fast, energy.FastModel())
 	t := report.New(w.Name+" — "+w.Desc,
 		"Run", "Time(s)", "Normalized", "Energy(mJ)", "Traffic(MB)", "Offloaded")
 	t.Add("local (mobile only)", r.Local.Time.Seconds(), 1.0, r.Local.EnergyMJ, 0, "-")
@@ -186,6 +247,7 @@ func runChess(depth, turns int64, showOut bool, o *observability) {
 		fmt.Printf("  task %d: %d offloads, %d declines, %.1f KB traffic, %d faults\n",
 			id, st.Offloads, st.Declines, float64(st.TrafficBytes)/1024, st.Faults)
 	}
+	o.reportRun(off, fw.Power)
 	if showOut {
 		fmt.Println(off.Output)
 	}
@@ -245,6 +307,7 @@ func runIRFile(path, stdin string, cost int64, showOut bool, o *observability) {
 	for id, st := range off.PerTask {
 		fmt.Printf("  task %d: %d offloads, %.1f KB traffic\n", id, st.Offloads, float64(st.TrafficBytes)/1024)
 	}
+	o.reportRun(off, fw.Power)
 	if showOut {
 		fmt.Print(off.Output)
 	}

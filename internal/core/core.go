@@ -77,6 +77,13 @@ type Framework struct {
 	// the reference tree-walker. Profiling runs always fall back to the
 	// reference engine internally because the profiler attaches a Listener.
 	Engine interp.Engine
+
+	// SampleEvery, when positive, attaches a guest sampling profiler with
+	// that simulated-clock period to both machines of every offloaded run;
+	// the flushed samplers come back in OffloadResult.MobileProf/ServerProf.
+	// Zero disables sampling at zero cost (the interpreters' hot loops keep
+	// their allocation-free steady state).
+	SampleEvery simtime.PS
 }
 
 // DefaultEngine is the engine NewFramework installs. It exists so entry
@@ -210,6 +217,16 @@ type OffloadResult struct {
 	MemDigest uint64
 	// FaultStats counts the faults actually injected (zero without a plan).
 	FaultStats faults.Stats
+
+	// MobileProf/ServerProf are the flushed guest sampling profilers (nil
+	// unless Framework.SampleEvery was set). MobileProf.Total() == Time and
+	// ServerProf.Total() == ServerTime, to the picosecond.
+	MobileProf *interp.Sampler
+	ServerProf *interp.Sampler
+	// ServerTime is the server machine's final clock (the server idles at
+	// its accept loop in between offloads, so this tracks the mobile's
+	// timeline, not busy time).
+	ServerTime simtime.PS
 }
 
 // Speedup returns local.Time / off.Time.
@@ -300,10 +317,19 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 	if err != nil {
 		return nil, fmt.Errorf("core: session: %w", err)
 	}
+	var mProf, sProf *interp.Sampler
+	if fw.SampleEvery > 0 {
+		mProf = interp.NewSampler(fw.SampleEvery)
+		sProf = interp.NewSampler(fw.SampleEvery)
+		mobile.SetSampler(mProf)
+		server.SetSampler(sProf)
+	}
 	code, err := sess.RunMobile()
 	if err != nil {
 		return nil, err
 	}
+	mProf.Flush(mobile.Clock)
+	sProf.Flush(server.Clock)
 	var fstats faults.Stats
 	if injector != nil {
 		fstats = injector.Stats()
@@ -322,5 +348,8 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 		Metrics:       fw.Metrics,
 		MemDigest:     sess.MemDigest(),
 		FaultStats:    fstats,
+		MobileProf:    mProf,
+		ServerProf:    sProf,
+		ServerTime:    server.Clock,
 	}, nil
 }

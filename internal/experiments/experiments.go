@@ -13,6 +13,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/offrt"
 	"repro/internal/report"
@@ -80,10 +81,26 @@ func RunProgramObserved(w *workloads.Workload, tracer *obs.Tracer, metrics *obs.
 // asserted either way: a faulted run whose output diverges from the local
 // baseline is an error, not a result.
 func RunProgramFaulted(w *workloads.Workload, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics) (*ProgramResult, error) {
+	return runProgram(w, plan, tracer, metrics, 0)
+}
+
+// RunProgramProfiled is RunProgramObserved with a guest sampling profiler
+// attached to both machines of the fast-network offloaded run; the flushed
+// samplers are in the result's Fast.MobileProf/ServerProf. sampleEvery <= 0
+// selects the default period.
+func RunProgramProfiled(w *workloads.Workload, tracer *obs.Tracer, metrics *obs.Metrics, sampleEvery simtime.PS) (*ProgramResult, error) {
+	if sampleEvery <= 0 {
+		sampleEvery = interp.DefaultSamplePeriod
+	}
+	return runProgram(w, nil, tracer, metrics, sampleEvery)
+}
+
+func runProgram(w *workloads.Workload, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics, sampleEvery simtime.PS) (*ProgramResult, error) {
 	fast := core.NewFramework(core.FastNetwork).WithScale(workloads.Scale, w.CostScale)
 	slow := core.NewFramework(core.SlowNetwork).WithScale(workloads.Scale, w.CostScale)
 	fast.Tracer, fast.Metrics = tracer, metrics
 	fast.Faults = plan
+	fast.SampleEvery = sampleEvery
 
 	mod := w.Build()
 	prof, err := fast.Profile(mod, w.ProfileIO())
@@ -246,6 +263,35 @@ func invocationsAndTraffic(off *core.OffloadResult) (int, float64) {
 	}
 	perInv := float64(bytes) / float64(inv)
 	return inv, perInv * float64(workloads.Scale) / 1e6
+}
+
+// ProfileTable renders the sampling profilers' top functions, mobile and
+// server side by side — the deterministic "top functions by self/cumulative
+// simulated time" companion to the folded flamegraph output. limit <= 0
+// renders everything.
+func ProfileTable(mobile, server *interp.Sampler, limit int) *report.Table {
+	t := report.New("Guest profile: top functions by self time",
+		"machine", "function", "self_ms", "cum_ms", "self%")
+	add := func(name string, s *interp.Sampler) {
+		total := s.Total()
+		rows := s.TopFuncs()
+		if limit > 0 && len(rows) > limit {
+			rows = rows[:limit]
+		}
+		for _, f := range rows {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(f.SelfPS) / float64(total)
+			}
+			t.Add(name, f.Name, simtime.PS(f.SelfPS).Millis(), simtime.PS(f.CumPS).Millis(),
+				fmt.Sprintf("%.1f%%", share))
+		}
+	}
+	add("mobile", mobile)
+	add("server", server)
+	t.Note("simulated-clock sampling, period mobile=%v server=%v; (idle) is accept-loop wait",
+		mobile.Period(), server.Period())
+	return t
 }
 
 // Table5 renders the related-work comparison.

@@ -198,6 +198,17 @@ func Run(cfg Config) (*Result, error) {
 	var latencies []simtime.PS
 	var now simtime.PS
 
+	// Queue-wait distribution: a private histogram feeds the Result
+	// snapshot (deterministic, so the BENCH JSON stays byte-stable), and a
+	// registry twin renders in Metrics.Summary. Both nil-safe/no-op paths
+	// cost nothing when unused.
+	hWait := obs.NewHistogram()
+	mWait := cfg.Metrics.Histogram("lat.queue_wait_ps")
+	recordWait := func(w simtime.PS) {
+		hWait.Record(int64(w))
+		mWait.Record(int64(w))
+	}
+
 	// complete records one finished request and schedules the client's
 	// next think/issue cycle.
 	complete := func(c *client, decide, done simtime.PS) {
@@ -297,6 +308,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			s.advance(now)
 			if s.busy < s.spec.Slots {
+				recordWait(0)
 				startJob(ev.si, j, now)
 			} else {
 				j.enq = now
@@ -318,6 +330,7 @@ func Run(cfg Config) (*Result, error) {
 				next := s.pop(cfg.Queue)
 				wait := now - next.enq
 				s.waitPS += wait
+				recordWait(wait)
 				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KQueue, Track: obs.TrackFleet,
 					A0: int64(next.client), A1: int64(ev.si), A2: int64(wait)})
 				startJob(ev.si, next, now)
@@ -331,6 +344,7 @@ func Run(cfg Config) (*Result, error) {
 	if got := res.Offloads + res.Declines + res.Sheds; got != res.Requests {
 		return nil, fmt.Errorf("fleet: request accounting broken: %d completed of %d issued", got, res.Requests)
 	}
+	res.QueueWait = hWait.Snapshot()
 	res.finish(latencies, servers, now)
 	res.publish(cfg.Metrics, servers)
 	return res, nil

@@ -47,6 +47,10 @@ type Result struct {
 	MaxQueueDepth int `json:"max_queue_depth"`
 	// AvgQueueWaitMs averages the queueing delay over jobs that waited.
 	AvgQueueWaitMs float64 `json:"avg_queue_wait_ms"`
+	// QueueWait is the full queue-wait distribution (ps): every dispatched
+	// job records, jobs that start immediately record 0, so the quantiles
+	// reflect what an arriving request actually experiences.
+	QueueWait obs.HistSnapshot `json:"queue_wait_hist"`
 }
 
 // percentile returns the q-quantile (0..1) of sorted latencies by nearest

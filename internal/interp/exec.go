@@ -73,6 +73,10 @@ func (m *Machine) callRef(f *ir.Func, args []uint64) (uint64, error) {
 		m.Listener.EnterFunc(m, f)
 		defer m.Listener.ExitFunc(m, f)
 	}
+	if ps := m.sampler; ps != nil {
+		ps.push(f.Nam, m.Clock)
+		defer func() { ps.pop(m.Clock) }()
+	}
 
 	blk := f.Entry()
 	for {
@@ -169,6 +173,9 @@ func (m *Machine) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint6
 				d := simtime.PS(m.Spec.Cost.Cycles(arch.OpFptrMap)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
 				m.Clock += d
 				m.Comp[CompFptr] += d
+				if s := m.sampler; s != nil && m.Clock >= s.next {
+					s.take(m.Clock)
+				}
 			}
 			addr := uint32(m.operand(fr, in.Fn))
 			callee, rerr := m.ResolveFptr(addr, in.Mapped)

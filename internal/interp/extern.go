@@ -13,6 +13,12 @@ import (
 
 // callExtern dispatches a call to a body-less function.
 func (m *Machine) callExtern(f *ir.Func, args []uint64) (uint64, error) {
+	if ps := m.sampler; ps != nil {
+		// Extern frames appear in profiles too: time spent in remote I/O or
+		// the offload externs attributes to the extern, not its caller.
+		ps.push(f.Nam, m.Clock)
+		defer func() { ps.pop(m.Clock) }()
+	}
 	switch f.Extern {
 	case ir.ExternMalloc:
 		m.charge(arch.OpCall, CompCompute)
@@ -180,6 +186,9 @@ func (m *Machine) callExtern(f *ir.Func, args []uint64) (uint64, error) {
 		d := simtime.PS(m.Spec.Cost.Cycles(arch.OpFptrMap)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
 		m.Clock += d
 		m.Comp[CompFptr] += d
+		if s := m.sampler; s != nil && m.Clock >= s.next {
+			s.take(m.Clock)
+		}
 		return args[0], nil
 	}
 	return 0, fmt.Errorf("interp(%s): call to unimplemented extern %s", m.Name, f.Nam)

@@ -41,7 +41,13 @@ func (m *Machine) callFast(f *ir.Func, args []uint64) (uint64, error) {
 	for i, p := range f.Params {
 		regs[p.Slot] = args[i]
 	}
+	if ps := m.sampler; ps != nil {
+		ps.push(f.Nam, m.Clock)
+	}
 	v, err := m.runCompiled(cf, regs)
+	if ps := m.sampler; ps != nil {
+		ps.pop(m.Clock)
+	}
 	cf.release(regs)
 	return v, err
 }
@@ -56,7 +62,13 @@ func (m *Machine) callCompiled(cf *cfunc, args []carg, caller []uint64) (uint64,
 	for i := range args {
 		regs[cf.fn.Params[i].Slot] = rv(caller, args[i].slot, args[i].imm)
 	}
+	if ps := m.sampler; ps != nil {
+		ps.push(cf.fn.Nam, m.Clock)
+	}
 	v, err := m.runCompiled(cf, regs)
+	if ps := m.sampler; ps != nil {
+		ps.pop(m.Clock)
+	}
 	cf.release(regs)
 	return v, err
 }
@@ -176,6 +188,9 @@ func (m *Machine) execCompiled(cf *cfunc, regs []uint64) (uint64, error) {
 			d := simtime.PS(int64(in.imm)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
 			m.Clock += d
 			m.Comp[CompCompute] += d
+			if s := m.sampler; s != nil && m.Clock >= s.next {
+				s.take(m.Clock)
+			}
 
 		case cAdd:
 			regs[in.c] = rv(regs, in.a, in.imm) + rv(regs, in.b, in.imm2)
@@ -326,6 +341,9 @@ func (m *Machine) execCompiled(cf *cfunc, regs []uint64) (uint64, error) {
 				d := simtime.PS(m.Spec.Cost.Cycles(arch.OpFptrMap)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
 				m.Clock += d
 				m.Comp[CompFptr] += d
+				if s := m.sampler; s != nil && m.Clock >= s.next {
+					s.take(m.Clock)
+				}
 			}
 			addr := uint32(rv(regs, in.a, in.imm))
 			callee, rerr := m.ResolveFptr(addr, in.aux != 0)

@@ -109,6 +109,11 @@ type Machine struct {
 	rtlb [tlbWays]tlbEntry
 	wtlb [tlbWays]tlbEntry
 
+	// sampler, when set via SetSampler, is the guest sampling profiler.
+	// Unlike Listener it works on both engines; every clock-advance site
+	// checks it with a nil-guarded boundary compare.
+	sampler *Sampler
+
 	sp      uint32
 	spFloor uint32
 }
@@ -332,6 +337,9 @@ func (m *Machine) charge(op arch.Op, comp Component) {
 	d := simtime.PS(m.Spec.Cost.Cycles(op)*m.CostScale) * simtime.PS(m.Spec.CyclePS)
 	m.Clock += d
 	m.Comp[comp] += d
+	if s := m.sampler; s != nil && m.Clock >= s.next {
+		s.take(m.Clock)
+	}
 }
 
 // chargeN charges n occurrences of op.
@@ -339,6 +347,9 @@ func (m *Machine) chargeN(op arch.Op, n int64, comp Component) {
 	d := simtime.PS(m.Spec.Cost.Cycles(op)*m.CostScale*n) * simtime.PS(m.Spec.CyclePS)
 	m.Clock += d
 	m.Comp[comp] += d
+	if s := m.sampler; s != nil && m.Clock >= s.next {
+		s.take(m.Clock)
+	}
 }
 
 // AddTime advances the clock by an externally computed duration (network
@@ -346,6 +357,9 @@ func (m *Machine) chargeN(op arch.Op, n int64, comp Component) {
 func (m *Machine) AddTime(d simtime.PS, comp Component) {
 	m.Clock += d
 	m.Comp[comp] += d
+	if s := m.sampler; s != nil && m.Clock >= s.next {
+		s.take(m.Clock)
+	}
 }
 
 // SP returns the current stack pointer.

@@ -36,6 +36,26 @@ type chromeTrace struct {
 
 const chromePid = 1
 
+// counterName maps each latency-shaped kind to the Perfetto counter track
+// its duration is plotted on (ph "C" samples, microseconds). Kinds without
+// an entry export no counter.
+var counterName = [numKinds]string{
+	KPageFault: "lat.page_fault",
+	KWriteBack: "lat.write_back",
+	KRemoteIO:  "lat.remote_io",
+	KOffload:   "lat.offload",
+	KQueue:     "lat.queue_wait",
+}
+
+// counterValue extracts the latency a counter sample plots: the span
+// duration, except for KQueue instants, which carry their wait in A2.
+func counterValue(ev Event) float64 {
+	if ev.Kind == KQueue {
+		return usec(ev.A2)
+	}
+	return usec(int64(ev.Dur))
+}
+
 // usec converts simulated picoseconds to trace microseconds.
 func usec(ps int64) float64 { return float64(ps) / 1e6 }
 
@@ -123,6 +143,16 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			ce.S = "t"
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+		if cn := counterName[ev.Kind]; cn != "" {
+			// Shadow the span with a counter sample so Perfetto plots the
+			// latency series (p99 spikes are visible at a glance) next to
+			// the timeline.
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: cn, Cat: "offload", Ph: "C",
+				Ts: usec(int64(ev.Time)), Pid: chromePid, Tid: int(ev.Track) + 1,
+				Args: map[string]any{"us": counterValue(ev)},
+			})
+		}
 	}
 
 	enc := json.NewEncoder(w)

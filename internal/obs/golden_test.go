@@ -3,15 +3,11 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
-	"flag"
-	"os"
-	"path/filepath"
 	"testing"
 
+	"repro/internal/goldentest"
 	"repro/internal/simtime"
 )
-
-var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenTracer builds a deterministic miniature of a real offload session:
 // gate decision, offload span, prefetch, task execution with a page fault,
@@ -55,27 +51,6 @@ func goldenTracer() *Tracer {
 	return tr
 }
 
-func checkGolden(t *testing.T, name string, got []byte) {
-	t.Helper()
-	path := filepath.Join("testdata", name)
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run `go test ./internal/obs -run Golden -update`): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("%s drifted from golden file; diff the output or re-run with -update\ngot:\n%s", name, got)
-	}
-}
-
 func TestChromeExportGolden(t *testing.T) {
 	var buf bytes.Buffer
 	if err := goldenTracer().WriteChrome(&buf); err != nil {
@@ -89,11 +64,13 @@ func TestChromeExportGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("exporter produced invalid JSON: %v", err)
 	}
-	// 21 events + 1 process metadata + 5 tracks * 2 metadata records.
-	if want := 21 + 1 + 10; len(parsed.TraceEvents) != want {
+	// 21 events + 1 process metadata + 5 tracks * 2 metadata records +
+	// 5 latency counter samples (offload, page_fault, remote_io,
+	// write_back, queue).
+	if want := 21 + 1 + 10 + 5; len(parsed.TraceEvents) != want {
 		t.Errorf("traceEvents count = %d, want %d", len(parsed.TraceEvents), want)
 	}
-	checkGolden(t, "chrome_golden.json", buf.Bytes())
+	goldentest.Check(t, "chrome_golden.json", buf.Bytes())
 }
 
 func TestMetricsSummaryGolden(t *testing.T) {
@@ -111,5 +88,12 @@ func TestMetricsSummaryGolden(t *testing.T) {
 	m.Counter("session.offloads").Set(1)
 	m.Counter("session.prefetch_pages").Set(16)
 	m.Counter("session.retries").Set(3)
-	checkGolden(t, "metrics_golden.txt", []byte(m.Summary()))
+	// Histograms render below the counters with aligned quantile columns.
+	h := m.Histogram("lat.page_fault_ps")
+	for _, v := range []int64{2_000_000, 2_100_000, 2_400_000, 9_000_000} {
+		h.Record(v)
+	}
+	e2e := m.Histogram("lat.offload.e2e_ps")
+	e2e.Record(40_000_000)
+	goldentest.Check(t, "metrics_golden.txt", []byte(m.Summary()))
 }

@@ -8,17 +8,18 @@ import (
 	"sync/atomic"
 )
 
-// Metrics is a registry of named monotonic counters/gauges. The offload
-// runtime publishes its per-session and per-link statistics here, so the
-// experiment harness and the CLIs consume one uniform surface instead of
-// reaching into each subsystem's counter struct.
+// Metrics is a registry of named monotonic counters/gauges and latency
+// histograms. The offload runtime publishes its per-session and per-link
+// statistics here, so the experiment harness and the CLIs consume one
+// uniform surface instead of reaching into each subsystem's counter struct.
 //
-// Like the Tracer, a nil *Metrics (and a nil *Counter) is a valid disabled
-// registry: every operation is a no-op and Counter returns nil, so
-// instrumented code never branches on enablement.
+// Like the Tracer, a nil *Metrics (and a nil *Counter or *Histogram) is a
+// valid disabled registry: every operation is a no-op and Counter/Histogram
+// return nil, so instrumented code never branches on enablement.
 type Metrics struct {
-	mu   sync.Mutex
-	vals map[string]*Counter
+	mu    sync.Mutex
+	vals  map[string]*Counter
+	hists map[string]*Histogram
 }
 
 // Counter is one named int64 metric. Add/Set are safe for concurrent use
@@ -98,10 +99,13 @@ func (m *Metrics) Names() []string {
 	return names
 }
 
-// Summary renders a deterministic name-aligned listing of every metric.
+// Summary renders a deterministic name-aligned listing of every metric,
+// followed by the histogram table (aligned quantile columns) when any
+// histograms are registered.
 func (m *Metrics) Summary() string {
 	names := m.Names()
-	if len(names) == 0 {
+	hist := m.HistogramSummary()
+	if len(names) == 0 && hist == "" {
 		return "(no metrics)\n"
 	}
 	width := 0
@@ -113,6 +117,12 @@ func (m *Metrics) Summary() string {
 	var sb strings.Builder
 	for _, n := range names {
 		fmt.Fprintf(&sb, "%-*s  %d\n", width, n, m.Value(n))
+	}
+	if hist != "" {
+		if len(names) > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(hist)
 	}
 	return sb.String()
 }

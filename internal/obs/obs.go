@@ -233,14 +233,15 @@ func (t *Tracer) Events() []Event {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, 0, t.n)
+	out := make([]Event, t.n)
 	start := t.head - t.n
 	if start < 0 {
 		start += len(t.buf)
 	}
-	for i := 0; i < t.n; i++ {
-		out = append(out, t.buf[(start+i)%len(t.buf)])
-	}
+	// The ring holds at most two contiguous runs: [start:] and the
+	// wrapped-around prefix. Two copies beat a per-element modulo walk.
+	n := copy(out, t.buf[start:])
+	copy(out[n:], t.buf[:t.n-n])
 	return out
 }
 

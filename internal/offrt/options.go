@@ -135,6 +135,13 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 		rec:      rec,
 		load:     cfg.load,
 	}
+	// Latency histograms live in the metrics registry so Summary() renders
+	// them next to the counters; Histogram is nil-safe on a nil registry.
+	s.hFault = cfg.metrics.Histogram("lat.page_fault_ps")
+	s.hRPC = cfg.metrics.Histogram("lat.rpc_ps")
+	s.hBackoff = cfg.metrics.Histogram("lat.rpc_backoff_ps")
+	s.hWriteBack = cfg.metrics.Histogram("lat.write_back_ps")
+	s.hE2E = cfg.metrics.Histogram("lat.offload.e2e_ps")
 	// Sessions joining a shared timeline mid-run (fleet clients) begin at
 	// their admission instant, not 0.
 	mobile.Clock = simtime.Max(mobile.Clock, cfg.start)

@@ -113,6 +113,7 @@ func (s *Session) sendReliable(toServer bool, size int64, at simtime.PS, op stri
 		d, verdict := s.LinkStats.TrySend(link, toServer, size, now)
 		switch verdict {
 		case netsim.Delivered:
+			s.hRPC.Record(int64(elapsed + d))
 			return elapsed + d, nil
 		case netsim.Dropped:
 			// Nothing arrives; the sender learns only from the deadline.
@@ -127,6 +128,7 @@ func (s *Session) sendReliable(toServer bool, size int64, at simtime.PS, op stri
 		}
 		backoff := s.rec.BackoffBase << attempt
 		elapsed += backoff
+		s.hBackoff.Record(int64(backoff))
 		s.Stats.Retries++
 		s.Tracer.Emit(obs.Event{Time: at + elapsed, Kind: obs.KRetry, Track: obs.TrackLink,
 			Name: op, A0: int64(attempt + 1), A1: int64(backoff)})

@@ -91,6 +91,15 @@ type Session struct {
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
 
+	// Latency histograms, resolved once from Metrics at construction and
+	// recorded at every latency-shaped site. All nil (and nil-safe) when
+	// the session runs without a metrics registry.
+	hFault     *obs.Histogram // remote page-fault service time
+	hRPC       *obs.Histogram // reliable wire transfer round trip
+	hBackoff   *obs.Histogram // retry backoff waits
+	hWriteBack *obs.Histogram // finalization write-back transfer
+	hE2E       *obs.Histogram // per-offload end-to-end latency
+
 	// Comp buckets the whole-program time like Figure 7: compute, fptr,
 	// remote I/O, communication.
 	Comp [interp.NumComponents]simtime.PS
@@ -491,6 +500,7 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 		// without involving the listen loop at all.
 		ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
 		s.Stats.E2ELatency += s.Mobile.Clock - start
+		s.hE2E.Record(int64(s.Mobile.Clock - start))
 		return ret, err
 	}
 
@@ -521,9 +531,11 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 		s.Comp[interp.CompComm] += wait
 		ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
 		s.Stats.E2ELatency += s.Mobile.Clock - start
+		s.hE2E.Record(int64(s.Mobile.Clock - start))
 		return ret, err
 	}
 	s.Stats.E2ELatency += s.Mobile.Clock - start
+	s.hE2E.Record(int64(s.Mobile.Clock - start))
 	s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
 		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
 	return rep.ret, nil
@@ -622,6 +634,7 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 		return s.finishAborted()
 	}
 	s.Stats.WriteBackWireBytes += wire
+	s.hWriteBack.Record(int64(d))
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KWriteBack,
 		Track: obs.TrackServer, A0: int64(len(dirty)), A1: raw, A2: wire})
 	if st != nil {
@@ -707,6 +720,7 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 		return s.Mobile.Mem.PageData(pn), nil
 	}
 	data := respMsg.Pages[0].Data
+	s.hFault.Record(int64(req + resp))
 	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: req + resp, Kind: obs.KPageFault,
 		Track: obs.TrackServer, Name: "remote",
 		A0: int64(pn), A1: int64(mem.PageAddr(pn)),
