@@ -1,13 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test bench golden fuzz chaos fleet profsmoke
+.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke
 
 ## check: the tier-1 verification — build, vet, race-enabled tests, a
 ## short fuzz smoke over the hardened wire decoder, the fleet scheduler
-## smoke, and the profiler/breakdown CLI smoke.
-check: build vet fleet profsmoke
+## smoke, the profiler/breakdown CLI smoke, and the shared-image bind
+## smoke.
+check: build vet fleet profsmoke bindsmoke
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
+
+## bindsmoke: the O(1)-bind contract — a fresh copy-on-write instance of a
+## cached Program must hold zero private resident bytes (binding may not
+## allocate a full image copy) and start bit-identical to a private machine.
+bindsmoke:
+	$(GO) test ./internal/interp/ -run '^TestBindSmoke$$' -count=1
 
 build:
 	$(GO) build ./...
@@ -20,13 +27,17 @@ test:
 
 ## bench: the interpreter/memory micro-benchmarks (fast vs reference
 ## engine, with steps/sec and allocations) plus the observability hot-path
-## allocation benchmarks. Writes the machine-readable record to
-## BENCH_interp.json and fails if the fast engine regresses below the 5x
-## steps/sec floor or allocates in steady state.
+## allocation benchmarks. Writes the machine-readable records to
+## BENCH_interp.json (fails if the fast engine regresses below the 5x
+## steps/sec floor or allocates in steady state) and BENCH_bind.json
+## (fails if a cached bind is under 50x faster than the first compile or
+## a session's copy-on-write resident bytes are under 10x below a private
+## image copy).
 bench:
-	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest' -benchmem ./internal/interp/
+	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest|Bind' -benchmem ./internal/interp/
 	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
 	BENCH_JSON=$(CURDIR)/BENCH_interp.json $(GO) test ./internal/interp/ -run '^TestBenchJSON$$' -count=1 -v
+	BENCH_BIND_JSON=$(CURDIR)/BENCH_bind.json $(GO) test ./internal/interp/ -run '^TestBindBenchJSON$$' -count=1 -v
 	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
 
 ## golden: regenerate every golden file (Chrome export, metrics summary,

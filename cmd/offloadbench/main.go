@@ -36,6 +36,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
 	showHist := flag.Bool("hist", false, "with -w: print the latency histogram snapshots (p50/p90/p99/max)")
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
+	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the experiments")
 	flag.Parse()
 
 	eng, err := interp.ParseEngine(*engineSpec)
@@ -44,6 +45,13 @@ func main() {
 		os.Exit(1)
 	}
 	core.DefaultEngine = eng
+	if *bindStats {
+		defer func() {
+			s := core.DefaultCache.Stats()
+			fmt.Printf("compilation cache: %d programs, %d hits, %d misses (hit rate %.0f%%)\n",
+				s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+		}()
+	}
 
 	if *observe != "" || *traceFile != "" || *showMetrics || *showHist {
 		if err := runObserved(*observe, *traceFile, *showMetrics, *showHist); err != nil {

@@ -16,9 +16,11 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/mem"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -30,6 +32,7 @@ func main() {
 	cost := flag.Int64("cost", 1, "cost amplification for -ir programs")
 	dump := flag.String("dump", "", "dump partitioned IR: mobile or server")
 	list := flag.Bool("list", false, "list available workloads")
+	image := flag.Bool("image", false, "print shared program image statistics for the compiled binary pair")
 	flag.Parse()
 
 	if *list {
@@ -94,6 +97,13 @@ func main() {
 	fmt.Println(t)
 	fmt.Println(cres.Summary())
 
+	if *image {
+		if err := printImageStats(fw, cres); err != nil {
+			fmt.Fprintf(os.Stderr, "offloadc: -image: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	switch *dump {
 	case "mobile":
 		fmt.Println(cres.Mobile)
@@ -104,6 +114,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "offloadc: -dump must be mobile or server\n")
 		os.Exit(1)
 	}
+}
+
+// printImageStats compiles both halves of the binary pair into shared
+// program artifacts and reports the image footprint a server fleet would
+// hold: logical size, content-deduplicated backing size, and what one
+// copy-on-write session bind costs (nothing until it writes).
+func printImageStats(fw *core.Framework, cres *compiler.Result) error {
+	mobileProg, err := interp.Compile(cres.Mobile, interp.CompileConfig{
+		Name: "mobile", Spec: fw.Mobile, Std: fw.Mobile,
+		FuncBase: mem.FuncBaseMobile, InitUVAGlobals: true,
+	}, fw.Cache)
+	if err != nil {
+		return err
+	}
+	serverProg, err := interp.Compile(cres.Server, interp.CompileConfig{
+		Name: "server", Spec: fw.Server, Std: fw.Mobile,
+		FuncBase: mem.FuncBaseServer, ShuffleFuncs: true, ShuffleGlobals: true,
+	}, fw.Cache)
+	if err != nil {
+		return err
+	}
+	t := report.New("shared program images (compile-once / instantiate-many)",
+		"Binary", "Pages", "Image(KiB)", "Unique(KiB)", "Bind(B)")
+	for _, p := range []*interp.Program{mobileProg, serverProg} {
+		img := p.Image()
+		inst := p.NewInstance()
+		t.Add(p.Name(), img.NumPages(),
+			float64(img.Bytes())/1024, float64(img.UniqueBytes())/1024,
+			inst.Mem.ResidentPrivateBytes())
+	}
+	fmt.Println(t)
+	if fw.Cache != nil {
+		s := fw.Cache.Stats()
+		fmt.Printf("compilation cache: %d programs, %d hits, %d misses (hit rate %.0f%%)\n",
+			s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+	}
+	return nil
 }
 
 // loadIR reads and parses a textual IR program.

@@ -142,6 +142,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
 	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
+	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the run")
 	flag.Parse()
 
 	eng, err := interp.ParseEngine(*engineSpec)
@@ -150,6 +151,13 @@ func main() {
 		os.Exit(1)
 	}
 	core.DefaultEngine = eng
+	if *bindStats {
+		defer func() {
+			s := core.DefaultCache.Stats()
+			fmt.Printf("compilation cache: %d programs, %d hits, %d misses (hit rate %.0f%%)\n",
+				s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+		}()
+	}
 
 	var plan *faults.Plan
 	if *faultSpec != "" {

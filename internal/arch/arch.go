@@ -110,6 +110,22 @@ func (s *Spec) String() string {
 	return fmt.Sprintf("%s(%d-bit, %s-endian)", s.Name, s.PointerBytes*8, s.Endian)
 }
 
+// Fingerprint returns a string covering every property compiled code can
+// depend on: identity, pointer size, byte order, cycle time, layout tables
+// and the full cost table. Two specs with equal fingerprints produce
+// bit-identical compiled programs, which is what lets a compilation cache
+// key on the fingerprint rather than on spec pointer identity.
+func (s *Spec) Fingerprint() string {
+	out := fmt.Sprintf("%s/%d/%s/%d", s.Name, s.PointerBytes, s.Endian, s.CyclePS)
+	for c := Class(0); c < numClasses; c++ {
+		out += fmt.Sprintf("/%d:%d", s.align[c], s.size[c])
+	}
+	for op := Op(0); op < numOps; op++ {
+		out += fmt.Sprintf("/%d", s.Cost.Cycles(op))
+	}
+	return out
+}
+
 func baseSizes() [numClasses]int {
 	var sz [numClasses]int
 	sz[ClassInt8] = 1

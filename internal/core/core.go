@@ -84,12 +84,24 @@ type Framework struct {
 	// Zero disables sampling at zero cost (the interpreters' hot loops keep
 	// their allocation-free steady state).
 	SampleEvery simtime.PS
+
+	// Cache memoizes compiled program artifacts (pre-decoded code + initial
+	// memory image) across runs: every machine this framework builds binds
+	// as a copy-on-write instance of a cached interp.Program, so repeated
+	// runs of the same binary pair compile once and share one image.
+	// NewFramework installs DefaultCache; set to nil to compile privately.
+	Cache *interp.CompilationCache
 }
 
 // DefaultEngine is the engine NewFramework installs. It exists so entry
 // points (CLIs, experiments) can flip every framework they construct with a
 // single assignment, e.g. from an -engine flag.
 var DefaultEngine = interp.EngineFast
+
+// DefaultCache is the process-wide compilation cache NewFramework installs:
+// frameworks built anywhere in the process (experiments, fleets, CLIs)
+// share compiled programs keyed by (module digest, architecture binding).
+var DefaultCache = interp.NewCompilationCache()
 
 // NewFramework returns the default evaluation setup on the given network:
 // ARM32 mobile, x86-64 server.
@@ -101,6 +113,7 @@ func NewFramework(n Network) *Framework {
 		Scale:     1,
 		RemoteIO:  true,
 		Engine:    DefaultEngine,
+		Cache:     DefaultCache,
 	}
 	switch n {
 	case SlowNetwork:
@@ -136,14 +149,14 @@ func (fw *Framework) estParams() estimate.Params {
 func (fw *Framework) Profile(mod *ir.Module, io *interp.StdIO) (*profile.Report, error) {
 	work := mod.Clone("profile:" + mod.Name)
 	ir.Lower(work, fw.Mobile, fw.Mobile)
-	m, err := interp.NewMachine(interp.Config{
-		Name: "profiler", Spec: fw.Mobile, Mod: work,
-		IO: io, CostScale: fw.CostScale, InitUVAGlobals: true,
-		Engine: fw.Engine,
-	})
+	prog, err := interp.Compile(work, interp.CompileConfig{
+		Name: "profiler", Spec: fw.Mobile, InitUVAGlobals: true,
+	}, fw.Cache)
 	if err != nil {
 		return nil, err
 	}
+	m := prog.NewInstance(interp.WithIO(io), interp.WithCostScale(fw.CostScale),
+		interp.WithEngine(fw.Engine))
 	return profile.Run(m)
 }
 
@@ -171,14 +184,14 @@ type LocalResult struct {
 func (fw *Framework) RunLocal(mod *ir.Module, io *interp.StdIO) (*LocalResult, error) {
 	work := mod.Clone("local:" + mod.Name)
 	ir.Lower(work, fw.Mobile, fw.Mobile)
-	m, err := interp.NewMachine(interp.Config{
-		Name: "mobile", Spec: fw.Mobile, Mod: work,
-		IO: io, CostScale: fw.CostScale, InitUVAGlobals: true,
-		Engine: fw.Engine,
-	})
+	prog, err := interp.Compile(work, interp.CompileConfig{
+		Name: "mobile", Spec: fw.Mobile, InitUVAGlobals: true,
+	}, fw.Cache)
 	if err != nil {
 		return nil, err
 	}
+	m := prog.NewInstance(interp.WithIO(io), interp.WithCostScale(fw.CostScale),
+		interp.WithEngine(fw.Engine))
 	code, err := m.RunMain()
 	if err != nil {
 		return nil, err
@@ -272,22 +285,24 @@ func (r *OffloadResult) Offloaded() bool {
 
 // RunOffloaded executes the compiled pair under the runtime.
 func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol offrt.Policy) (*OffloadResult, error) {
-	mobile, err := interp.NewMachine(interp.Config{
-		Name: "mobile", Spec: fw.Mobile, Std: fw.Mobile, Mod: cres.Mobile,
+	mobileProg, err := interp.Compile(cres.Mobile, interp.CompileConfig{
+		Name: "mobile", Spec: fw.Mobile, Std: fw.Mobile,
 		FuncBase: mem.FuncBaseMobile, InitUVAGlobals: true,
-		IO: io, CostScale: fw.CostScale, Engine: fw.Engine,
-	})
+	}, fw.Cache)
 	if err != nil {
-		return nil, fmt.Errorf("core: mobile machine: %w", err)
+		return nil, fmt.Errorf("core: mobile program: %w", err)
 	}
-	server, err := interp.NewMachine(interp.Config{
-		Name: "server", Spec: fw.Server, Std: fw.Mobile, Mod: cres.Server,
+	serverProg, err := interp.Compile(cres.Server, interp.CompileConfig{
+		Name: "server", Spec: fw.Server, Std: fw.Mobile,
 		FuncBase: mem.FuncBaseServer, ShuffleFuncs: true, ShuffleGlobals: true,
-		CostScale: fw.CostScale, Engine: fw.Engine,
-	})
+	}, fw.Cache)
 	if err != nil {
-		return nil, fmt.Errorf("core: server machine: %w", err)
+		return nil, fmt.Errorf("core: server program: %w", err)
 	}
+	mobile := mobileProg.NewInstance(interp.WithIO(io),
+		interp.WithCostScale(fw.CostScale), interp.WithEngine(fw.Engine))
+	server := serverProg.NewInstance(
+		interp.WithCostScale(fw.CostScale), interp.WithEngine(fw.Engine))
 
 	var tasks []offrt.TaskSpec
 	for _, t := range cres.Targets {

@@ -1,0 +1,76 @@
+package fleet
+
+import "repro/internal/mem"
+
+// MemoryPlan projects a server fleet's session-memory footprint: the fixed
+// cost of holding one shared program image versus the per-session bytes
+// each bound client adds on top. With private-copy binding every session
+// pays the full image; with copy-on-write instances (interp.Program) a
+// session pays only the pages it writes, which is what makes the ROADMAP's
+// 10⁴–10⁶ client fleet memory-feasible.
+type MemoryPlan struct {
+	// SharedImageBytes is the one-time cost of the deduplicated program
+	// image all sessions read through.
+	SharedImageBytes int
+	// PerSessionBytes is the observed (or budgeted) private resident bytes
+	// a bound session adds: its copy-on-write pages.
+	PerSessionBytes int
+	// PrivateCopyBytes is the per-session cost of the baseline that binds
+	// each session to a full private image copy.
+	PrivateCopyBytes int
+}
+
+// PlanFromImage derives a MemoryPlan from a shared program image and one
+// representative session's private resident bytes (e.g. a freshly bound
+// instance measured after its warm-up offload).
+func PlanFromImage(img *mem.Image, perSessionBytes int) MemoryPlan {
+	return MemoryPlan{
+		SharedImageBytes: img.UniqueBytes(),
+		PerSessionBytes:  perSessionBytes,
+		PrivateCopyBytes: img.Bytes(),
+	}
+}
+
+// SharedBytesAt projects total session memory at n bound clients under
+// shared-image binding: one image plus n copy-on-write overlays.
+func (p MemoryPlan) SharedBytesAt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return p.SharedImageBytes + n*p.PerSessionBytes
+}
+
+// PrivateBytesAt projects the same fleet under private-copy binding.
+func (p MemoryPlan) PrivateBytesAt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n * p.PrivateCopyBytes
+}
+
+// Savings returns the private/shared footprint ratio at n clients (how many
+// times more memory private-copy binding needs); 0 when either side is
+// degenerate. The ratio approaches PrivateCopyBytes/PerSessionBytes as n
+// grows, so for sessions that touch few pages it keeps improving with scale.
+func (p MemoryPlan) Savings(n int) float64 {
+	shared := p.SharedBytesAt(n)
+	private := p.PrivateBytesAt(n)
+	if shared <= 0 || private <= 0 {
+		return 0
+	}
+	return float64(private) / float64(shared)
+}
+
+// MaxSessions returns how many sessions fit in budgetBytes of server memory
+// under shared-image binding (the admission-control sizing question); -1
+// means unbounded (sessions add no private bytes).
+func (p MemoryPlan) MaxSessions(budgetBytes int) int {
+	rest := budgetBytes - p.SharedImageBytes
+	if rest < 0 {
+		return 0
+	}
+	if p.PerSessionBytes <= 0 {
+		return -1
+	}
+	return rest / p.PerSessionBytes
+}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func planForTest(t *testing.T) MemoryPlan {
+	t.Helper()
+	src := mem.New()
+	// 16 pages of distinct nonzero data + 48 zero pages: a 64-page image
+	// that dedups to 17 unique pages (16 + the canonical zero page).
+	for pn := uint32(0); pn < 16; pn++ {
+		if err := src.WriteUint(mem.PageAddr(pn), 4, uint64(pn+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pn := uint32(16); pn < 64; pn++ {
+		if _, err := src.Page(pn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return PlanFromImage(mem.Snapshot(src), 2*mem.PageSize)
+}
+
+func TestMemoryPlanProjections(t *testing.T) {
+	p := planForTest(t)
+	if p.PrivateCopyBytes != 64*mem.PageSize {
+		t.Errorf("PrivateCopyBytes = %d, want %d", p.PrivateCopyBytes, 64*mem.PageSize)
+	}
+	if p.SharedImageBytes != 17*mem.PageSize {
+		t.Errorf("SharedImageBytes = %d, want %d", p.SharedImageBytes, 17*mem.PageSize)
+	}
+	if got := p.SharedBytesAt(0); got != 0 {
+		t.Errorf("SharedBytesAt(0) = %d, want 0", got)
+	}
+	if got, want := p.SharedBytesAt(100), 17*mem.PageSize+100*2*mem.PageSize; got != want {
+		t.Errorf("SharedBytesAt(100) = %d, want %d", got, want)
+	}
+	if got, want := p.PrivateBytesAt(100), 100*64*mem.PageSize; got != want {
+		t.Errorf("PrivateBytesAt(100) = %d, want %d", got, want)
+	}
+	// Savings grow with n toward PrivateCopy/PerSession = 32x.
+	if s10, s1000 := p.Savings(10), p.Savings(1000); s1000 <= s10 || s1000 > 32 {
+		t.Errorf("Savings not monotone toward 32x: n=10 %.1f, n=1000 %.1f", s10, s1000)
+	}
+}
+
+func TestMemoryPlanMaxSessions(t *testing.T) {
+	p := planForTest(t)
+	if got := p.MaxSessions(p.SharedImageBytes - 1); got != 0 {
+		t.Errorf("budget below image size should fit 0 sessions, got %d", got)
+	}
+	budget := p.SharedImageBytes + 10*p.PerSessionBytes
+	if got := p.MaxSessions(budget); got != 10 {
+		t.Errorf("MaxSessions = %d, want 10", got)
+	}
+	p.PerSessionBytes = 0
+	if got := p.MaxSessions(budget); got != -1 {
+		t.Errorf("zero per-session bytes should be unbounded (-1), got %d", got)
+	}
+}

@@ -95,9 +95,9 @@ const (
 	cIndexAddr // base in (a,imm), index in (b,imm2), stride in aux
 
 	// Conversions: x in (a,imm), dst in c.
-	cMov    // sext/fpext/bitcast/no-op widenings, and FuncAddr constants
-	cTrunc  // aux = bits, sign-extends the result
-	cZExt   // imm2 = value mask
+	cMov   // sext/fpext/bitcast/no-op widenings, and FuncAddr constants
+	cTrunc // aux = bits, sign-extends the result
+	cZExt  // imm2 = value mask
 	cIntToFP
 	cFPToInt // aux = bits
 	cFPTrunc
@@ -132,35 +132,54 @@ type cinstr struct {
 	ref     ir.Instr
 }
 
-// cfunc is one function compiled for one Machine (operands resolve
-// machine-specific global and function addresses). pool recycles frames.
+// cfunc is one function compiled against one linkage (operands inline
+// linker-assigned global and function addresses). idx names the frame pool
+// a Machine recycles this function's register frames through — frames are
+// per-machine state, so shared compiled code carries only the index.
 type cfunc struct {
 	fn       *ir.Func
+	idx      int32
 	compiled bool
 	code     []cinstr
 	traps    []error
-	pool     [][]uint64
 }
 
-func (cf *cfunc) acquire() []uint64 {
-	if n := len(cf.pool); n > 0 {
-		regs := cf.pool[n-1]
-		cf.pool = cf.pool[:n-1]
-		clear(regs)
-		return regs
+// compiler is the compile-time environment: everything pre-decoding a
+// function body needs, independent of any executing Machine. A private
+// Machine owns an unsealed compiler and may keep compiling lazily; a shared
+// Program seals its compiler after eagerly compiling the whole module, at
+// which point the cfuncs map is immutable and safe for concurrent readers.
+type compiler struct {
+	name   string
+	spec   *arch.Spec
+	std    *arch.Spec
+	lay    *linkage
+	cfuncs map[*ir.Func]*cfunc
+	nfuncs int32 // frame-pool indices handed out
+	sealed bool
+}
+
+func newCompiler(name string, spec, std *arch.Spec, lay *linkage, hint int) *compiler {
+	return &compiler{
+		name:   name,
+		spec:   spec,
+		std:    std,
+		lay:    lay,
+		cfuncs: make(map[*ir.Func]*cfunc, hint),
 	}
-	return make([]uint64, cf.fn.NumSlots)
 }
-
-func (cf *cfunc) release(regs []uint64) { cf.pool = append(cf.pool, regs) }
 
 // shell returns the (possibly not yet compiled) cfunc for f, creating an
 // empty shell on first request so mutually recursive functions can link.
-func (m *Machine) shell(f *ir.Func) *cfunc {
-	cf := m.cfuncs[f]
+func (c *compiler) shell(f *ir.Func) *cfunc {
+	cf := c.cfuncs[f]
 	if cf == nil {
-		cf = &cfunc{fn: f}
-		m.cfuncs[f] = cf
+		if c.sealed {
+			panic(fmt.Sprintf("interp(%s): compile of %s after the program was sealed (shared programs compile the whole module eagerly)", c.name, f.Nam))
+		}
+		cf = &cfunc{fn: f, idx: c.nfuncs}
+		c.nfuncs++
+		c.cfuncs[f] = cf
 	}
 	return cf
 }
@@ -168,17 +187,17 @@ func (m *Machine) shell(f *ir.Func) *cfunc {
 // ensureCompiled returns f's compiled form, compiling on first use (bind
 // time for module functions; lazily for functions reached only through a
 // translating function-pointer resolver).
-func (m *Machine) ensureCompiled(f *ir.Func) *cfunc {
-	cf := m.shell(f)
+func (c *compiler) ensureCompiled(f *ir.Func) *cfunc {
+	cf := c.shell(f)
 	if !cf.compiled {
-		m.compileInto(cf)
+		c.compileInto(cf)
 	}
 	return cf
 }
 
 // cval resolves an operand to (register slot, inlined constant); slot < 0
 // means the constant. Mirrors the reference engine's operand().
-func (m *Machine) cval(v ir.Value) (int32, uint64) {
+func (c *compiler) cval(v ir.Value) (int32, uint64) {
 	switch v := v.(type) {
 	case *ir.ConstInt:
 		return -1, uint64(v.V)
@@ -191,22 +210,22 @@ func (m *Machine) cval(v ir.Value) (int32, uint64) {
 	case *ir.Param:
 		return int32(v.Slot), 0
 	case *ir.Global:
-		return -1, uint64(m.globalAddr[v])
+		return -1, uint64(c.lay.globalAddr[v])
 	case *ir.Func:
-		return -1, uint64(m.funcAddr[v])
+		return -1, uint64(c.lay.funcAddr[v])
 	case ir.Instr:
 		return int32(v.(interface{ Slot() int }).Slot()), 0
 	}
 	panic(fmt.Sprintf("interp: unhandled operand %T", v))
 }
 
-func (m *Machine) cargs(args []ir.Value) []carg {
+func (c *compiler) cargs(args []ir.Value) []carg {
 	if len(args) == 0 {
 		return nil
 	}
 	out := make([]carg, len(args))
 	for i, a := range args {
-		out[i].slot, out[i].imm = m.cval(a)
+		out[i].slot, out[i].imm = c.cval(a)
 	}
 	return out
 }
@@ -217,9 +236,12 @@ func cdst(in ir.Instr) int32 { return int32(in.(interface{ Slot() int }).Slot())
 // more charge segments: a cCharge carrying the aggregate Steps/cycles of
 // the segment's instructions, followed by their pre-decoded forms. Branch
 // targets are pc indices patched after all blocks are placed.
-func (m *Machine) compileInto(cf *cfunc) {
+func (c *compiler) compileInto(cf *cfunc) {
+	if c.sealed {
+		panic(fmt.Sprintf("interp(%s): compile of %s after the program was sealed", c.name, cf.fn.Nam))
+	}
 	f := cf.fn
-	cost := m.Spec.Cost
+	cost := c.spec.Cost
 	start := make(map[*ir.Block]int32, len(f.Blocks))
 	type fixup struct {
 		pc    int
@@ -261,7 +283,7 @@ func (m *Machine) compileInto(cf *cfunc) {
 					op:  cAlloca,
 					c:   cdst(in),
 					imm: uint64(alignUp32(uint32(in.SizeBytes), 16)),
-					aux: newTrap(fmt.Errorf("interp(%s): stack overflow in %s", m.Name, f.Nam)),
+					aux: newTrap(fmt.Errorf("interp(%s): stack overflow in %s", c.name, f.Nam)),
 				})
 				flush()
 
@@ -274,8 +296,8 @@ func (m *Machine) compileInto(cf *cfunc) {
 					segCycles += cost.Cycles(arch.OpPtrConvert)
 				}
 				ci := cinstr{c: cdst(in), b: int32(in.Lay.Size)}
-				ci.a, ci.imm = m.cval(in.Ptr)
-				if in.Lay.Size == 0 || m.Std.Endian != arch.Little {
+				ci.a, ci.imm = c.cval(in.Ptr)
+				if in.Lay.Size == 0 || c.std.Endian != arch.Little {
 					ci.op, ci.ref = cLoadSlow, in
 				} else {
 					switch t := in.Elem.(type) {
@@ -306,9 +328,9 @@ func (m *Machine) compileInto(cf *cfunc) {
 					segCycles += cost.Cycles(arch.OpPtrConvert)
 				}
 				ci := cinstr{aux: int32(in.Lay.Size)}
-				ci.a, ci.imm = m.cval(in.Ptr)
-				ci.b, ci.imm2 = m.cval(in.Val)
-				if in.Lay.Size == 0 || m.Std.Endian != arch.Little {
+				ci.a, ci.imm = c.cval(in.Ptr)
+				ci.b, ci.imm2 = c.cval(in.Val)
+				if in.Lay.Size == 0 || c.std.Endian != arch.Little {
 					ci.op, ci.ref = cStoreSlow, in
 				} else if ft, ok := in.Val.Type().(*ir.FloatType); ok && ft.Bits == 32 {
 					ci.op = cStoreF32
@@ -320,8 +342,8 @@ func (m *Machine) compileInto(cf *cfunc) {
 
 			case *ir.Bin:
 				ci := cinstr{c: cdst(in)}
-				ci.a, ci.imm = m.cval(in.X)
-				ci.b, ci.imm2 = m.cval(in.Y)
+				ci.a, ci.imm = c.cval(in.X)
+				ci.b, ci.imm2 = c.cval(in.Y)
 				if ir.IsFloat(in.X.Type()) {
 					switch in.Op {
 					case ir.Add:
@@ -356,11 +378,11 @@ func (m *Machine) compileInto(cf *cfunc) {
 				case ir.Div:
 					segCycles += cost.Cycles(arch.OpIntDiv)
 					ci.op = cDiv
-					ci.aux = newTrap(fmt.Errorf("interp(%s): integer division by zero in %s", m.Name, f.Nam))
+					ci.aux = newTrap(fmt.Errorf("interp(%s): integer division by zero in %s", c.name, f.Nam))
 				case ir.Rem:
 					segCycles += cost.Cycles(arch.OpIntDiv)
 					ci.op = cRem
-					ci.aux = newTrap(fmt.Errorf("interp(%s): integer remainder by zero in %s", m.Name, f.Nam))
+					ci.aux = newTrap(fmt.Errorf("interp(%s): integer remainder by zero in %s", c.name, f.Nam))
 				case ir.And:
 					segCycles += cost.Cycles(arch.OpIntALU)
 					ci.op = cAnd
@@ -389,8 +411,8 @@ func (m *Machine) compileInto(cf *cfunc) {
 
 			case *ir.Cmp:
 				ci := cinstr{c: cdst(in), aux: int32(in.Pred)}
-				ci.a, ci.imm = m.cval(in.X)
-				ci.b, ci.imm2 = m.cval(in.Y)
+				ci.a, ci.imm = c.cval(in.X)
+				ci.b, ci.imm2 = c.cval(in.Y)
 				if ir.IsFloat(in.X.Type()) {
 					segCycles += cost.Cycles(arch.OpFloatALU)
 					ci.op = cCmpF
@@ -406,20 +428,20 @@ func (m *Machine) compileInto(cf *cfunc) {
 			case *ir.FieldAddr:
 				segCycles += cost.Cycles(arch.OpIntALU)
 				ci := cinstr{op: cAdd, c: cdst(in), b: -1, imm2: uint64(in.Offset)}
-				ci.a, ci.imm = m.cval(in.Ptr)
+				ci.a, ci.imm = c.cval(in.Ptr)
 				seg = append(seg, ci)
 
 			case *ir.IndexAddr:
 				segCycles += cost.Cycles(arch.OpIntALU)
 				ci := cinstr{op: cIndexAddr, c: cdst(in), aux: int32(in.Stride)}
-				ci.a, ci.imm = m.cval(in.Ptr)
-				ci.b, ci.imm2 = m.cval(in.Index)
+				ci.a, ci.imm = c.cval(in.Ptr)
+				ci.b, ci.imm2 = c.cval(in.Index)
 				seg = append(seg, ci)
 
 			case *ir.Convert:
 				segCycles += cost.Cycles(arch.OpConvert)
 				ci := cinstr{c: cdst(in)}
-				ci.a, ci.imm = m.cval(in.Val)
+				ci.a, ci.imm = c.cval(in.Val)
 				switch in.Kind {
 				case ir.ConvTrunc:
 					if bits := in.To.(*ir.IntType).Bits; bits >= 64 {
@@ -451,26 +473,26 @@ func (m *Machine) compileInto(cf *cfunc) {
 
 			case *ir.FuncAddr:
 				segCycles += cost.Cycles(arch.OpIntALU)
-				seg = append(seg, cinstr{op: cMov, c: cdst(in), a: -1, imm: uint64(m.funcAddr[in.Callee])})
+				seg = append(seg, cinstr{op: cMov, c: cdst(in), a: -1, imm: uint64(c.lay.funcAddr[in.Callee])})
 
 			case *ir.Call:
 				segCycles += cost.Cycles(arch.OpCall)
-				ci := cinstr{op: cCall, c: cdst(in), callee: in.Callee, args: m.cargs(in.Args)}
+				ci := cinstr{op: cCall, c: cdst(in), callee: in.Callee, args: c.cargs(in.Args)}
 				if !in.Callee.IsExtern() {
 					if len(in.Args) != len(in.Callee.Params) {
 						trap(fmt.Errorf("interp(%s): call %s with %d args, want %d",
-							m.Name, in.Callee.Nam, len(in.Args), len(in.Callee.Params)))
+							c.name, in.Callee.Nam, len(in.Args), len(in.Callee.Params)))
 						break instrs
 					}
-					ci.ctarget = m.shell(in.Callee)
+					ci.ctarget = c.shell(in.Callee)
 				}
 				seg = append(seg, ci)
 				flush()
 
 			case *ir.CallInd:
 				segCycles += cost.Cycles(arch.OpCallInd)
-				ci := cinstr{op: cCallInd, c: cdst(in), args: m.cargs(in.Args)}
-				ci.a, ci.imm = m.cval(in.Fn)
+				ci := cinstr{op: cCallInd, c: cdst(in), args: c.cargs(in.Args)}
+				ci.a, ci.imm = c.cval(in.Fn)
 				if in.Mapped {
 					ci.aux = 1
 				}
@@ -489,7 +511,7 @@ func (m *Machine) compileInto(cf *cfunc) {
 				segCycles += cost.Cycles(arch.OpBranch)
 				flush()
 				ci := cinstr{op: cCondBr}
-				ci.a, ci.imm = m.cval(in.Cond)
+				ci.a, ci.imm = c.cval(in.Cond)
 				fixups = append(fixups,
 					fixup{pc: len(cf.code), field: 1, dst: in.Then},
 					fixup{pc: len(cf.code), field: 2, dst: in.Else})
@@ -502,19 +524,19 @@ func (m *Machine) compileInto(cf *cfunc) {
 				ci := cinstr{op: cRet}
 				if in.Val != nil {
 					ci.aux = 1
-					ci.a, ci.imm = m.cval(in.Val)
+					ci.a, ci.imm = c.cval(in.Val)
 				}
 				cf.code = append(cf.code, ci)
 				terminated = true
 				break instrs
 
 			default:
-				trap(fmt.Errorf("interp(%s): unhandled instruction %T", m.Name, in))
+				trap(fmt.Errorf("interp(%s): unhandled instruction %T", c.name, in))
 				break instrs
 			}
 		}
 		if !terminated {
-			trap(fmt.Errorf("interp(%s): block %s.%s fell through without terminator", m.Name, f.Nam, blk.Nam))
+			trap(fmt.Errorf("interp(%s): block %s.%s fell through without terminator", c.name, f.Nam, blk.Nam))
 		}
 	}
 

@@ -151,7 +151,7 @@ func (m *Machine) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint6
 
 		case *ir.FuncAddr:
 			m.charge(arch.OpIntALU, CompCompute)
-			fr.set(in, uint64(m.funcAddr[in.Callee]))
+			fr.set(in, uint64(m.lay.funcAddr[in.Callee]))
 
 		case *ir.Call:
 			m.charge(arch.OpCall, CompCompute)
@@ -236,9 +236,9 @@ func (m *Machine) operand(fr *frame, v ir.Value) uint64 {
 	case *ir.Param:
 		return fr.regs[v.Slot]
 	case *ir.Global:
-		return uint64(m.globalAddr[v])
+		return uint64(m.lay.globalAddr[v])
 	case *ir.Func:
-		return uint64(m.funcAddr[v])
+		return uint64(m.lay.funcAddr[v])
 	case ir.Instr:
 		return fr.regs[v.(interface{ Slot() int }).Slot()]
 	}

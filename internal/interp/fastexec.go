@@ -36,8 +36,8 @@ func (m *Machine) callFast(f *ir.Func, args []uint64) (uint64, error) {
 	if len(args) != len(f.Params) {
 		return 0, fmt.Errorf("interp(%s): call %s with %d args, want %d", m.Name, f.Nam, len(args), len(f.Params))
 	}
-	cf := m.ensureCompiled(f)
-	regs := cf.acquire()
+	cf := m.cc.ensureCompiled(f)
+	regs := m.acquireFrame(cf)
 	for i, p := range f.Params {
 		regs[p.Slot] = args[i]
 	}
@@ -48,7 +48,7 @@ func (m *Machine) callFast(f *ir.Func, args []uint64) (uint64, error) {
 	if ps := m.sampler; ps != nil {
 		ps.pop(m.Clock)
 	}
-	cf.release(regs)
+	m.releaseFrame(cf, regs)
 	return v, err
 }
 
@@ -56,9 +56,9 @@ func (m *Machine) callFast(f *ir.Func, args []uint64) (uint64, error) {
 // evaluating pre-decoded arguments directly into the callee's frame.
 func (m *Machine) callCompiled(cf *cfunc, args []carg, caller []uint64) (uint64, error) {
 	if !cf.compiled {
-		m.compileInto(cf)
+		m.cc.compileInto(cf)
 	}
-	regs := cf.acquire()
+	regs := m.acquireFrame(cf)
 	for i := range args {
 		regs[cf.fn.Params[i].Slot] = rv(caller, args[i].slot, args[i].imm)
 	}
@@ -69,7 +69,7 @@ func (m *Machine) callCompiled(cf *cfunc, args []carg, caller []uint64) (uint64,
 	if ps := m.sampler; ps != nil {
 		ps.pop(m.Clock)
 	}
-	cf.release(regs)
+	m.releaseFrame(cf, regs)
 	return v, err
 }
 
@@ -363,7 +363,7 @@ func (m *Machine) execCompiled(cf *cfunc, regs []uint64) (uint64, error) {
 					return 0, fmt.Errorf("interp(%s): call %s with %d args, want %d",
 						m.Name, callee.Nam, len(in.args), len(callee.Params))
 				}
-				v, err = m.callCompiled(m.ensureCompiled(callee), in.args, regs)
+				v, err = m.callCompiled(m.cc.ensureCompiled(callee), in.args, regs)
 			}
 			if err != nil {
 				return 0, err

@@ -8,7 +8,6 @@ package interp
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/ir"
@@ -87,12 +86,12 @@ type Machine struct {
 	// site for translation.
 	ResolveFptr func(addr uint32, mapped bool) (*ir.Func, error)
 
-	// funcAddr assigns this machine's address to each function; inverse
-	// in funcByAddr. The two machines deliberately disagree.
-	funcAddr   map[*ir.Func]uint32
-	funcByAddr map[uint32]*ir.Func
-
-	globalAddr map[*ir.Global]uint32
+	// lay is the linker's address assignment (function and global
+	// addresses). Owned by this machine when built via NewMachine; shared
+	// read-only with the Program (and its sibling instances) when built via
+	// Program.NewInstance. The two machines of a session deliberately
+	// disagree on addresses either way.
+	lay *linkage
 
 	// Engine selects the execution engine. EngineFast (the default)
 	// interprets pre-decoded flat instruction streams; a Listener forces
@@ -100,10 +99,19 @@ type Machine struct {
 	// clock observations).
 	Engine Engine
 
-	// cfuncs holds this machine's compiled functions (fast engine);
-	// operands inline machine-specific global and function addresses, so
-	// compilation is per machine.
-	cfuncs map[*ir.Func]*cfunc
+	// cc holds the compiled functions (fast engine). A NewMachine-built
+	// machine owns an unsealed compiler and compiles lazily; an instance of
+	// a shared Program aliases the program's sealed compiler, whose cfunc
+	// map is immutable and safe for concurrent instances.
+	cc *compiler
+
+	// prog is the shared program this machine instantiates, nil for a
+	// private NewMachine-built machine.
+	prog *Program
+
+	// pools recycles register frames, indexed by cfunc.idx. Frames are
+	// per-machine (the compiled code is shared), so the pools live here.
+	pools [][][]uint64
 
 	// rtlb/wtlb are the direct-mapped page caches of the memory fast path.
 	rtlb [tlbWays]tlbEntry
@@ -144,8 +152,17 @@ type Config struct {
 	Engine Engine
 }
 
-// NewMachine builds, links and loads a machine. The module must already be
-// lowered (ir.Lower) against cfg.Std.
+// NewMachine builds, links and loads a machine with a private memory and
+// private compiled code. The module must already be lowered (ir.Lower)
+// against cfg.Std.
+//
+// Deprecated: for the compile-once/instantiate-many path, use Compile to
+// build a shared *Program (optionally through a CompilationCache) and
+// Program.NewInstance to bind sessions to it — instances share the
+// pre-decoded code and the initial memory image copy-on-write, so binding
+// is O(1) and per-session resident bytes shrink to the pages actually
+// written. NewMachine remains for callers that need a private memory (a
+// caller-supplied cfg.Mem) or lazy compilation of not-yet-lowered modules.
 func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Std == nil {
 		cfg.Std = cfg.Spec
@@ -153,47 +170,25 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Mem == nil {
 		cfg.Mem = mem.New()
 	}
-	if cfg.CostScale <= 0 {
-		cfg.CostScale = 1
-	}
 	if cfg.FuncBase == 0 {
 		cfg.FuncBase = mem.FuncBaseMobile
 	}
-	if cfg.IO == nil {
-		cfg.IO = NewStdIO(nil)
+	lay := newLinkage(cfg.Mod, cfg.Std, cfg.FuncBase, cfg.ShuffleFuncs, cfg.ShuffleGlobals)
+	cc := newCompiler(cfg.Name, cfg.Spec, cfg.Std, lay, len(cfg.Mod.Funcs))
+	m := newMachineShell(cfg.Name, cfg.Spec, cfg.Std, cfg.Mod, cfg.Mem, lay, cc)
+	m.CostScale = cfg.CostScale
+	if m.CostScale <= 0 {
+		m.CostScale = 1
 	}
-	m := &Machine{
-		Name:       cfg.Name,
-		Spec:       cfg.Spec,
-		Std:        cfg.Std,
-		Mod:        cfg.Mod,
-		Mem:        cfg.Mem,
-		CostScale:  cfg.CostScale,
-		IO:         cfg.IO,
-		Sys:        cfg.Sys,
-		funcAddr:   make(map[*ir.Func]uint32),
-		funcByAddr: make(map[uint32]*ir.Func),
-		globalAddr: make(map[*ir.Global]uint32),
-		sp:         cfg.Mod.StackBase,
-		spFloor:    cfg.Mod.StackBase - mem.StackBytes,
+	if cfg.IO != nil {
+		m.IO = cfg.IO
 	}
-	m.ResolveFptr = func(addr uint32, mapped bool) (*ir.Func, error) {
-		f, ok := m.funcByAddr[addr]
-		if !ok {
-			return nil, fmt.Errorf("interp(%s): no function at address 0x%x (unmapped cross-machine pointer?)", m.Name, addr)
-		}
-		return f, nil
-	}
+	m.Sys = cfg.Sys
+	m.Engine = cfg.Engine
 
-	m.Heap = mem.UVAHeap(m.Mem)
-	m.LocalHeap = mem.NewAllocator(m.Mem, mem.LocalBase+0x0100_0000, mem.LocalBase+0x0200_0000)
-
-	m.link(cfg.FuncBase, cfg.ShuffleFuncs)
-	if err := m.loadGlobals(cfg.ShuffleGlobals, cfg.InitUVAGlobals); err != nil {
+	if err := writeGlobalInits(m.Mem, cfg.Mod, cfg.Std, lay, cfg.InitUVAGlobals); err != nil {
 		return nil, err
 	}
-	m.Engine = cfg.Engine
-	m.cfuncs = make(map[*ir.Func]*cfunc, len(m.Mod.Funcs))
 	if m.Engine == EngineFast && m.Mod.Lowered {
 		// Bind-time pre-decode: flatten every function body once, so the
 		// run pays no per-instruction decode cost. Modules lowered only
@@ -201,30 +196,70 @@ func NewMachine(cfg Config) (*Machine, error) {
 		// (pre-decoding bakes in layout-resolved sizes and strides).
 		for _, f := range m.Mod.Funcs {
 			if !f.IsExtern() {
-				m.ensureCompiled(f)
+				cc.ensureCompiled(f)
 			}
 		}
 	}
+	m.pools = make([][][]uint64, cc.nfuncs)
 	return m, nil
 }
 
-// link assigns per-machine function addresses.
-func (m *Machine) link(base uint32, shuffle bool) {
-	funcs := make([]*ir.Func, len(m.Mod.Funcs))
-	copy(funcs, m.Mod.Funcs)
-	if shuffle {
-		sort.Slice(funcs, func(i, j int) bool { return funcs[i].Nam < funcs[j].Nam })
+// newMachineShell builds the per-session Machine skeleton around an address
+// layout and compiled code, shared by NewMachine (private) and
+// Program.NewInstance (shared).
+func newMachineShell(name string, spec, std *arch.Spec, mod *ir.Module, mm *mem.Memory, lay *linkage, cc *compiler) *Machine {
+	m := &Machine{
+		Name:      name,
+		Spec:      spec,
+		Std:       std,
+		Mod:       mod,
+		Mem:       mm,
+		CostScale: 1,
+		IO:        NewStdIO(nil),
+		lay:       lay,
+		cc:        cc,
+		sp:        mod.StackBase,
+		spFloor:   mod.StackBase - mem.StackBytes,
 	}
-	addr := base
-	for _, f := range funcs {
-		m.funcAddr[f] = addr
-		m.funcByAddr[addr] = f
-		addr += 16
+	m.ResolveFptr = func(addr uint32, mapped bool) (*ir.Func, error) {
+		f, ok := m.lay.funcByAddr[addr]
+		if !ok {
+			return nil, fmt.Errorf("interp(%s): no function at address 0x%x (unmapped cross-machine pointer?)", m.Name, addr)
+		}
+		return f, nil
 	}
+	m.Heap = mem.UVAHeap(m.Mem)
+	m.LocalHeap = mem.NewAllocator(m.Mem, mem.LocalBase+0x0100_0000, mem.LocalBase+0x0200_0000)
+	return m
+}
+
+// acquireFrame returns a cleared register frame for cf, recycling through
+// this machine's per-function pool.
+func (m *Machine) acquireFrame(cf *cfunc) []uint64 {
+	if int(cf.idx) < len(m.pools) {
+		if s := m.pools[cf.idx]; len(s) > 0 {
+			regs := s[len(s)-1]
+			m.pools[cf.idx] = s[:len(s)-1]
+			clear(regs)
+			return regs
+		}
+	}
+	return make([]uint64, cf.fn.NumSlots)
+}
+
+// releaseFrame returns a frame to the pool, growing the pool table when a
+// lazily compiled function appears after construction.
+func (m *Machine) releaseFrame(cf *cfunc, regs []uint64) {
+	if int(cf.idx) >= len(m.pools) {
+		grown := make([][][]uint64, cf.idx+1)
+		copy(grown, m.pools)
+		m.pools = grown
+	}
+	m.pools[cf.idx] = append(m.pools[cf.idx], regs)
 }
 
 // FuncAddr returns this machine's address for f.
-func (m *Machine) FuncAddr(f *ir.Func) uint32 { return m.funcAddr[f] }
+func (m *Machine) FuncAddr(f *ir.Func) uint32 { return m.lay.funcAddr[f] }
 
 // FuncAddrByName returns this machine's address for the named function.
 func (m *Machine) FuncAddrByName(name string) (uint32, bool) {
@@ -232,95 +267,21 @@ func (m *Machine) FuncAddrByName(name string) (uint32, bool) {
 	if f == nil {
 		return 0, false
 	}
-	return m.funcAddr[f], true
+	return m.lay.funcAddr[f], true
 }
 
 // FuncAt resolves an address assigned by this machine's linker.
 func (m *Machine) FuncAt(addr uint32) (*ir.Func, bool) {
-	f, ok := m.funcByAddr[addr]
+	f, ok := m.lay.funcByAddr[addr]
 	return f, ok
 }
 
 // GlobalAddr returns the loaded address of g on this machine.
-func (m *Machine) GlobalAddr(g *ir.Global) uint32 { return m.globalAddr[g] }
+func (m *Machine) GlobalAddr(g *ir.Global) uint32 { return m.lay.globalAddr[g] }
 
-// loadGlobals places globals and writes initial values.
-func (m *Machine) loadGlobals(shuffle, initUVA bool) error {
-	locals := make([]*ir.Global, 0, len(m.Mod.Globals))
-	for _, g := range m.Mod.Globals {
-		if g.Home == ir.HomeMachine {
-			locals = append(locals, g)
-		} else {
-			m.globalAddr[g] = g.UVAAddr
-		}
-	}
-	if shuffle {
-		sort.Slice(locals, func(i, j int) bool { return locals[i].Nam < locals[j].Nam })
-	}
-	addr := mem.LocalBase
-	if shuffle {
-		// A different linker leaves a different gap before the data
-		// segment, so even the first global lands elsewhere.
-		addr += 0x40
-	}
-	for _, g := range locals {
-		lay := ir.LayoutOf(g.Elem, m.Std)
-		a := alignUp32(addr, uint32(max(lay.Align, 1)))
-		m.globalAddr[g] = a
-		addr = a + uint32(lay.Size)
-	}
-	for _, g := range m.Mod.Globals {
-		if g.Home == ir.HomeUVA && !initUVA {
-			continue
-		}
-		if err := m.writeGlobalInit(g); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (m *Machine) writeGlobalInit(g *ir.Global) error {
-	base := m.globalAddr[g]
-	if len(g.InitBytes) > 0 {
-		return m.Mem.WriteBytes(base, g.InitBytes)
-	}
-	if len(g.Init) == 0 {
-		return nil // zero-initialized; pages fault in as zeroes
-	}
-	elem := g.Elem
-	stride := 0
-	if at, ok := g.Elem.(*ir.ArrayType); ok {
-		elem = at.Elem
-		stride = ir.Stride(elem, m.Std)
-	}
-	for i, v := range g.Init {
-		addr := base + uint32(i*stride)
-		if err := m.writeScalar(addr, elem, m.constBits(v)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// constBits evaluates a loader-time constant to its register representation.
-func (m *Machine) constBits(v ir.Value) uint64 {
-	switch v := v.(type) {
-	case *ir.ConstInt:
-		return uint64(v.V)
-	case *ir.ConstFloat:
-		return floatBits(v.Typ, v.V)
-	case *ir.ConstNull:
-		return 0
-	case *ir.ConstUVA:
-		return uint64(v.Addr)
-	case *ir.Func:
-		return uint64(m.funcAddr[v])
-	case *ir.Global:
-		return uint64(m.globalAddr[v])
-	}
-	panic(fmt.Sprintf("interp: non-constant global initializer %T", v))
-}
+// Program returns the shared program this machine instantiates, nil for a
+// private NewMachine-built machine.
+func (m *Machine) Program() *Program { return m.prog }
 
 func alignUp32(n, a uint32) uint32 { return (n + a - 1) / a * a }
 

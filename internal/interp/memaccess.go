@@ -81,7 +81,8 @@ func (m *Machine) storeScalarNoCharge(addr uint32, elem ir.Type, lay ir.MemLayou
 	return m.Mem.WriteBytes(addr, disassemble(raw, lay.Size, m.Std.Endian))
 }
 
-// writeScalar is the loader-time variant without access-layout metadata.
+// writeScalar is the standard-layout store without access-layout metadata
+// (scanf destinations).
 func (m *Machine) writeScalar(addr uint32, elem ir.Type, bits uint64) error {
 	lay := ir.MemLayout{Size: m.Std.Size(ir.ClassOf(elem)), Class: ir.ClassOf(elem)}
 	return m.storeScalar(addr, elem, lay, bits)

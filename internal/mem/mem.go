@@ -57,11 +57,29 @@ func PageAddr(pn uint32) uint32 { return pn << PageShift }
 type FaultHandler func(pn uint32) ([]byte, error)
 
 // Memory is one machine's view of the UVA space.
+//
+// A Memory may be a plain page set (New) or a copy-on-write overlay over a
+// shared read-only Image (NewOverlay). Overlay reads fall through to the
+// image's pages without copying; the first write to a shared page copies it
+// into the private page set, so many sessions instantiated from one program
+// image pay resident bytes only for what they actually mutate.
 type Memory struct {
 	pages map[uint32]*page
 
+	// base, when set, is the shared read-only image this memory overlays.
+	// A page absent from the private set is served from base (unless
+	// masked); base pages are never written in place.
+	base *Image
+
+	// masked records base pages this memory has dropped: a masked page
+	// reads as absent (fault/zero-fill on next touch), exactly as if the
+	// memory were a plain page set that dropped it.
+	masked map[uint32]struct{}
+
 	// Fault, when set, is consulted on first touch of an absent page
-	// (copy-on-demand). When nil, absent pages zero-fill.
+	// (copy-on-demand). When nil, absent pages zero-fill. A page served
+	// from the base image is present, not absent: it never faults, and
+	// copying it on first write is not a fault either.
 	Fault FaultHandler
 
 	// TrackDirty enables dirty-bit maintenance on writes.
@@ -75,9 +93,11 @@ type Memory struct {
 	Faults int
 
 	// gen counts structural changes that can invalidate cached page
-	// pointers: page replacement (InstallPage), removal (Drop, Reset) and
-	// dirty-bit clearing (ClearDirty). Faulting a page in does not bump it
-	// — existing page arrays never move.
+	// pointers: page replacement (InstallPage), removal (Drop, Reset),
+	// dirty-bit clearing (ClearDirty), and copy-on-write materialization
+	// (the private copy supersedes the shared array a reader may have
+	// cached). Faulting an absent page in does not bump it — existing page
+	// arrays never move.
 	gen uint64
 }
 
@@ -91,8 +111,51 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint32]*page)}
 }
 
+// NewOverlay returns a memory whose initial content is the shared image:
+// reads are served from the image's pages directly, and the first write to
+// an image page copies it into this memory (copy-on-write). The image is
+// never modified.
+func NewOverlay(img *Image) *Memory {
+	return &Memory{pages: make(map[uint32]*page), base: img}
+}
+
+// Image returns the shared base image this memory overlays, or nil for a
+// plain memory.
+func (m *Memory) Image() *Image { return m.base }
+
+// ResidentPrivateBytes returns the bytes of private (per-memory) page
+// storage: pages faulted, written (copy-on-write), or installed here.
+// Shared image pages read through the overlay cost nothing.
+func (m *Memory) ResidentPrivateBytes() int { return len(m.pages) * PageSize }
+
+// basePage returns the shared image's array for pn, if this memory is an
+// overlay and the page is neither masked nor shadowed by a private page.
+// Callers must check the private set first.
+func (m *Memory) basePage(pn uint32) (*[PageSize]byte, bool) {
+	if m.base == nil {
+		return nil, false
+	}
+	if _, masked := m.masked[pn]; masked {
+		return nil, false
+	}
+	return m.base.page(pn)
+}
+
+// getPage returns the private page for pn with write intent: a shared base
+// page is copied into the private set first (copy-on-write, bumping gen —
+// readers may have cached the shared array), and a truly absent page goes
+// through the legacy fault/zero-fill path.
 func (m *Memory) getPage(pn uint32) (*page, error) {
 	if p, ok := m.pages[pn]; ok {
+		if m.Touch != nil {
+			m.Touch(pn)
+		}
+		return p, nil
+	}
+	if src, ok := m.basePage(pn); ok {
+		p := &page{data: *src}
+		m.pages[pn] = p
+		m.gen++
 		if m.Touch != nil {
 			m.Touch(pn)
 		}
@@ -110,10 +173,35 @@ func (m *Memory) getPage(pn uint32) (*page, error) {
 		}
 	}
 	m.pages[pn] = p
+	delete(m.masked, pn)
 	if m.Touch != nil {
 		m.Touch(pn)
 	}
 	return p, nil
+}
+
+// readPage returns pn's resident array for reading: the private page if one
+// exists, the shared image's array otherwise (no copy, no gen bump). A page
+// absent from both materializes through the legacy fault/zero-fill path, so
+// a plain memory and an overlay observe identical present-page sets.
+func (m *Memory) readPage(pn uint32) (*[PageSize]byte, error) {
+	if p, ok := m.pages[pn]; ok {
+		if m.Touch != nil {
+			m.Touch(pn)
+		}
+		return &p.data, nil
+	}
+	if src, ok := m.basePage(pn); ok {
+		if m.Touch != nil {
+			m.Touch(pn)
+		}
+		return src, nil
+	}
+	p, err := m.getPage(pn)
+	if err != nil {
+		return nil, err
+	}
+	return &p.data, nil
 }
 
 // Gen returns the invalidation generation. A cached page pointer obtained
@@ -124,13 +212,11 @@ func (m *Memory) Gen() uint64 { return m.gen }
 
 // Page returns the resident data array of page pn, faulting it in as
 // needed. The pointer aliases live memory: it observes later writes and is
-// invalidated when Gen changes.
+// invalidated when Gen changes. On an overlay the array may be the shared
+// image's page — callers must treat it as read-only and write through
+// DirtyPage/WriteBytes, which copy-on-write first.
 func (m *Memory) Page(pn uint32) (*[PageSize]byte, error) {
-	p, err := m.getPage(pn)
-	if err != nil {
-		return nil, err
-	}
-	return &p.data, nil
+	return m.readPage(pn)
 }
 
 // DirtyPage is Page plus dirty marking: when TrackDirty is on, the page is
@@ -148,9 +234,13 @@ func (m *Memory) DirtyPage(pn uint32) (*[PageSize]byte, error) {
 	return &p.data, nil
 }
 
-// HasPage reports whether pn is present without faulting it in.
+// HasPage reports whether pn is present without faulting it in. Unmasked
+// base image pages count as present.
 func (m *Memory) HasPage(pn uint32) bool {
-	_, ok := m.pages[pn]
+	if _, ok := m.pages[pn]; ok {
+		return true
+	}
+	_, ok := m.basePage(pn)
 	return ok
 }
 
@@ -161,6 +251,8 @@ func (m *Memory) PageData(pn uint32) []byte {
 	out := make([]byte, PageSize)
 	if p, ok := m.pages[pn]; ok {
 		copy(out, p.data[:])
+	} else if src, ok := m.basePage(pn); ok {
+		copy(out, src[:])
 	}
 	return out
 }
@@ -171,6 +263,7 @@ func (m *Memory) InstallPage(pn uint32, data []byte) {
 	p := &page{}
 	copy(p.data[:], data)
 	m.pages[pn] = p
+	delete(m.masked, pn)
 	m.gen++
 }
 
@@ -181,12 +274,12 @@ func (m *Memory) ReadBytes(addr uint32, size int) ([]byte, error) {
 	off := 0
 	for off < size {
 		pn := PageNum(addr + uint32(off))
-		p, err := m.getPage(pn)
+		p, err := m.readPage(pn)
 		if err != nil {
 			return nil, err
 		}
 		po := int(addr+uint32(off)) & (PageSize - 1)
-		n := copy(out[off:], p.data[po:])
+		n := copy(out[off:], p[po:])
 		off += n
 	}
 	return out, nil
@@ -257,23 +350,49 @@ func (m *Memory) ClearDirty() {
 	m.gen++
 }
 
-// PresentPages returns the sorted page numbers currently resident.
+// PresentPages returns the sorted page numbers currently resident: the
+// private pages plus any unmasked base image pages.
 func (m *Memory) PresentPages() []uint32 {
 	out := make([]uint32, 0, len(m.pages))
 	for pn := range m.pages {
 		out = append(out, pn)
+	}
+	if m.base != nil {
+		for _, pn := range m.base.Pages() {
+			if _, priv := m.pages[pn]; priv {
+				continue
+			}
+			if _, masked := m.masked[pn]; masked {
+				continue
+			}
+			out = append(out, pn)
+		}
 	}
 	slices.Sort(out)
 	return out
 }
 
 // Drop discards page pn (used when a server process terminates without
-// keeping offloading data, Section 4 finalization).
-func (m *Memory) Drop(pn uint32) { delete(m.pages, pn); m.gen++ }
+// keeping offloading data, Section 4 finalization). On an overlay a base
+// image page is masked rather than removed from the shared image, so the
+// next touch faults or zero-fills exactly as on a plain memory.
+func (m *Memory) Drop(pn uint32) {
+	delete(m.pages, pn)
+	if m.base != nil && m.base.Has(pn) {
+		if m.masked == nil {
+			m.masked = make(map[uint32]struct{})
+		}
+		m.masked[pn] = struct{}{}
+	}
+	m.gen++
+}
 
-// Reset discards all pages and counters.
+// Reset discards all pages and counters. An overlay also detaches from its
+// base image: after Reset the memory is a plain empty page set.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*page)
+	m.base = nil
+	m.masked = nil
 	m.Faults = 0
 	m.gen++
 }
@@ -302,6 +421,11 @@ func StackRanges() []Range {
 // zero-fill semantics. Two runs that end in the same logical memory state
 // digest equal even if they faulted different page sets in. Pages
 // overlapping any skip range are left out of the hash.
+//
+// On an overlay, untouched base image pages are hashed through the shared
+// array directly — digesting never copies them into the private set — and
+// the zero-page fast path recognizes the canonical shared zero page by
+// pointer, without scanning it.
 func (m *Memory) Digest(skip ...Range) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -316,22 +440,38 @@ pages:
 				continue pages
 			}
 		}
-		p := m.pages[pn]
-		zero := true
-		for i := 0; i < PageSize; i += 8 {
-			if binary.LittleEndian.Uint64(p.data[i:]) != 0 {
-				zero = false
-				break
+		var data *[PageSize]byte
+		if p, ok := m.pages[pn]; ok {
+			// Private pages are mutable; scan for the all-zero skip.
+			data = &p.data
+			zero := true
+			for i := 0; i < PageSize; i += 8 {
+				if binary.LittleEndian.Uint64(data[i:]) != 0 {
+					zero = false
+					break
+				}
 			}
-		}
-		if zero {
-			continue
+			if zero {
+				continue
+			}
+		} else {
+			src, ok := m.basePage(pn)
+			if !ok {
+				continue
+			}
+			// Image pages are immutable and content-deduped: all-zero
+			// pages alias the canonical zero page, so a pointer test
+			// replaces the scan.
+			if src == &zeroPage {
+				continue
+			}
+			data = src
 		}
 		for i := 0; i < 4; i++ {
 			h ^= uint64(byte(pn >> (8 * i)))
 			h *= prime64
 		}
-		for _, b := range p.data {
+		for _, b := range data {
 			h ^= uint64(b)
 			h *= prime64
 		}

@@ -123,20 +123,26 @@ func TestTracedRunMatchesUntracedTiming(t *testing.T) {
 	}
 }
 
-// TestDeprecatedNewStillWorks pins the compatibility shim.
-func TestDeprecatedNewStillWorks(t *testing.T) {
+// TestNewSessionIsTheOnlyConstructor pins the post-shim construction path:
+// a bare NewSession with WithTasks/WithPolicy covers what the removed
+// offrt.New signature used to take positionally.
+func TestNewSessionIsTheOnlyConstructor(t *testing.T) {
 	env := setup(t, netsim.Fast80211AC(), Policy{ForceOffload: true})
 	var tasks []TaskSpec
 	for _, tg := range env.cres.Targets {
 		tasks = append(tasks, TaskSpec{TaskID: tg.TaskID, Name: tg.Name,
 			TimePerInvocation: tg.TimePerInvocation, MemBytes: tg.MemBytes})
 	}
-	sess := New(env.mobile, env.server, env.link, tasks, Policy{ForceOffload: true})
+	sess, err := NewSession(env.mobile, env.server, env.link,
+		WithTasks(tasks...), WithPolicy(Policy{ForceOffload: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sess.RunMobile(); err != nil {
 		t.Fatal(err)
 	}
 	if sess.Stats.Offloads == 0 {
-		t.Error("deprecated New produced a session that never offloaded")
+		t.Error("session never offloaded under ForceOffload")
 	}
 }
 

@@ -76,15 +76,18 @@ func WithRecovery(r Recovery) Option { return func(c *config) { c.rec = &r } }
 // WithFleet constructs the session against a shared server fleet instead
 // of a dedicated peer: the dynamic gate consults the fleet's live load
 // signal and declines offloads whose queueing delay would erase the gain.
-// A nil signal leaves the session in its dedicated-server shape.
+// A nil signal leaves the session in its dedicated-server shape. Like every
+// session knob this is a NewSession option — NewSession is the single
+// session constructor, and a fleet dispatcher passes WithFleet alongside
+// WithStartTime when admitting a client.
 func WithFleet(load LoadSignal) Option { return func(c *config) { c.load = load } }
 
 // WithStartTime places the session at instant t on the shared simulated
 // timeline instead of 0: both machines' clocks, the energy recorder, and
-// the initial link-phase resolution all start there. A fleet admitting a
-// queued client mid-run constructs its session this way, so every
-// time-varying quantity (link phases above all) is evaluated against the
-// regime actually in effect.
+// the initial link-phase resolution all start there. A fleet dispatcher
+// admitting a queued client mid-run passes this to NewSession (typically
+// with WithFleet), so every time-varying quantity (link phases above all)
+// is evaluated against the regime actually in effect.
 func WithStartTime(t simtime.PS) Option { return func(c *config) { c.start = t } }
 
 // NewSession builds a session over the given machines and link. The server
@@ -193,17 +196,4 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	server.ResolveFptr = s.resolver(server, mobile)
 	mobile.ResolveFptr = s.resolver(mobile, server)
 	return s, nil
-}
-
-// New builds a session over the given machines, link, and task table.
-//
-// Deprecated: use NewSession with WithTasks/WithPolicy (and WithTracer,
-// WithMetrics, WithEstimatorRatio as needed). New panics where NewSession
-// reports an error.
-func New(mobile, server *interp.Machine, link *netsim.Link, tasks []TaskSpec, pol Policy) *Session {
-	s, err := NewSession(mobile, server, link, WithTasks(tasks...), WithPolicy(pol))
-	if err != nil {
-		panic("offrt.New: " + err.Error())
-	}
-	return s
 }
