@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke
+.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke
 
 ## check: the tier-1 verification — build, vet, race-enabled tests, a
 ## short fuzz smoke over the hardened wire decoder, the fleet scheduler
-## smoke, the profiler/breakdown CLI smoke, and the shared-image bind
-## smoke.
-check: build vet fleet profsmoke bindsmoke
+## smoke, the profiler/breakdown CLI smoke, the shared-image bind smoke,
+## and the mid-offload migration smoke.
+check: build vet fleet profsmoke bindsmoke migsmoke
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
@@ -15,6 +15,13 @@ check: build vet fleet profsmoke bindsmoke
 ## allocate a full image copy) and start bit-identical to a private machine.
 bindsmoke:
 	$(GO) test ./internal/interp/ -run '^TestBindSmoke$$' -count=1
+
+## migsmoke: the mid-offload migration contract — a drain halfway through
+## an offloaded task checkpoints, ships and resumes on a spare with output
+## and memory digest bit-identical to the fault-free run, and the shipped
+## checkpoint scales with dirty pages (a fresh instance ships zero).
+migsmoke:
+	$(GO) test ./internal/offrt/ -run '^TestMigrationSmoke$$' -count=1
 
 build:
 	$(GO) build ./...
@@ -32,13 +39,16 @@ test:
 ## steps/sec floor or allocates in steady state) and BENCH_bind.json
 ## (fails if a cached bind is under 50x faster than the first compile or
 ## a session's copy-on-write resident bytes are under 10x below a private
-## image copy).
+## image copy). Also writes BENCH_fleet.json and BENCH_migrate.json; the
+## migration bench fails unless migration-enabled recovery beats
+## fallback-only on both aggregate p99 and geomean.
 bench:
 	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest|Bind' -benchmem ./internal/interp/
 	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
 	BENCH_JSON=$(CURDIR)/BENCH_interp.json $(GO) test ./internal/interp/ -run '^TestBenchJSON$$' -count=1 -v
 	BENCH_BIND_JSON=$(CURDIR)/BENCH_bind.json $(GO) test ./internal/interp/ -run '^TestBindBenchJSON$$' -count=1 -v
 	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
+	$(GO) run ./cmd/offloadbench -exp migrate -migrate-out=$(CURDIR)/BENCH_migrate.json
 
 ## golden: regenerate every golden file (Chrome export, metrics summary,
 ## breakdown tables) through the shared goldentest -update flag.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/interp"
 	"repro/internal/obs"
@@ -24,13 +25,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, fleet, or all")
+	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, fleet, migrate, or all")
 	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
-	clients := flag.Int("clients", 64, "with -exp fleet: number of concurrent mobile clients")
-	servers := flag.Int("servers", 4, "with -exp fleet: size of the server pool")
+	clients := flag.Int("clients", 64, "with -exp fleet/migrate: number of concurrent mobile clients")
+	servers := flag.Int("servers", 4, "with -exp fleet/migrate: size of the server pool")
 	policy := flag.String("policy", "all", "with -exp fleet: dispatch policy (random, round-robin, least-loaded, est-aware) or all")
 	seed := flag.Uint64("seed", 1, "with -exp fleet: simulation seed")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "with -exp fleet: machine-readable sweep record path (empty to skip)")
+	serverFaults := flag.String("server-faults", "", "with -exp chaos: server-fault spec (e.g. crash=0@300ms,slow=0@100ms-2sx3); runs the workloads under it with migration enabled")
+	migrateSeeds := flag.Int("migrate-seeds", 10, "with -exp migrate: number of benchmark seeds")
+	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "with -exp migrate: machine-readable bench record path (empty to skip)")
 	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
@@ -118,6 +122,29 @@ func main() {
 			}
 			fmt.Println(t)
 		case "chaos":
+			if *serverFaults != "" {
+				plan, err := faults.ParseServer(*serverFaults)
+				if err != nil {
+					return err
+				}
+				cells, err := experiments.ServerChaosSpecSweep(plan)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.ServerChaosTable(cells))
+				migrations, retries, fallbacks := 0, 0, 0
+				for _, c := range cells {
+					migrations += c.Migrations
+					retries += c.CrashRetries
+					fallbacks += c.Fallbacks
+					if !c.Equal() {
+						return fmt.Errorf("chaos: %s under %s diverged from its fault-free run", c.Workload, c.Plan)
+					}
+				}
+				fmt.Printf("server chaos: %d migrations, %d crash retries, %d fallbacks across %d workloads\n",
+					migrations, retries, fallbacks, len(cells))
+				return nil
+			}
 			cells, err := experiments.ChaosSweep()
 			if err != nil {
 				return err
@@ -127,6 +154,21 @@ func main() {
 				if !c.Equal() {
 					return fmt.Errorf("chaos: %s under %s diverged from its fault-free run", c.Workload, c.Plan.String())
 				}
+			}
+		case "migrate":
+			bench, err := experiments.MigrateSweep(*migrateSeeds, *clients, *servers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.MigrateTable(bench))
+			if err := bench.CheckFloor(); err != nil {
+				return err
+			}
+			if *migrateOut != "" {
+				if err := experiments.WriteMigrateBench(*migrateOut, bench); err != nil {
+					return err
+				}
+				fmt.Printf("migrate: %d seeds -> %s\n", bench.Seeds, *migrateOut)
 			}
 		case "fleet":
 			var pols []fleet.Policy

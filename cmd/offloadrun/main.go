@@ -33,13 +33,15 @@ import (
 // observability carries the optional -trace/-metrics/-profile/-breakdown
 // instrumentation through a run and writes/prints the artifacts at the end.
 type observability struct {
-	traceFile   string
-	profileFile string
-	breakdown   bool
-	tracer      *obs.Tracer
-	metrics     *obs.Metrics
-	faults      *faults.Plan
-	sampleEvery simtime.PS
+	traceFile    string
+	profileFile  string
+	breakdown    bool
+	tracer       *obs.Tracer
+	metrics      *obs.Metrics
+	faults       *faults.Plan
+	serverFaults *faults.ServerPlan
+	migrate      bool
+	sampleEvery  simtime.PS
 }
 
 func newObservability(traceFile, profileFile string, breakdown, wantMetrics bool) *observability {
@@ -61,10 +63,15 @@ func newObservability(traceFile, profileFile string, breakdown, wantMetrics bool
 	return o
 }
 
-// attach threads the instrumentation and fault plan into a framework.
+// attach threads the instrumentation and fault plans into a framework.
 func (o *observability) attach(fw *core.Framework) {
 	fw.Tracer, fw.Metrics = o.tracer, o.metrics
 	fw.Faults = o.faults
+	fw.ServerFaults = o.serverFaults
+	if o.migrate {
+		m := offrt.DefaultMigration()
+		fw.Migration = &m
+	}
 	fw.SampleEvery = o.sampleEvery
 }
 
@@ -141,6 +148,8 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-offload time and radio-energy breakdown (Fig. 6/7 shape) replayed from the trace")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
 	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
+	serverFaultSpec := flag.String("server-faults", "", `inject server faults into the offloaded run, e.g. "crash=0@300ms,slow=0@100ms-2sx3,drain=0@1s"`)
+	migrate := flag.Bool("migrate", false, "enable mid-flight offload migration: on a server fault, checkpoint/ship/resume the task on a spare host instead of falling back locally")
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the run")
 	flag.Parse()
@@ -168,8 +177,19 @@ func main() {
 		}
 		plan = p
 	}
+	var serverPlan *faults.ServerPlan
+	if *serverFaultSpec != "" {
+		p, err := faults.ParseServer(*serverFaultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offloadrun: -server-faults: %v\n", err)
+			os.Exit(1)
+		}
+		serverPlan = p
+	}
 	o := newObservability(*traceFile, *profileFile, *breakdown, *showMetrics)
 	o.faults = plan
+	o.serverFaults = serverPlan
+	o.migrate = *migrate
 	if *irFile != "" {
 		runIRFile(*irFile, *stdin, *cost, *showOut, o)
 		o.finish()
@@ -216,6 +236,27 @@ func main() {
 	if plan != nil {
 		fmt.Printf("faults (%s): %d injected; recovery: %d retries, %d aborts, %d local fallbacks; output identical to fault-free\n",
 			plan.String(), r.Fast.FaultStats.Total(), r.Fast.Stats.Retries, r.Fast.Stats.Aborts, r.Fast.Stats.Fallbacks)
+	}
+	if serverPlan != nil {
+		// Re-run the fast-network offload under the server-fault plan and
+		// score it against the fault-free result above.
+		var mig *offrt.Migration
+		if *migrate {
+			m := offrt.DefaultMigration()
+			mig = &m
+		}
+		cell, err := experiments.RunServerChaosCell(r, serverPlan, mig, "cli")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offloadrun: -server-faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("server faults (%s): %d migrations, %d crash retries, %d local fallbacks\n",
+			cell.Plan, cell.Migrations, cell.CrashRetries, cell.Fallbacks)
+		if !cell.Equal() {
+			fmt.Fprintln(os.Stderr, "offloadrun: server-faulted run diverged from the fault-free run")
+			os.Exit(1)
+		}
+		fmt.Println("server-faulted run identical to fault-free (output, exit code, memory digest)")
 	}
 	if *showOut {
 		fmt.Println(r.Local.Output)

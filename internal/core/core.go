@@ -70,6 +70,14 @@ type Framework struct {
 	Faults *faults.Plan
 	// Recovery overrides the failure-recovery policy when non-nil.
 	Recovery *offrt.Recovery
+	// ServerFaults, when set, schedules deterministic *server* faults
+	// (slowdown, stall, crash, drain) against every offloaded run's server.
+	// Nil leaves the server perfectly healthy.
+	ServerFaults *faults.ServerPlan
+	// Migration, when non-nil, enables mid-flight offload migration: on a
+	// detected server fault the session checkpoints, ships and resumes the
+	// task on a spare instance instead of falling back locally.
+	Migration *offrt.Migration
 
 	// Engine selects the interpreter engine for every machine this
 	// framework builds (RunLocal, RunOffloaded, Profile's machine). The
@@ -327,6 +335,12 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 	}
 	if fw.Recovery != nil {
 		opts = append(opts, offrt.WithRecovery(*fw.Recovery))
+	}
+	if fw.ServerFaults != nil {
+		opts = append(opts, offrt.WithServerFaults(fw.ServerFaults))
+	}
+	if fw.Migration != nil {
+		opts = append(opts, offrt.WithMigration(*fw.Migration))
 	}
 	sess, err := offrt.NewSession(mobile, server, fw.Link, opts...)
 	if err != nil {

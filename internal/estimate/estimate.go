@@ -94,3 +94,75 @@ func (p Params) Evaluate(tm simtime.PS, memBytes int64, invocations int) Estimat
 	tc := p.CommTime(memBytes, invocations)
 	return Estimate{Tideal: ideal, Tc: tc, Tg: ideal - tc}
 }
+
+// MigrationCost estimates the time to move an in-flight offload to
+// another server: ship the checkpoint payload one way over the
+// server-to-server backhaul plus one round trip of handshaking. This is
+// the new term migration adds to Equation 1 — unlike CommTime it moves
+// only the mutated private pages, once, over a link far faster than the
+// client radio.
+func (p Params) MigrationCost(checkpointBytes int64) simtime.PS {
+	if p.BandwidthBps <= 0 {
+		return p.RTT
+	}
+	secs := float64(checkpointBytes) * 8 / float64(p.BandwidthBps)
+	return simtime.FromSeconds(secs) + p.RTT
+}
+
+// MigrationChoice is the 3-way verdict for a degraded in-flight offload.
+type MigrationChoice int
+
+const (
+	// Finish rides out the degradation on the current server.
+	Finish MigrationChoice = iota
+	// Migrate ships the checkpoint to a healthy server and resumes there.
+	Migrate
+	// Fallback abandons the offload and re-executes locally on the mobile.
+	Fallback
+)
+
+func (c MigrationChoice) String() string {
+	switch c {
+	case Finish:
+		return "finish"
+	case Migrate:
+		return "migrate"
+	case Fallback:
+		return "fallback"
+	}
+	return "unknown"
+}
+
+// MigrationDecision extends Equation 1's two-way gate to the mid-flight
+// 3-way choice. remaining is the task's remaining work in mobile time;
+// slowFactor is the current server's compute-time inflation (1 = healthy,
+// +Inf or <= 0 = dead); cost is the MigrationCost of shipping the
+// checkpoint (pass canMigrate = false when no viable target exists).
+// It returns the choice minimizing estimated completion:
+//
+//	T_finish   = (remaining/R) * slowFactor
+//	T_migrate  = cost + remaining/R
+//	T_fallback = remaining (mobile re-execution of what's left)
+//
+// A dead or draining server cannot Finish; with no target, the decision
+// degenerates to the recovery layer's migrate-vs-fallback coin with only
+// one side.
+func (p Params) MigrationDecision(remaining simtime.PS, slowFactor float64, cost simtime.PS, canFinish, canMigrate bool) MigrationChoice {
+	exec := remaining
+	if p.R > 0 {
+		exec = simtime.PS(float64(remaining) / p.R)
+	}
+	tFallback := remaining
+	best, choice := tFallback, Fallback
+	if canFinish && slowFactor > 0 {
+		if t := simtime.PS(float64(exec) * slowFactor); t < best {
+			best, choice = t, Finish
+		}
+	}
+	if canMigrate {
+		if t := cost + exec; t < best {
+			best, choice = t, Migrate
+		}
+	}
+	return choice
+}

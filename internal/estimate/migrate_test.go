@@ -1,0 +1,60 @@
+package estimate
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestMigrationCost(t *testing.T) {
+	p := Params{R: 6, BandwidthBps: 10_000_000_000, RTT: 100 * simtime.Microsecond}
+	// 1 MiB over 10 Gbps is ~0.84 ms one way.
+	got := p.MigrationCost(1 << 20)
+	want := simtime.FromSeconds(float64(1<<20)*8/10e9) + p.RTT
+	if got != want {
+		t.Fatalf("MigrationCost = %v, want %v", got, want)
+	}
+	// Cost scales with checkpoint size.
+	if p.MigrationCost(1<<24) <= p.MigrationCost(1<<20) {
+		t.Fatal("cost does not grow with checkpoint size")
+	}
+	// Zero bandwidth degenerates to the handshake RTT.
+	if z := (Params{RTT: simtime.Millisecond}).MigrationCost(1 << 30); z != simtime.Millisecond {
+		t.Fatalf("zero-bandwidth cost = %v", z)
+	}
+}
+
+func TestMigrationDecision(t *testing.T) {
+	p := Params{R: 6, BandwidthBps: 10_000_000_000, RTT: 100 * simtime.Microsecond}
+	remaining := 600 * simtime.Millisecond // 100ms of server time at R=6
+	smallCkpt := p.MigrationCost(64 << 10)
+
+	for _, tc := range []struct {
+		name       string
+		slowFactor float64
+		cost       simtime.PS
+		canFinish  bool
+		canMigrate bool
+		want       MigrationChoice
+	}{
+		// Healthy server: riding it out beats paying any migration cost.
+		{"healthy", 1, smallCkpt, true, true, Finish},
+		// 10x slowdown: 1s to finish in place vs ~100ms + small ship.
+		{"heavy-slowdown", 10, smallCkpt, true, true, Migrate},
+		// Mild slowdown: finish (110ms) still beats migrate (100ms + cost)
+		// when the checkpoint is big.
+		{"mild-slowdown-big-ckpt", 1.1, 20 * simtime.Millisecond, true, true, Finish},
+		// Crash: can't finish, migration wins over mobile re-execution.
+		{"crash-with-spare", 0, smallCkpt, false, true, Migrate},
+		// Crash with no viable target: local fallback is all that's left.
+		{"crash-no-spare", 0, 0, false, false, Fallback},
+		// Drain excludes finish even though the server still computes.
+		{"drain", 1, smallCkpt, false, true, Migrate},
+		// Migration cost so high that re-executing locally is cheaper.
+		{"absurd-ship-cost", 0, 2 * remaining, false, true, Fallback},
+	} {
+		if got := p.MigrationDecision(remaining, tc.slowFactor, tc.cost, tc.canFinish, tc.canMigrate); got != tc.want {
+			t.Errorf("%s: MigrationDecision = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

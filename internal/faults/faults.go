@@ -101,6 +101,19 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("faults: outage window %d [%v, %v) is empty or negative", i, w.Start, w.End)
 		}
 	}
+	// Overlapping windows are almost always a spec typo; taking "the union"
+	// silently would hide it, so name the offending pair instead. Check over
+	// a sorted copy: Validate accepts plans built as literals in any order.
+	if len(p.Outages) > 1 {
+		sorted := append([]Window(nil), p.Outages...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		for i := 1; i < len(sorted); i++ {
+			prev, cur := sorted[i-1], sorted[i]
+			if cur.Start < prev.End {
+				return fmt.Errorf("faults: outage window [%v, %v) overlaps [%v, %v)", cur.Start, cur.End, prev.Start, prev.End)
+			}
+		}
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -103,6 +104,18 @@ type Config struct {
 	// {"fast", "slow", "lte"}.
 	LinkProfiles []string
 
+	// ServerFaults schedules deterministic server faults against pool
+	// members by index: crashes and drains take servers out of rotation
+	// mid-run, slowdowns and stalls stretch the service times of jobs
+	// started inside their windows. Nil leaves the pool perfectly healthy.
+	ServerFaults *faults.ServerPlan
+	// Migrate enables mid-flight recovery of the work a failed server was
+	// holding: running jobs on a draining server checkpoint-and-migrate to
+	// the best-placed survivor over the backhaul, jobs lost to a crash are
+	// re-sent there by their clients, queued jobs forward. Off, every
+	// victim degrades to the client-local fallback path.
+	Migrate bool
+
 	// Tracer receives fleet.dispatch / fleet.queue / fleet.shed events
 	// (plus per-request gate decisions); Metrics receives the end-of-run
 	// gauges. Both may be nil.
@@ -164,6 +177,9 @@ func (c *Config) Validate() error {
 	if w.TmMin <= 0 || w.TmMax < w.TmMin || w.MemMin <= 0 || w.MemMax < w.MemMin ||
 		w.ThinkMin < 0 || w.ThinkMax < w.ThinkMin {
 		return fmt.Errorf("fleet: malformed workload model %+v", w)
+	}
+	if err := c.ServerFaults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

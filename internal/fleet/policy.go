@@ -50,28 +50,39 @@ type dispatcher struct {
 // instant now: tm is the task's mobile execution time, up/down the
 // transfer times over this client's link. It returns the server index and
 // the estimated queueing delay there (the load signal the gate charges).
+// Crashed and draining servers are out of rotation for every policy; with
+// nobody up, pick returns -1 and the client runs the task locally.
 func (d *dispatcher) pick(servers []*server, now simtime.PS, tm simtime.PS, up, down simtime.PS) (int, simtime.PS) {
+	alive := make([]int, 0, len(servers))
+	for i, s := range servers {
+		if !s.down {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return -1, 0
+	}
 	switch d.policy {
 	case Random:
-		i := d.rng.intn(len(servers))
+		i := alive[d.rng.intn(len(alive))]
 		return i, servers[i].estWait(now)
 	case RoundRobin:
-		i := d.rr % len(servers)
+		i := alive[d.rr%len(alive)]
 		d.rr++
 		return i, servers[i].estWait(now)
 	case LeastLoaded:
-		best, bestWait := 0, servers[0].estWait(now)
-		for i := 1; i < len(servers); i++ {
+		best, bestWait := alive[0], servers[alive[0]].estWait(now)
+		for _, i := range alive[1:] {
 			if w := servers[i].estWait(now); w < bestWait {
 				best, bestWait = i, w
 			}
 		}
 		return best, bestWait
 	default: // EstAware
-		best := 0
-		bestWait := servers[0].estWait(now)
-		bestTotal := up + bestWait + servers[0].execTime(tm) + down
-		for i := 1; i < len(servers); i++ {
+		best := alive[0]
+		bestWait := servers[best].estWait(now)
+		bestTotal := up + bestWait + servers[best].execTime(tm) + down
+		for _, i := range alive[1:] {
 			w := servers[i].estWait(now)
 			total := up + w + servers[i].execTime(tm) + down
 			if total < bestTotal {

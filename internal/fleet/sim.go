@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/estimate"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -21,6 +22,20 @@ type job struct {
 	finish simtime.PS // when the server will complete it (running jobs)
 	down   simtime.PS // reply transfer time over the client's link
 	seq    int64      // FIFO tie-break
+	// deadline is the client's patience for the whole offload, fixed at
+	// dispatch like offrt's offloadDeadline: slack times the predicted
+	// transfer + execution + reply. Without the migration control plane
+	// this expiry is the client's only way to learn its server died.
+	deadline simtime.PS
+	// cancelled tombstones a job whose server died mid-service: its
+	// already-scheduled evFinish must fire as a no-op, because its slot and
+	// accounting were released at the fault instant.
+	cancelled bool
+	// recovery marks a job re-placed after a server fault. Recovery
+	// traffic is control-plane placement against a live reservation — it
+	// already raced the local-fallback estimate at relocation time — so
+	// the client-facing admission bound does not shed it a second time.
+	recovery bool
 }
 
 // server is one pool member's live state.
@@ -44,6 +59,10 @@ type server struct {
 	maxDepth int
 	waitPS   simtime.PS // total queueing delay charged
 	served   int        // jobs that entered a slot
+
+	// down marks a crashed or draining server: the dispatcher routes
+	// around it and arrivals already in flight are relocated.
+	down bool
 }
 
 // advance integrates the utilization clock to now.
@@ -109,7 +128,25 @@ const (
 	evReady  = iota // a client is ready to issue its next request
 	evArrive        // an offload request reaches its server
 	evFinish        // a server slot completes a job
+	evCrash         // a scheduled server crash: in-flight state is lost
+	evDrain         // a scheduled drain: the server stops taking work
 )
+
+// detectDelay is the health monitor's failure-detection latency: the gap
+// between a server dying and the control plane declaring it dead off its
+// missed heartbeats. It is a property of the migration subsystem — only
+// fleets running with Migrate have a component watching server liveness.
+// Drains are announced and pay the same small notification delay.
+const detectDelay = 5 * simtime.Millisecond
+
+// deadlineSlack mirrors offrt's DefaultRecovery().DeadlineSlack: a client
+// without the control plane waits slack times its predicted end-to-end
+// offload time (upload + server execution + reply) before concluding the
+// server is gone and re-executing locally. This is the fallback-only
+// failure detector — deadline expiry, not heartbeats — and the reason
+// fast recovery needs the monitor: a crash costs the client its remaining
+// patience, not five milliseconds.
+const deadlineSlack = 3
 
 // event is one scheduled occurrence; the heap orders by (time, seq) so
 // simultaneous events resolve deterministically.
@@ -217,14 +254,105 @@ func Run(cfg Config) (*Result, error) {
 		push(next, evReady, c.id, 0, nil)
 	}
 
-	// startJob moves a job into a slot of server si at instant t.
+	// startJob moves a job into a slot of server si at instant t. A
+	// scheduled stall at t pushes the start to the window's end; a
+	// slowdown in effect then stretches the whole service time by its
+	// factor (coarse: the factor at start governs the job, window edges
+	// inside the service interval are not split).
 	startJob := func(si int, j *job, t simtime.PS) {
 		s := servers[si]
 		s.busy++
 		s.served++
-		j.finish = t + j.exec
+		fin := t + j.exec
+		if p := cfg.ServerFaults; p.Active() {
+			start := t
+			if until, ok := p.StallUntil(si, start); ok {
+				start = until
+			}
+			fin = start + simtime.PS(float64(j.exec)*p.SlowFactor(si, start))
+		}
+		j.finish = fin
 		s.running = append(s.running, j)
 		push(j.finish, evFinish, j.client, si, j)
+	}
+
+	backhaul := netsim.Backhaul()
+
+	// expire is when a client without the control plane gives up on a dead
+	// server: not before its offload deadline runs out. The silent crash is
+	// indistinguishable from a slow queue until then.
+	expire := func(j *job, at simtime.PS) simtime.PS {
+		if j.deadline > at {
+			return j.deadline
+		}
+		return at
+	}
+
+	// bestUp is the migration target chooser: est-aware placement over the
+	// surviving servers regardless of the dispatch policy, because moving a
+	// victim is a runtime mechanism, not a routing preference. Returns -1
+	// when no viable server remains.
+	bestUp := func(at simtime.PS, remTm simtime.PS) int {
+		best, bestTotal := -1, simtime.PS(0)
+		for i, s := range servers {
+			if s.down {
+				continue
+			}
+			total := s.estWait(at) + s.execTime(remTm)
+			if best < 0 || total < bestTotal {
+				best, bestTotal = i, total
+			}
+		}
+		return best
+	}
+
+	// relocate routes a victim job's remaining work (remTm, in mobile
+	// time) to the best surviving server, arriving at instant at, or sends
+	// the client down the local path when that is the better estimate. The
+	// recovery decision is the migration analogue of the Equation-1 gate:
+	// the victim is not forced remote — estimated completion at the best
+	// survivor (arrival + queueing + execution + reply) races full local
+	// re-execution starting at localAt, and the loser is dropped. With no
+	// survivor at all, local wins by default. The target's reservation
+	// mirrors a fresh dispatch, so slot accounting stays exact across
+	// failures.
+	relocate := func(j *job, remTm simtime.PS, at, localAt simtime.PS) bool {
+		ti := bestUp(at, remTm)
+		if ti >= 0 {
+			t := servers[ti]
+			remoteDone := at + t.estWait(at) + t.execTime(remTm) + j.down
+			if remoteDone >= localAt+j.tm {
+				ti = -1 // a loaded pool makes local re-execution the better recovery
+			}
+		}
+		if ti < 0 {
+			res.Fallbacks++
+			complete(clients[j.client], j.decide, localAt+j.tm)
+			return false
+		}
+		t := servers[ti]
+		seq++
+		nj := &job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(remTm),
+			decide: j.decide, down: j.down, seq: seq, recovery: true}
+		t.reserved += nj.exec
+		push(at, evArrive, j.client, ti, nj)
+		return true
+	}
+
+	// Schedule the server-fault timeline. Crash and drain are events;
+	// slowdowns and stalls are consulted lazily when jobs start.
+	if cfg.ServerFaults.Active() {
+		for _, fe := range cfg.ServerFaults.Events {
+			if fe.Server >= len(servers) {
+				continue
+			}
+			switch fe.Kind {
+			case faults.Crash:
+				push(fe.Start, evCrash, 0, fe.Server, nil)
+			case faults.Drain:
+				push(fe.Start, evDrain, 0, fe.Server, nil)
+			}
+		}
 	}
 
 	for evs.Len() > 0 {
@@ -244,6 +372,14 @@ func Run(cfg Config) (*Result, error) {
 			up := link.TransferTime(mem)
 			down := link.TransferTime(mem)
 			si, wait := disp.pick(servers, now, tm, up, down)
+			if si < 0 {
+				// The whole pool is down or draining: nothing to offload to.
+				res.Fallbacks++
+				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
+					Name: "pool-down", A0: int64(tm), A1: mem})
+				complete(c, now, now+tm)
+				break
+			}
 			srv := servers[si]
 			// The dynamic gate: Equation 1 against the picked server's
 			// speed. Only the est-aware policy extends it with the live
@@ -273,7 +409,8 @@ func Run(cfg Config) (*Result, error) {
 				A2: int64(len(srv.queue)), A3: int64(wait)})
 			seq++
 			j := &job{client: c.id, tm: tm, mem: mem, exec: srv.execTime(tm),
-				decide: now, down: down, seq: seq}
+				decide: now, down: down, seq: seq,
+				deadline: now + simtime.PS(deadlineSlack*float64(up+srv.execTime(tm)+down))}
 			srv.reserved += j.exec
 			push(now+up, evArrive, c.id, si, j)
 
@@ -281,10 +418,27 @@ func Run(cfg Config) (*Result, error) {
 			s := servers[ev.si]
 			j := ev.j
 			// The reservation materializes: the job is now visible in the
-			// queue or a slot instead.
+			// queue or a slot instead. This runs even when the server is
+			// down — a reservation against a dead server is exactly the
+			// slot-accounting leak the end-of-run invariant guards.
 			s.reserved -= j.exec
 			if s.reserved < 0 {
 				s.reserved = 0
+			}
+			if s.down {
+				// The request landed on a dead or draining server. With
+				// migration support the fleet reroutes it to a survivor;
+				// without, the client's deadline expires and it re-executes
+				// locally.
+				if cfg.Migrate && relocate(j, j.tm, now+detectDelay, now+detectDelay) {
+					res.Retried++
+					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+						Name: "redispatch", A0: int64(j.client), A1: int64(ev.si)})
+				} else if !cfg.Migrate {
+					res.Fallbacks++
+					complete(clients[j.client], j.decide, expire(j, now+detectDelay)+j.tm)
+				}
+				break
 			}
 			depth := len(s.queue)
 			if depth > s.maxDepth {
@@ -294,8 +448,9 @@ func Run(cfg Config) (*Result, error) {
 			// at arrival — decision-time estimates are already stale by
 			// one transfer time, which is exactly how a thundering herd
 			// overruns a queue bound.
-			if (cfg.Admission.MaxQueue > 0 && depth >= cfg.Admission.MaxQueue && s.busy >= s.spec.Slots) ||
-				(cfg.Admission.MaxWait > 0 && s.estWait(now) > cfg.Admission.MaxWait) {
+			if !j.recovery &&
+				((cfg.Admission.MaxQueue > 0 && depth >= cfg.Admission.MaxQueue && s.busy >= s.spec.Slots) ||
+					(cfg.Admission.MaxWait > 0 && s.estWait(now) > cfg.Admission.MaxWait)) {
 				res.Sheds++
 				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KShed, Track: obs.TrackFleet,
 					A0: int64(j.client), A1: int64(ev.si), A2: int64(depth)})
@@ -321,6 +476,11 @@ func Run(cfg Config) (*Result, error) {
 		case evFinish:
 			s := servers[ev.si]
 			j := ev.j
+			if j.cancelled {
+				// The server died mid-service; the slot and accounting were
+				// released at the fault instant.
+				break
+			}
 			s.advance(now)
 			s.busy--
 			s.dropRunning(j)
@@ -335,13 +495,107 @@ func Run(cfg Config) (*Result, error) {
 					A0: int64(next.client), A1: int64(ev.si), A2: int64(wait)})
 				startJob(ev.si, next, now)
 			}
+
+		case evCrash:
+			s := servers[ev.si]
+			s.advance(now)
+			s.down = true
+			cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackFleet,
+				Name: "crash", A0: int64(ev.si), A1: int64(len(s.running)), A2: int64(len(s.queue))})
+			// Everything on the server is lost: running jobs mid-service and
+			// queued input state alike. Slots and accounting release here;
+			// the already-scheduled evFinish events fire as tombstoned no-ops.
+			victims := append(append([]*job(nil), s.running...), s.queue...)
+			for _, j := range s.running {
+				j.cancelled = true
+			}
+			s.busy = 0
+			s.running = nil
+			s.queue = nil
+			for _, j := range victims {
+				// State died with the server, so recovery is a full re-send:
+				// the health monitor flags the crash after detectDelay and the
+				// client re-uploads its snapshot to the relocation target (or
+				// falls back locally). Without the monitor the crash is silent
+				// — the client burns its whole offload deadline before giving
+				// up and re-executing locally.
+				c := clients[j.client]
+				reup := c.link.At(now + detectDelay).TransferTime(j.mem)
+				if cfg.Migrate && relocate(j, j.tm, now+detectDelay+reup, now+detectDelay) {
+					res.Retried++
+					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+						Name: "resend", A0: int64(j.client), A1: int64(ev.si)})
+				} else if !cfg.Migrate {
+					res.Fallbacks++
+					complete(c, j.decide, expire(j, now+detectDelay)+j.tm)
+				}
+			}
+
+		case evDrain:
+			s := servers[ev.si]
+			s.advance(now)
+			s.down = true
+			cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackFleet,
+				Name: "drain", A0: int64(ev.si), A1: int64(len(s.running)), A2: int64(len(s.queue))})
+			if !cfg.Migrate {
+				// Running jobs finish in place (a drain announces shutdown,
+				// it does not kill state), but the queue is abandoned: each
+				// waiting client falls back locally.
+				for _, j := range s.queue {
+					res.Fallbacks++
+					complete(clients[j.client], j.decide, now+detectDelay+j.tm)
+				}
+				s.queue = nil
+				break
+			}
+			// Live migration: running jobs checkpoint and ship their dirty
+			// state over the backhaul, resuming mid-task on the target —
+			// only the *remaining* mobile-time travels. Queued jobs forward
+			// whole (they had not started) without a client round trip.
+			running := append([]*job(nil), s.running...)
+			for _, j := range s.running {
+				j.cancelled = true
+			}
+			s.busy = 0
+			s.running = nil
+			for _, j := range running {
+				remTm := simtime.PS(0)
+				if j.finish > now {
+					remTm = simtime.PS(float64(j.finish-now) * s.spec.R)
+				}
+				ship := backhaul.TransferTime(j.mem) + backhaul.Latency + backhaul.PerMessage
+				if relocate(j, remTm, now+ship, now+detectDelay) {
+					res.Migrations++
+					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KMigrateShip, Track: obs.TrackFleet,
+						A0: int64(j.client), A1: int64(ev.si), A2: j.mem, A3: int64(ship)})
+				}
+			}
+			queued := s.queue
+			s.queue = nil
+			for _, j := range queued {
+				ship := backhaul.TransferTime(j.mem) + backhaul.Latency + backhaul.PerMessage
+				if relocate(j, j.tm, now+ship, now+detectDelay) {
+					res.Retried++
+					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+						Name: "forward", A0: int64(j.client), A1: int64(ev.si)})
+				}
+			}
 		}
 	}
 
-	for _, s := range servers {
+	for i, s := range servers {
 		s.advance(now)
+		// Slot-accounting invariants: every reservation must have
+		// materialized or been released, and every occupied slot drained —
+		// including on servers that died mid-service.
+		if s.reserved != 0 {
+			return nil, fmt.Errorf("fleet: server %d leaked %v of reservations at end of run", i, s.reserved)
+		}
+		if s.busy != 0 {
+			return nil, fmt.Errorf("fleet: server %d ended with %d occupied slots", i, s.busy)
+		}
 	}
-	if got := res.Offloads + res.Declines + res.Sheds; got != res.Requests {
+	if got := res.Offloads + res.Declines + res.Sheds + res.Fallbacks; got != res.Requests {
 		return nil, fmt.Errorf("fleet: request accounting broken: %d completed of %d issued", got, res.Requests)
 	}
 	res.QueueWait = hWait.Snapshot()

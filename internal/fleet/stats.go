@@ -19,13 +19,19 @@ type Result struct {
 	Servers int    `json:"servers"`
 	Seed    uint64 `json:"seed"`
 
-	// Requests = Offloads + Declines + Sheds: every request completes,
-	// remotely or down one of the two local paths.
+	// Requests = Offloads + Declines + Sheds + Fallbacks: every request
+	// completes, remotely or down one of the local paths.
 	Requests   int `json:"requests"`
 	Offloads   int `json:"offloads"`   // completed remotely
 	Dispatched int `json:"dispatched"` // sent toward a server (Offloads + Sheds)
 	Declines   int `json:"declines"`   // contention-aware gate chose local
 	Sheds      int `json:"sheds"`      // admission control forced local fallback
+	Fallbacks  int `json:"fallbacks"`  // server fault with no viable recovery: ran locally
+
+	// Fault-recovery traffic (requests here still complete remotely, so
+	// they are already inside Offloads).
+	Migrations int `json:"migrations"` // running jobs checkpoint-migrated off a drain
+	Retried    int `json:"retried"`    // crash victims re-sent / queued jobs forwarded
 
 	// LocalRate is the fraction of requests that ran on the client
 	// (gate declines plus admission sheds).
@@ -86,7 +92,7 @@ func (r *Result) finish(latencies []simtime.PS, servers []*server, makespan simt
 		r.GeomeanMs = math.Exp(logSum / float64(n))
 	}
 	if r.Requests > 0 {
-		r.LocalRate = float64(r.Declines+r.Sheds) / float64(r.Requests)
+		r.LocalRate = float64(r.Declines+r.Sheds+r.Fallbacks) / float64(r.Requests)
 	}
 	if makespan > 0 {
 		r.ThroughputRPS = float64(len(latencies)) / makespan.Seconds()
@@ -124,6 +130,9 @@ func (r *Result) publish(m *obs.Metrics, servers []*server) {
 	m.Counter("fleet.dispatched").Set(int64(r.Dispatched))
 	m.Counter("fleet.declines").Set(int64(r.Declines))
 	m.Counter("fleet.sheds").Set(int64(r.Sheds))
+	m.Counter("fleet.fallbacks").Set(int64(r.Fallbacks))
+	m.Counter("fleet.migrations").Set(int64(r.Migrations))
+	m.Counter("fleet.retried").Set(int64(r.Retried))
 	m.Counter("fleet.shed_rate_milli").Set(int64(1000 * float64(r.Sheds) / float64(r.Requests)))
 	m.Counter("fleet.queue_depth.max").Set(int64(r.MaxQueueDepth))
 	m.Counter("fleet.queue_wait_ms.avg").Set(int64(r.AvgQueueWaitMs))

@@ -1,0 +1,84 @@
+package mem
+
+import "slices"
+
+// Checkpoint is a self-contained snapshot of an overlay's private state:
+// everything that distinguishes this Memory from a fresh bind of the same
+// base Image. Clean image pages are deliberately absent — the migration
+// target re-binds them from its own copy of the shared Program image for
+// free — so a checkpoint's size is proportional to mutated state, not to
+// the program's memory footprint.
+type Checkpoint struct {
+	// Pages are the private (faulted, copy-on-written, or installed) pages
+	// in ascending page-number order, with their dirty bits.
+	Pages []CheckpointPage
+	// Masked are the base-image pages this memory has dropped, sorted.
+	Masked []uint32
+	// Faults is the copy-on-demand fault count at snapshot time.
+	Faults int
+	// Gen is the invalidation generation at snapshot time. Restoring it
+	// keeps digests and generation-keyed caches comparable across the
+	// migration, but any cache keyed on (page pointer, gen) must still be
+	// flushed explicitly: the restored pages are fresh arrays.
+	Gen uint64
+}
+
+// CheckpointPage is one private page in a Checkpoint.
+type CheckpointPage struct {
+	PN    uint32
+	Dirty bool
+	Data  []byte // PageSize bytes, owned by the checkpoint
+}
+
+// NumPages is the number of private pages the checkpoint carries.
+func (c *Checkpoint) NumPages() int { return len(c.Pages) }
+
+// Bytes is the page payload size of the checkpoint — the dominant term of
+// what a migration must ship.
+func (c *Checkpoint) Bytes() int { return len(c.Pages) * PageSize }
+
+// Checkpoint captures the memory's private state. The snapshot owns its
+// page copies: later writes to the memory do not alter it.
+func (m *Memory) Checkpoint() *Checkpoint {
+	c := &Checkpoint{Faults: m.Faults, Gen: m.gen}
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	slices.Sort(pns)
+	for _, pn := range pns {
+		p := m.pages[pn]
+		data := make([]byte, PageSize)
+		copy(data, p.data[:])
+		c.Pages = append(c.Pages, CheckpointPage{PN: pn, Dirty: p.dirty, Data: data})
+	}
+	for pn := range m.masked {
+		c.Masked = append(c.Masked, pn)
+	}
+	slices.Sort(c.Masked)
+	return c
+}
+
+// Restore replaces the memory's private state with the checkpoint's:
+// private pages (with their dirty bits), masked set, fault count, and
+// generation. The base image, fault handler, and tracking flags are left
+// untouched — the caller binds a fresh overlay of the *same* Image on the
+// target and restores into it, after which Digest, DirtyPages, and
+// PresentPages match the source exactly.
+func (m *Memory) Restore(c *Checkpoint) {
+	m.pages = make(map[uint32]*page, len(c.Pages))
+	for _, cp := range c.Pages {
+		p := &page{dirty: cp.Dirty}
+		copy(p.data[:], cp.Data)
+		m.pages[cp.PN] = p
+	}
+	m.masked = nil
+	if len(c.Masked) > 0 {
+		m.masked = make(map[uint32]struct{}, len(c.Masked))
+		for _, pn := range c.Masked {
+			m.masked[pn] = struct{}{}
+		}
+	}
+	m.Faults = c.Faults
+	m.gen = c.Gen
+}

@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomImage builds an image with a mix of zero, duplicate, and distinct
+// pages.
+func randomImage(rng *rand.Rand, npages int) *Image {
+	src := New()
+	for i := 0; i < npages; i++ {
+		pn := uint32(0x1000 + i)
+		switch rng.Intn(3) {
+		case 0:
+			// zero page: install empty
+			src.InstallPage(pn, nil)
+		case 1:
+			src.InstallPage(pn, []byte{0xAB, byte(i % 4)})
+		default:
+			data := make([]byte, PageSize)
+			rng.Read(data)
+			src.InstallPage(pn, data)
+		}
+	}
+	return Snapshot(src)
+}
+
+// mutate applies a random sequence of operations to an overlay, exercising
+// copy-on-write, faults, installs, drops, and dirty tracking.
+func mutate(t *testing.T, rng *rand.Rand, m *Memory, img *Image) {
+	t.Helper()
+	imgPages := img.Pages()
+	for op := 0; op < 200; op++ {
+		switch rng.Intn(6) {
+		case 0, 1: // write into an image page (CoW) or fresh page
+			var pn uint32
+			if len(imgPages) > 0 && rng.Intn(2) == 0 {
+				pn = imgPages[rng.Intn(len(imgPages))]
+			} else {
+				pn = uint32(0x9000 + rng.Intn(32))
+			}
+			b := make([]byte, 1+rng.Intn(64))
+			rng.Read(b)
+			off := uint32(rng.Intn(PageSize - len(b)))
+			if err := m.WriteBytes(pn*PageSize+off, b); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // read (may fault a fresh page in)
+			pn := uint32(0x9000 + rng.Intn(32))
+			if _, err := m.ReadBytes(pn*PageSize, 16); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // install
+			pn := uint32(0xA000 + rng.Intn(16))
+			data := make([]byte, PageSize)
+			rng.Read(data)
+			m.InstallPage(pn, data)
+		case 4: // drop (masks image pages)
+			if len(imgPages) > 0 {
+				m.Drop(imgPages[rng.Intn(len(imgPages))])
+			}
+		case 5: // toggle dirty bookkeeping the way the runtime does
+			if rng.Intn(4) == 0 {
+				m.ClearDirty()
+			}
+		}
+	}
+}
+
+// TestCheckpointRoundTripProperty is the overlay checkpoint property test:
+// snapshot a randomized instance's private state and restore it onto a
+// fresh bind of the same image; Digest, Gen, fault counts, dirty sets, and
+// present sets must all match the original.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			img := randomImage(rng, 8+rng.Intn(24))
+
+			orig := NewOverlay(img)
+			orig.TrackDirty = true
+			mutate(t, rng, orig, img)
+
+			ckpt := orig.Checkpoint()
+
+			fresh := NewOverlay(img)
+			fresh.TrackDirty = true
+			fresh.Restore(ckpt)
+
+			if g, w := fresh.Digest(), orig.Digest(); g != w {
+				t.Fatalf("Digest after restore = %#x, want %#x", g, w)
+			}
+			if g, w := fresh.Gen(), orig.Gen(); g != w {
+				t.Fatalf("Gen after restore = %d, want %d", g, w)
+			}
+			if g, w := fresh.Faults, orig.Faults; g != w {
+				t.Fatalf("Faults after restore = %d, want %d", g, w)
+			}
+			if g, w := fmt.Sprint(fresh.DirtyPages()), fmt.Sprint(orig.DirtyPages()); g != w {
+				t.Fatalf("DirtyPages after restore = %v, want %v", g, w)
+			}
+			if g, w := fmt.Sprint(fresh.PresentPages()), fmt.Sprint(orig.PresentPages()); g != w {
+				t.Fatalf("PresentPages after restore = %v, want %v", g, w)
+			}
+			if g, w := fresh.ResidentPrivateBytes(), orig.ResidentPrivateBytes(); g != w {
+				t.Fatalf("ResidentPrivateBytes after restore = %d, want %d", g, w)
+			}
+
+			// The checkpoint owns its copies: writing to the original after
+			// the snapshot must not leak into the restored memory.
+			before := fresh.Digest()
+			if err := orig.WriteBytes(0x1000*PageSize, []byte{0xFF, 0xEE}); err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Digest() != before {
+				t.Fatal("restored memory aliases the original's pages")
+			}
+		})
+	}
+}
+
+// TestCheckpointFreshInstanceNearZero pins the cost model: a freshly-bound
+// overlay has no private state, so its checkpoint ships no pages.
+func TestCheckpointFreshInstanceNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := randomImage(rng, 64)
+	m := NewOverlay(img)
+	c := m.Checkpoint()
+	if c.NumPages() != 0 || c.Bytes() != 0 {
+		t.Fatalf("fresh overlay checkpoint carries %d pages (%d bytes), want 0", c.NumPages(), c.Bytes())
+	}
+	// And the footprint-independence claim: the image is 64 pages but the
+	// checkpoint cost tracks private pages only.
+	if err := m.WriteBytes(img.Pages()[0]*PageSize, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Checkpoint(); c.NumPages() != 1 {
+		t.Fatalf("one CoW write should checkpoint exactly 1 page, got %d", c.NumPages())
+	}
+}

@@ -129,6 +129,20 @@ func LTE() *Link {
 	}
 }
 
+// Backhaul returns a server-to-server datacenter link: two orders of
+// magnitude more bandwidth and far lower latency than any client radio.
+// Mid-flight migration ships checkpoints over it, which is why moving an
+// offload between servers is so much cheaper than re-faulting the working
+// set across the client's WLAN.
+func Backhaul() *Link {
+	return &Link{
+		Name:         "backhaul(10GbE)",
+		BandwidthBps: 10_000_000_000,
+		Latency:      50 * simtime.Microsecond,
+		PerMessage:   5 * simtime.Microsecond,
+	}
+}
+
 // Clone returns an independent deep copy of l (including any phase
 // schedule) renamed to name; an empty name keeps l's. The fleet uses it to
 // stamp out per-client links from one named profile without re-declaring
@@ -157,8 +171,10 @@ func Profile(name string) (*Link, error) {
 		return LTE(), nil
 	case "ideal":
 		return Ideal(), nil
+	case "backhaul":
+		return Backhaul(), nil
 	}
-	return nil, fmt.Errorf("netsim: unknown link profile %q (want slow, fast, lte or ideal)", name)
+	return nil, fmt.Errorf("netsim: unknown link profile %q (want slow, fast, lte, ideal or backhaul)", name)
 }
 
 // Scaled returns a copy of l with bandwidth divided by factor. The

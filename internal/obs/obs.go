@@ -111,6 +111,25 @@ const (
 	// KShed is one offload request rejected by admission control and sent
 	// down the local-fallback path. A0=client, A1=server, A2=queue depth.
 	KShed
+	// KServerFault is one injected server fault taking effect. Name is the
+	// fault kind ("slow", "stall", "crash", "drain"); A0=server,
+	// A1=added/stalled time (ps).
+	KServerFault
+	// KHealth is one health-monitor deadline overrun observed at a
+	// heartbeat boundary. A0=observed gap (ps), A1=allowed gap (ps),
+	// A2=consecutive overruns so far.
+	KHealth
+	// KMigrateCheckpoint marks the in-flight offload's state being
+	// snapshotted on the degraded server. A0=task id, A1=pages shipped,
+	// A2=payload bytes.
+	KMigrateCheckpoint
+	// KMigrateShip spans the checkpoint transfer to the new server.
+	// A0=task id, A1=wire bytes.
+	KMigrateShip
+	// KMigrateResume marks execution resuming on the new server instance.
+	// Name is the migration reason ("crash", "drain", "health", "forced");
+	// A0=task id, A1=source host, A2=target host.
+	KMigrateResume
 	numKinds
 )
 
@@ -140,6 +159,12 @@ var kindMeta = [numKinds]struct {
 	KDispatch: {"fleet.dispatch", [4]string{"client", "server", "queue_depth", "est_wait_ps"}},
 	KQueue:    {"fleet.queue", [4]string{"client", "server", "wait_ps", ""}},
 	KShed:     {"fleet.shed", [4]string{"client", "server", "queue_depth", ""}},
+
+	KServerFault:       {"server.fault", [4]string{"server", "added_ps", "", ""}},
+	KHealth:            {"health.overrun", [4]string{"gap_ps", "allowed_ps", "strikes", ""}},
+	KMigrateCheckpoint: {"migrate.checkpoint", [4]string{"task", "pages", "bytes", ""}},
+	KMigrateShip:       {"migrate.ship", [4]string{"task", "wire_bytes", "", ""}},
+	KMigrateResume:     {"migrate.resume", [4]string{"task", "from_host", "to_host", ""}},
 }
 
 func (k Kind) String() string { return kindMeta[k].name }

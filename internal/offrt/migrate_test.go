@@ -1,0 +1,357 @@
+package offrt
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/simtime"
+)
+
+// buildChatty builds a heavy task that prints a running digest every
+// round: the per-round r_printf calls are remote-service boundaries, so
+// the server heartbeats steadily through the whole task instead of only
+// at its edges. Migration tests need exactly that — a fault scheduled
+// mid-task is detected at the next beat, with substantial work left.
+func buildChatty() *ir.Module {
+	mod := ir.NewModule("chatty")
+	b := ir.NewBuilder(mod)
+	data := b.GlobalVar("data", ir.Ptr(ir.I64))
+
+	crunch := b.NewFunc("crunch", ir.I64, ir.P("n", ir.I32))
+	{
+		acc := b.Alloca(ir.I64)
+		b.Store(acc, ir.Int64(0))
+		arr := b.Load(data)
+		b.For("rounds", ir.Int(0), ir.Int(40), ir.Int(1), func(r ir.Value) {
+			b.For("scan", ir.Int(0), b.Convert(ir.ConvZExt, b.F.Params[0], ir.I32), ir.Int(1), func(i ir.Value) {
+				p := b.Index(arr, i)
+				v := b.Load(p)
+				nv := b.Add(b.Mul(v, ir.Int64(31)), ir.Int64(7))
+				b.Store(p, nv)
+				b.Store(acc, b.Xor(b.Load(acc), nv))
+			})
+			b.CallExtern(ir.ExternPrintf, b.Str("round %d\n"), b.Load(acc))
+		})
+		b.Ret(b.Load(acc))
+	}
+
+	b.NewFunc("main", ir.I32)
+	n := int64(1024)
+	raw := b.CallExtern(ir.ExternMalloc, ir.Int(8*n))
+	arr := b.Convert(ir.ConvBitcast, raw, ir.Ptr(ir.I64))
+	b.Store(data, arr)
+	b.For("fill", ir.Int(0), ir.Int(n), ir.Int(1), func(i ir.Value) {
+		b.Store(b.Index(arr, i), b.Convert(ir.ConvSExt, i, ir.I64))
+	})
+	d := b.Call(crunch, ir.Int(n))
+	b.CallExtern(ir.ExternPrintf, b.Str("final %d\n"), d)
+	b.Ret(ir.Int(0))
+	b.Finish()
+	return mod
+}
+
+type progEnv struct {
+	link       *netsim.Link
+	mobile     *interp.Machine
+	server     *interp.Machine
+	serverProg *interp.Program
+	sess       *Session
+	io         *interp.StdIO
+}
+
+// setupProg is the shared-Program variant of setup: both machines are
+// copy-on-write instances of compiled Programs, which is what checkpoint
+// and restore require (a migration target re-binds the immutable Program
+// image for free, so only private pages ship).
+func setupProg(t *testing.T, link *netsim.Link, pol Policy, extra ...Option) *progEnv {
+	t.Helper()
+	mod := buildChatty()
+
+	work := mod.Clone("prof")
+	mobSpec := arch.ARM32()
+	ir.Lower(work, mobSpec, mobSpec)
+	pm, _ := interp.NewMachine(interp.Config{Name: "prof", Spec: mobSpec, Mod: work, CostScale: 3000, InitUVAGlobals: true})
+	prof, err := profile.Run(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := compiler.Default(link.BandwidthBps)
+	cres, err := compiler.Compile(mod, prof, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mobileProg, err := interp.Compile(cres.Mobile, interp.CompileConfig{
+		Name: "mobile", Spec: opt.Mobile, Std: opt.Mobile,
+		FuncBase: mem.FuncBaseMobile, InitUVAGlobals: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverProg, err := interp.Compile(cres.Server, interp.CompileConfig{
+		Name: "server", Spec: opt.Server, Std: opt.Mobile,
+		FuncBase: mem.FuncBaseServer, ShuffleFuncs: true, ShuffleGlobals: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := interp.NewStdIO(nil)
+	mobile := mobileProg.NewInstance(interp.WithIO(io), interp.WithCostScale(3000))
+	server := serverProg.NewInstance(interp.WithCostScale(3000))
+
+	var tasks []TaskSpec
+	for _, tg := range cres.Targets {
+		tasks = append(tasks, TaskSpec{TaskID: tg.TaskID, Name: tg.Name, TimePerInvocation: tg.TimePerInvocation, MemBytes: tg.MemBytes})
+	}
+	opts := append([]Option{WithTasks(tasks...), WithPolicy(pol)}, extra...)
+	sess, err := NewSession(mobile, server, link, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &progEnv{link: link, mobile: mobile, server: server, serverProg: serverProg, sess: sess, io: io}
+}
+
+// cleanRun runs the fault-free reference and returns its output, memory
+// digest, and the [start, start+dur) window of the (single) offload, so
+// fault schedules can target the offload's midpoint deterministically.
+func cleanRun(t *testing.T) (out string, digest uint64, start, dur simtime.PS) {
+	t.Helper()
+	tr := obs.NewTracer(0)
+	env := setupProg(t, netsim.Fast80211AC(), Policy{ForceOffload: true}, WithTracer(tr))
+	if code, err := env.sess.RunMobile(); err != nil || code != 0 {
+		t.Fatalf("clean run: code %d, err %v", code, err)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KOffload {
+			start, dur = ev.Time, ev.Dur
+		}
+	}
+	if dur == 0 {
+		t.Fatal("clean run: no offload traced")
+	}
+	return env.io.Out.String(), env.sess.MemDigest(), start, dur
+}
+
+// TestMigrationSmoke is the `make migsmoke` gate: force one mid-offload
+// migration (a scheduled drain halfway through the task) and prove the
+// migrated run is bit-identical to the fault-free one — output and final
+// memory digest — while the checkpoint scales with dirty pages, not with
+// the program's footprint.
+func TestMigrationSmoke(t *testing.T) {
+	wantOut, wantDig, start, dur := cleanRun(t)
+
+	plan := &faults.ServerPlan{Events: []faults.ServerEvent{
+		{Kind: faults.Drain, Server: 0, Start: start + dur/2},
+	}}
+	env := setupProg(t, netsim.Fast80211AC(), Policy{ForceOffload: true},
+		WithServerFaults(plan), WithMigration(Migration{Spares: 1, HealthSlack: 4, HealthFloor: 2 * simtime.Millisecond, Strikes: 3}))
+	if code, err := env.sess.RunMobile(); err != nil || code != 0 {
+		t.Fatalf("migrated run: code %d, err %v", code, err)
+	}
+
+	st := env.sess.Stats
+	if st.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1 (Aborts %d, Fallbacks %d)", st.Migrations, st.Aborts, st.Fallbacks)
+	}
+	if st.Fallbacks != 0 || st.CrashRetries != 0 {
+		t.Errorf("Fallbacks = %d, CrashRetries = %d, want 0/0", st.Fallbacks, st.CrashRetries)
+	}
+	if got := env.io.Out.String(); got != wantOut {
+		t.Errorf("migrated output differs:\n got %q\nwant %q", got, wantOut)
+	}
+	if got := env.sess.MemDigest(); got != wantDig {
+		t.Errorf("migrated digest = %#x, want %#x", got, wantDig)
+	}
+
+	// Migration cost scales with mutated state, not footprint: the shipped
+	// checkpoint must stay below the mobile's full resident page set.
+	footprint := len(env.mobile.Mem.PresentPages())
+	if st.MigratedPages <= 0 || st.MigratedPages >= footprint {
+		t.Errorf("MigratedPages = %d, want in (0, %d)", st.MigratedPages, footprint)
+	}
+	if st.MigratedBytes <= 0 {
+		t.Errorf("MigratedBytes = %d, want > 0", st.MigratedBytes)
+	}
+
+	// A freshly-bound instance has mutated nothing: its checkpoint ships
+	// zero pages regardless of how large the Program image is.
+	fresh, err := env.serverProg.NewInstance().CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.NumPages() != 0 {
+		t.Errorf("fresh instance checkpoint ships %d pages, want 0", fresh.NumPages())
+	}
+}
+
+// TestCrashRetryOnSpare: a crash destroys the in-flight state, so there
+// is nothing to migrate — but with a spare standing by the mobile re-sends
+// the offload from scratch instead of degrading to local execution.
+func TestCrashRetryOnSpare(t *testing.T) {
+	wantOut, wantDig, start, dur := cleanRun(t)
+
+	plan := &faults.ServerPlan{Events: []faults.ServerEvent{
+		{Kind: faults.Crash, Server: 0, Start: start + dur/2},
+	}}
+	env := setupProg(t, netsim.Fast80211AC(), Policy{ForceOffload: true},
+		WithServerFaults(plan), WithMigration(Migration{Spares: 1, HealthSlack: 4, HealthFloor: 2 * simtime.Millisecond, Strikes: 3}))
+	if code, err := env.sess.RunMobile(); err != nil || code != 0 {
+		t.Fatalf("crash run: code %d, err %v", code, err)
+	}
+	st := env.sess.Stats
+	if st.CrashRetries != 1 || st.Migrations != 0 || st.Fallbacks != 0 {
+		t.Fatalf("CrashRetries/Migrations/Fallbacks = %d/%d/%d, want 1/0/0 (Aborts %d)",
+			st.CrashRetries, st.Migrations, st.Fallbacks, st.Aborts)
+	}
+	if got := env.io.Out.String(); got != wantOut {
+		t.Errorf("retried output differs:\n got %q\nwant %q", got, wantOut)
+	}
+	if got := env.sess.MemDigest(); got != wantDig {
+		t.Errorf("retried digest = %#x, want %#x", got, wantDig)
+	}
+}
+
+// TestCrashFallbackWithoutSpare keeps the paper's baseline behavior: no
+// migration layer, a crashed server, and the mobile's own deadline route
+// the task back to local execution with identical results.
+func TestCrashFallbackWithoutSpare(t *testing.T) {
+	wantOut, wantDig, start, dur := cleanRun(t)
+
+	plan := &faults.ServerPlan{Events: []faults.ServerEvent{
+		{Kind: faults.Crash, Server: 0, Start: start + dur/2},
+	}}
+	env := setupProg(t, netsim.Fast80211AC(), Policy{ForceOffload: true}, WithServerFaults(plan))
+	if code, err := env.sess.RunMobile(); err != nil || code != 0 {
+		t.Fatalf("fallback run: code %d, err %v", code, err)
+	}
+	st := env.sess.Stats
+	if st.Fallbacks != 1 || st.Migrations != 0 || st.CrashRetries != 0 {
+		t.Fatalf("Fallbacks/Migrations/CrashRetries = %d/%d/%d, want 1/0/0", st.Fallbacks, st.Migrations, st.CrashRetries)
+	}
+	if got := env.io.Out.String(); got != wantOut {
+		t.Errorf("fallback output differs:\n got %q\nwant %q", got, wantOut)
+	}
+	if got := env.sess.MemDigest(); got != wantDig {
+		t.Errorf("fallback digest = %#x, want %#x", got, wantDig)
+	}
+}
+
+// TestHealthDetectsSlowdown: a scheduled slowdown inflates heartbeat gaps
+// past the EWMA deadline; after the configured consecutive strikes the
+// session migrates away from the degraded host, and the run stays
+// bit-identical.
+func TestHealthDetectsSlowdown(t *testing.T) {
+	wantOut, wantDig, start, dur := cleanRun(t)
+
+	tr := obs.NewTracer(0)
+	plan := &faults.ServerPlan{Events: []faults.ServerEvent{
+		{Kind: faults.Slowdown, Server: 0, Start: start + dur/4, End: start + 100*dur, Factor: 20},
+	}}
+	env := setupProg(t, netsim.Fast80211AC(), Policy{ForceOffload: true},
+		WithTracer(tr), WithServerFaults(plan),
+		WithMigration(Migration{Spares: 1, HealthSlack: 4, HealthFloor: simtime.Microsecond, Strikes: 2}))
+	if code, err := env.sess.RunMobile(); err != nil || code != 0 {
+		t.Fatalf("slowdown run: code %d, err %v", code, err)
+	}
+	var overruns int
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KHealth {
+			overruns++
+		}
+	}
+	if overruns == 0 {
+		t.Error("no health overruns traced under a 20x slowdown")
+	}
+	st := env.sess.Stats
+	if st.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1 (overruns %d, Fallbacks %d)", st.Migrations, overruns, st.Fallbacks)
+	}
+	if got := env.io.Out.String(); got != wantOut {
+		t.Errorf("slowdown output differs:\n got %q\nwant %q", got, wantOut)
+	}
+	if got := env.sess.MemDigest(); got != wantDig {
+		t.Errorf("slowdown digest = %#x, want %#x", got, wantDig)
+	}
+}
+
+// TestCheckpointPayloadRoundTrip pins the MsgCheckpoint sub-encoding: a
+// full encode -> wire frame -> decode cycle must reproduce the memory
+// checkpoint, the I/O journal and the batched-output buffer exactly.
+func TestCheckpointPayloadRoundTrip(t *testing.T) {
+	src := mem.New()
+	src.InstallPage(mem.PageNum(mem.HeapBase), []byte{1, 2, 3})
+	src.InstallPage(mem.PageNum(mem.HeapBase)+1, []byte{4, 5, 6})
+	base := mem.Snapshot(src)
+	m := mem.NewOverlay(base)
+	m.TrackDirty = true
+	for i := 0; i < 5; i++ {
+		if err := m.WriteUint(mem.HeapBase+uint32(i)*mem.PageSize, 8, uint64(i)*0x0101_0101); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Drop(mem.PageNum(mem.HeapBase) + 2)
+
+	s := &Session{
+		ioJournal: []string{"round 1\n", "", "round 2 with \x00 bytes\n"},
+		outBuf:    []byte("partial batch"),
+	}
+	st := &interp.State{SP: 0xdead_bee0, Mem: m.Checkpoint()}
+	msg := &Message{Kind: MsgCheckpoint, TaskID: 7, SP: st.SP, Data: s.encodeCheckpoint(st)}
+	wire := msg.Encode()
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MsgCheckpoint || got.TaskID != 7 {
+		t.Fatalf("frame kind/task = %v/%d", got.Kind, got.TaskID)
+	}
+	restored, journal, outBuf, err := s.decodeCheckpoint(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SP != st.SP {
+		t.Errorf("SP = %#x, want %#x", restored.SP, st.SP)
+	}
+	if len(journal) != len(s.ioJournal) {
+		t.Fatalf("journal entries = %d, want %d", len(journal), len(s.ioJournal))
+	}
+	for i := range journal {
+		if journal[i] != s.ioJournal[i] {
+			t.Errorf("journal[%d] = %q, want %q", i, journal[i], s.ioJournal[i])
+		}
+	}
+	if string(outBuf) != string(s.outBuf) {
+		t.Errorf("outBuf = %q, want %q", outBuf, s.outBuf)
+	}
+
+	// Restoring the decoded checkpoint onto a fresh overlay of the same
+	// image must reproduce the source memory exactly.
+	fresh := mem.NewOverlay(base)
+	fresh.Restore(restored.Mem)
+	if a, b := fresh.Digest(), m.Digest(); a != b {
+		t.Errorf("restored digest = %#x, want %#x", a, b)
+	}
+	if a, b := len(fresh.DirtyPages()), len(m.DirtyPages()); a != b {
+		t.Errorf("restored dirty pages = %d, want %d", a, b)
+	}
+
+	// Truncated payloads must be rejected, not panic.
+	for _, cut := range []int{1, 8, 20, len(msg.Data) - 1} {
+		if cut >= len(msg.Data) {
+			continue
+		}
+		bad := &Message{Kind: MsgCheckpoint, SP: st.SP, Data: msg.Data[:cut]}
+		if _, _, _, err := s.decodeCheckpoint(bad); err == nil {
+			t.Errorf("truncated payload (%d bytes) accepted", cut)
+		}
+	}
+}

@@ -24,15 +24,17 @@ type LoadSignal interface {
 
 // config collects NewSession's functional options.
 type config struct {
-	pol      Policy
-	tasks    []TaskSpec
-	tracer   *obs.Tracer
-	metrics  *obs.Metrics
-	ratio    float64
-	injector *faults.Injector
-	rec      *Recovery
-	load     LoadSignal
-	start    simtime.PS
+	pol        Policy
+	tasks      []TaskSpec
+	tracer     *obs.Tracer
+	metrics    *obs.Metrics
+	ratio      float64
+	injector   *faults.Injector
+	rec        *Recovery
+	load       LoadSignal
+	start      simtime.PS
+	serverPlan *faults.ServerPlan
+	mig        *Migration
 }
 
 // Option configures a Session at construction.
@@ -82,6 +84,23 @@ func WithRecovery(r Recovery) Option { return func(c *config) { c.rec = &r } }
 // WithStartTime when admitting a client.
 func WithFleet(load LoadSignal) Option { return func(c *config) { c.load = load } }
 
+// WithServerFaults installs a deterministic *server*-fault schedule:
+// slowdowns, stalls, crashes and scheduled drains injected on the simtime
+// clock at remote-service boundaries (which double as the health
+// monitor's heartbeats). Hosts are indexed by the plan's Server field;
+// the session's offload starts on host 0 and each migration or
+// crash-retry moves it to the next spare. A nil plan leaves every host
+// perfectly healthy.
+func WithServerFaults(p *faults.ServerPlan) Option { return func(c *config) { c.serverPlan = p } }
+
+// WithMigration enables mid-flight offload migration: on a scheduled
+// drain, a health-detected degradation, or a crash with a spare host
+// standing by, the runtime checkpoints the in-flight task (dirty private
+// pages only), ships it over the backhaul and resumes on the next host.
+// Without this option the session keeps the paper's behavior — any server
+// failure degrades to local fallback.
+func WithMigration(m Migration) Option { return func(c *config) { c.mig = &m } }
+
 // WithStartTime places the session at instant t on the shared simulated
 // timeline instead of 0: both machines' clocks, the energy recorder, and
 // the initial link-phase resolution all start there. A fleet dispatcher
@@ -121,6 +140,23 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 			return nil, err
 		}
 	}
+	if err := cfg.serverPlan.Validate(); err != nil {
+		return nil, fmt.Errorf("offrt: invalid server-fault plan: %w", err)
+	}
+	mig := DefaultMigration()
+	migOn := false
+	if cfg.mig != nil {
+		mig = *cfg.mig
+		if err := mig.Validate(); err != nil {
+			return nil, err
+		}
+		migOn = mig.Spares > 0
+	} else {
+		mig.Spares = 0 // no WithMigration: single host, fallback-only recovery
+	}
+	if mig.Backhaul == nil {
+		mig.Backhaul = netsim.Backhaul()
+	}
 
 	s := &Session{
 		Mobile:   mobile,
@@ -137,6 +173,12 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 		Recorder: energy.NewRecorder(cfg.start, energy.Compute),
 		rec:      rec,
 		load:     cfg.load,
+
+		serverPlan: cfg.serverPlan,
+		mig:        mig,
+		migOn:      migOn,
+		hosts:      1 + mig.Spares,
+		backhaul:   mig.Backhaul,
 	}
 	// Latency histograms live in the metrics registry so Summary() renders
 	// them next to the counters; Histogram is nil-safe on a nil registry.
@@ -145,6 +187,7 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	s.hBackoff = cfg.metrics.Histogram("lat.rpc_backoff_ps")
 	s.hWriteBack = cfg.metrics.Histogram("lat.write_back_ps")
 	s.hE2E = cfg.metrics.Histogram("lat.offload.e2e_ps")
+	s.hMigrate = cfg.metrics.Histogram("lat.migration_ps")
 	// Sessions joining a shared timeline mid-run (fleet clients) begin at
 	// their admission instant, not 0.
 	mobile.Clock = simtime.Max(mobile.Clock, cfg.start)

@@ -168,7 +168,8 @@ func (s *Session) finishAborted() error {
 		s.Server.Comp[i] = 0
 	}
 	s.aborted = false
-	s.pendingReply = &reply{aborted: true}
+	s.pendingReply = &reply{aborted: true, retry: s.crashRetry}
+	s.crashRetry = false
 	return nil
 }
 
@@ -226,10 +227,11 @@ func (s *Session) MemDigest() uint64 {
 }
 
 // snapshotIO checkpoints the mobile I/O state before an offload when a
-// fault injector is active (without one, offloads cannot abort and the
-// snapshot would be dead weight on every invocation).
+// fault injector or a server-fault plan is active (without either,
+// offloads cannot abort and the snapshot would be dead weight on every
+// invocation).
 func (s *Session) snapshotIO() interface{} {
-	if s.LinkStats.Injector == nil {
+	if s.LinkStats.Injector == nil && !s.serverPlan.Active() {
 		return nil
 	}
 	if sn, ok := s.Mobile.IO.(interp.IOSnapshotter); ok {

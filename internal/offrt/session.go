@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/estimate"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mem"
@@ -122,6 +123,31 @@ type Session struct {
 	// rec is the failure-recovery policy (deadlines, retries, quarantine).
 	rec Recovery
 
+	// ---- mid-flight migration (see migrate.go) ----
+
+	// serverPlan is the deterministic server-fault schedule; hostID indexes
+	// the host the in-flight offload currently runs on (each migration or
+	// crash-retry advances it to the next spare), hosts bounds it.
+	serverPlan *faults.ServerPlan
+	mig        Migration
+	migOn      bool
+	hostID     int
+	hosts      int
+	// backhaul is the server-to-server link migration checkpoints ship
+	// over; its traffic never touches the client radio's LinkStats.
+	backhaul *netsim.Link
+	hMigrate *obs.Histogram // checkpoint ship + resume handoff time
+
+	// Health-monitor state: last heartbeat instant, smoothed inter-beat
+	// gap, and the consecutive-overrun strike count (hysteresis).
+	lastBeat simtime.PS
+	ewmaGap  float64
+	strikes  int
+	// crashRetry marks the in-progress abort as a host crash with a spare
+	// standing by: the mobile should re-send the offload there instead of
+	// falling back locally.
+	crashRetry bool
+
 	// aborted marks the current offload abandoned after a terminal wire
 	// failure: the server finishes the task in ghost mode (all remote
 	// services handled locally, no wire traffic) and its effects are
@@ -198,6 +224,16 @@ type SessionStats struct {
 	// — including ones that ended in a local fallback, whose latency is
 	// what the user actually waited.
 	E2ELatency simtime.PS
+
+	// Migrations counts mid-flight checkpoint/ship/resume moves between
+	// hosts; MigratedPages and MigratedBytes size them (dirty private
+	// pages and encoded wire frames). CrashRetries counts offloads
+	// re-sent from scratch to a spare host after a server crash destroyed
+	// the in-flight state.
+	Migrations    int
+	MigratedPages int
+	MigratedBytes int64
+	CrashRetries  int
 }
 
 // TaskStats is per-task accounting for Table 4 and Figure 6.
@@ -228,6 +264,10 @@ type reply struct {
 	// aborted means the server abandoned the task after exhausting its
 	// wire retries; the mobile must re-execute locally.
 	aborted bool
+	// retry qualifies an abort as a server crash with a spare host
+	// standing by: the mobile re-sends the offload there instead of
+	// falling back to local execution.
+	retry bool
 }
 
 // debugGate, when set by tests, observes each dynamic-estimation decision.
@@ -341,6 +381,10 @@ func (s *Session) publishMetrics() {
 	m.Counter("session.aborts").Set(int64(s.Stats.Aborts))
 	m.Counter("session.fallbacks").Set(int64(s.Stats.Fallbacks))
 	m.Counter("session.e2e_latency_ps").Set(int64(s.Stats.E2ELatency))
+	m.Counter("session.migrations").Set(int64(s.Stats.Migrations))
+	m.Counter("session.migrated_pages").Set(int64(s.Stats.MigratedPages))
+	m.Counter("session.migrated_bytes").Set(s.Stats.MigratedBytes)
+	m.Counter("session.crash_retries").Set(int64(s.Stats.CrashRetries))
 	m.Counter("faults.injected").Set(s.LinkStats.Injector.Stats().Total())
 	for id, st := range s.PerTask {
 		p := fmt.Sprintf("task.%d.", id)
@@ -454,91 +498,110 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	s.Stats.Offloads++
 	start := s.Mobile.Clock
 
-	// --- Initialization: offloading info + prefetched heap pages, sent
-	// as one batched message. ---
-	present := s.Mobile.Mem.PresentPages()
-	req := &Message{
-		Kind:      MsgOffloadRequest,
-		TaskID:    taskID,
-		SP:        s.Mobile.SP(),
-		Args:      args,
-		PageTable: present,
-	}
-	if !s.Policy.NoPrefetch {
-		for _, pn := range present {
-			addr := mem.PageAddr(pn)
-			if (addr >= mem.GlobalsBase && addr < mem.GlobalsBase+0x0100_0000) ||
-				(addr >= mem.HeapBase && addr < mem.HeapLimit) {
-				req.Pages = append(req.Pages, PageRecord{PN: pn, Data: s.Mobile.Mem.PageData(pn)})
-			}
-		}
-	}
-	st.PrefetchPgs += len(req.Pages)
-	s.Stats.PrefetchPages += len(req.Pages)
-	s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KPrefetch, Track: obs.TrackMobile,
-		A0: int64(len(req.Pages)), A1: int64(len(req.Pages)) * mem.PageSize})
-	s.mobilePresent = make(map[uint32]bool)
-	for _, pn := range present {
-		s.mobilePresent[pn] = true
-	}
-
 	// Checkpoint the mobile I/O state while it is still untouched: if the
-	// offload aborts, the local re-execution must consume the same input.
+	// offload aborts (or crash-retries on a spare), the re-execution must
+	// consume the same input.
 	ioSnap := s.snapshotIO()
 
-	// The request crosses the wire for real: encode, charge the encoded
-	// size, decode on the server side and install the prefetched pages.
-	wire := req.Encode()
-	d, sendErr := s.sendReliable(true, int64(len(wire)), s.Mobile.Clock, "offload.request")
-	s.Recorder.Transition(s.Mobile.Clock, energy.TX)
-	s.Mobile.AddTime(d, interp.CompComm)
-	s.Comp[interp.CompComm] += d
-	s.Recorder.Transition(s.Mobile.Clock, energy.Wait)
-	st.TrafficBytes += int64(len(wire))
-	if sendErr != nil {
-		// The server never saw the request; degrade to local execution
-		// without involving the listen loop at all.
-		ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
+	for attempt := 0; ; attempt++ {
+		// --- Initialization: offloading info + prefetched heap pages, sent
+		// as one batched message. ---
+		present := s.Mobile.Mem.PresentPages()
+		req := &Message{
+			Kind:      MsgOffloadRequest,
+			TaskID:    taskID,
+			SP:        s.Mobile.SP(),
+			Args:      args,
+			PageTable: present,
+		}
+		if !s.Policy.NoPrefetch {
+			for _, pn := range present {
+				addr := mem.PageAddr(pn)
+				if (addr >= mem.GlobalsBase && addr < mem.GlobalsBase+0x0100_0000) ||
+					(addr >= mem.HeapBase && addr < mem.HeapLimit) {
+					req.Pages = append(req.Pages, PageRecord{PN: pn, Data: s.Mobile.Mem.PageData(pn)})
+				}
+			}
+		}
+		st.PrefetchPgs += len(req.Pages)
+		s.Stats.PrefetchPages += len(req.Pages)
+		s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KPrefetch, Track: obs.TrackMobile,
+			A0: int64(len(req.Pages)), A1: int64(len(req.Pages)) * mem.PageSize})
+		s.mobilePresent = make(map[uint32]bool)
+		for _, pn := range present {
+			s.mobilePresent[pn] = true
+		}
+
+		// The request crosses the wire for real: encode, charge the encoded
+		// size, decode on the server side and install the prefetched pages.
+		wire := req.Encode()
+		d, sendErr := s.sendReliable(true, int64(len(wire)), s.Mobile.Clock, "offload.request")
+		s.Recorder.Transition(s.Mobile.Clock, energy.TX)
+		s.Mobile.AddTime(d, interp.CompComm)
+		s.Comp[interp.CompComm] += d
+		s.Recorder.Transition(s.Mobile.Clock, energy.Wait)
+		st.TrafficBytes += int64(len(wire))
+		if sendErr != nil {
+			// The server never saw the request; degrade to local execution
+			// without involving the listen loop at all.
+			ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
+			s.Stats.E2ELatency += s.Mobile.Clock - start
+			s.hE2E.Record(int64(s.Mobile.Clock - start))
+			return ret, err
+		}
+
+		got, err := Decode(wire)
+		if err != nil {
+			return 0, fmt.Errorf("offrt: init message corrupt: %w", err)
+		}
+
+		// Hand the request to the listen loop and wait for finalization. All
+		// server-side state (clock sync, page install, dirty tracking) is
+		// applied by Accept on the server's own goroutine.
+		s.inFlight = true
+		s.reqCh <- request{taskID: taskID, args: args, arrival: s.Mobile.Clock, pages: got.Pages}
+		rep := <-s.repCh
+		s.inFlight = false
+		if rep.err != nil {
+			return 0, rep.err
+		}
+		if rep.aborted {
+			// The server abandoned the task mid-flight. A dead link cannot
+			// deliver that news, so the mobile's own patience — the offload
+			// deadline — is what actually expires before it re-executes. The
+			// deadline is estimated at the clock instant the wait begins, so
+			// it reflects the link phase actually in effect, not the regime
+			// the session was constructed under.
+			wait := s.offloadDeadline(spec, s.Mobile.Clock)
+			s.Mobile.AddTime(wait, interp.CompComm)
+			s.Comp[interp.CompComm] += wait
+			if rep.retry && attempt < s.hosts {
+				// The host crashed but a spare is standing by (hostID has
+				// already moved): roll the I/O state back and re-send the
+				// offload from scratch. The working set re-faults, the
+				// journal restarts — unlike a migration, a crash leaves
+				// nothing to ship.
+				if ioSnap != nil {
+					if sn, ok := s.Mobile.IO.(interp.IOSnapshotter); ok {
+						sn.RestoreIO(ioSnap)
+					}
+				}
+				s.Stats.CrashRetries++
+				s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KRetry, Track: obs.TrackMobile,
+					Name: "offload.restart", A0: int64(taskID), A1: int64(attempt + 1)})
+				continue
+			}
+			ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
+			s.Stats.E2ELatency += s.Mobile.Clock - start
+			s.hE2E.Record(int64(s.Mobile.Clock - start))
+			return ret, err
+		}
 		s.Stats.E2ELatency += s.Mobile.Clock - start
 		s.hE2E.Record(int64(s.Mobile.Clock - start))
-		return ret, err
+		s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
+			Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
+		return rep.ret, nil
 	}
-
-	got, err := Decode(wire)
-	if err != nil {
-		return 0, fmt.Errorf("offrt: init message corrupt: %w", err)
-	}
-
-	// Hand the request to the listen loop and wait for finalization. All
-	// server-side state (clock sync, page install, dirty tracking) is
-	// applied by Accept on the server's own goroutine.
-	s.inFlight = true
-	s.reqCh <- request{taskID: taskID, args: args, arrival: s.Mobile.Clock, pages: got.Pages}
-	rep := <-s.repCh
-	s.inFlight = false
-	if rep.err != nil {
-		return 0, rep.err
-	}
-	if rep.aborted {
-		// The server abandoned the task mid-flight. A dead link cannot
-		// deliver that news, so the mobile's own patience — the offload
-		// deadline — is what actually expires before it re-executes. The
-		// deadline is estimated at the clock instant the wait begins, so
-		// it reflects the link phase actually in effect, not the regime
-		// the session was constructed under.
-		wait := s.offloadDeadline(spec, s.Mobile.Clock)
-		s.Mobile.AddTime(wait, interp.CompComm)
-		s.Comp[interp.CompComm] += wait
-		ret, err := s.fallbackLocal(taskID, spec, args, ioSnap)
-		s.Stats.E2ELatency += s.Mobile.Clock - start
-		s.hE2E.Record(int64(s.Mobile.Clock - start))
-		return ret, err
-	}
-	s.Stats.E2ELatency += s.Mobile.Clock - start
-	s.hE2E.Record(int64(s.Mobile.Clock - start))
-	s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
-		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
-	return rep.ret, nil
 }
 
 // ---- SysHost: server side ----
@@ -566,6 +629,12 @@ func (s *Session) Accept(m *interp.Machine) int32 {
 	}
 	s.Server.Mem.TrackDirty = true
 	s.Server.Mem.ClearDirty()
+	// Arm the health monitor for this task and apply any server fault that
+	// already matured — a request landing on a crashed or stalled host
+	// finds out here, not at its first remote service.
+	s.lastBeat = s.Server.Clock
+	s.ewmaGap, s.strikes = 0, 0
+	s.heartbeat("accept")
 	return req.taskID
 }
 
@@ -585,6 +654,7 @@ func (s *Session) Arg(m *interp.Machine, i int32) uint64 {
 // mobile device, so a corrupted or partial finalization never taints
 // unified memory (commit-at-return).
 func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
+	s.heartbeat("return")
 	if s.aborted {
 		return s.finishAborted()
 	}
@@ -689,6 +759,7 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 // servePageFault is the copy-on-demand path: the server stalls for a
 // round trip while the mobile device serves the page.
 func (s *Session) servePageFault(pn uint32) ([]byte, error) {
+	s.heartbeat("page")
 	if !s.mobilePresent[pn] {
 		// The page table shipped at initialization says this page does
 		// not exist on the mobile device: zero-fill locally, no traffic.
@@ -740,6 +811,7 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 // RemoteWrite ships r_printf output to the mobile device, where it is
 // journaled and committed at successful finalization (commit-at-return).
 func (s *Session) RemoteWrite(m *interp.Machine, out string) error {
+	s.heartbeat("printf")
 	if s.aborted {
 		// Ghost mode: the output would be discarded at finalization
 		// anyway; the local re-execution reproduces it.
@@ -797,6 +869,7 @@ func (s *Session) flushOutput() error {
 
 // RemoteOpen opens a file in the mobile environment (round trip).
 func (s *Session) RemoteOpen(m *interp.Machine, name string) (int32, error) {
+	s.heartbeat("open")
 	if s.aborted {
 		return s.Mobile.IO.Open(name)
 	}
@@ -824,6 +897,7 @@ func (s *Session) RemoteOpen(m *interp.Machine, name string) (int32, error) {
 // the data transfer, which is why twolf/gobmk/h264ref show large remote I/O
 // overheads (Section 5.1).
 func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error) {
+	s.heartbeat("read")
 	data, err := s.Mobile.IO.Read(fd, n)
 	if err != nil {
 		return nil, err
@@ -854,6 +928,7 @@ func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error)
 
 // RemoteClose closes a mobile-side file.
 func (s *Session) RemoteClose(m *interp.Machine, fd int32) error {
+	s.heartbeat("close")
 	if s.aborted {
 		return s.Mobile.IO.Close(fd)
 	}

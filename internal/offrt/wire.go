@@ -31,11 +31,17 @@ const (
 	MsgRemoteClose
 	MsgFinalize
 	MsgShutdown
+	// MsgCheckpoint ships a mid-flight migration checkpoint between
+	// servers over the backhaul: the execution state sub-encoded into the
+	// Data field (see encodeCheckpoint), framed and CRC-checked like every
+	// other message.
+	MsgCheckpoint
 )
 
 func (k MsgKind) String() string {
 	names := [...]string{"", "offload", "pagereq", "pagedata", "rwrite",
-		"ropen", "ropenresp", "rread", "rreadresp", "rclose", "finalize", "shutdown"}
+		"ropen", "ropenresp", "rread", "rreadresp", "rclose", "finalize", "shutdown",
+		"checkpoint"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -157,7 +163,7 @@ func Decode(b []byte) (*Message, error) {
 	); err != nil {
 		return nil, err
 	}
-	if kind == 0 || MsgKind(kind) > MsgShutdown {
+	if kind == 0 || MsgKind(kind) > MsgCheckpoint {
 		return nil, fmt.Errorf("offrt: unknown message kind %d", kind)
 	}
 	m.Kind = MsgKind(kind)

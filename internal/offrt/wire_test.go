@@ -189,7 +189,7 @@ func TestDecodeRejectsMalformedStructure(t *testing.T) {
 
 	// Unknown kind with a valid checksum.
 	bad := append([]byte(nil), base...)
-	bad[4] = byte(MsgShutdown) + 1
+	bad[4] = byte(MsgCheckpoint) + 1
 	if _, err := Decode(reseal(bad)); err == nil {
 		t.Error("unknown kind accepted")
 	}
