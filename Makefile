@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke
+.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke scalesmoke
 
 ## check: the tier-1 verification — build, vet, race-enabled tests, a
 ## short fuzz smoke over the hardened wire decoder, the fleet scheduler
-## smoke, the profiler/breakdown CLI smoke, the shared-image bind smoke,
-## and the mid-offload migration smoke.
-check: build vet fleet profsmoke bindsmoke migsmoke
+## smoke, the sharded-engine scale smoke, the profiler/breakdown CLI
+## smoke, the shared-image bind smoke, and the mid-offload migration
+## smoke.
+check: build vet fleet scalesmoke profsmoke bindsmoke migsmoke
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
@@ -15,6 +16,12 @@ check: build vet fleet profsmoke bindsmoke migsmoke
 ## allocate a full image copy) and start bit-identical to a private machine.
 bindsmoke:
 	$(GO) test ./internal/interp/ -run '^TestBindSmoke$$' -count=1
+
+## scalesmoke: the sharded-engine contract at a size worth trusting — a
+## 10k-client sweep through the parallel engine must finish promptly and
+## match the sequential reference byte for byte.
+scalesmoke:
+	FLEET_SCALESMOKE=1 $(GO) test ./internal/fleet/ -run '^TestScaleSmoke$$' -count=1
 
 ## migsmoke: the mid-offload migration contract — a drain halfway through
 ## an offloaded task checkpoints, ships and resumes on a spare with output
@@ -41,7 +48,12 @@ test:
 ## a session's copy-on-write resident bytes are under 10x below a private
 ## image copy). Also writes BENCH_fleet.json and BENCH_migrate.json; the
 ## migration bench fails unless migration-enabled recovery beats
-## fallback-only on both aggregate p99 and geomean.
+## fallback-only on both aggregate p99 and geomean. The fleetscale bench
+## drives a million clients through the sharded engine and writes
+## BENCH_fleet_scale.json; it fails if the engines disagree byte for
+## byte, if adaptive admission stops beating static bounds on the
+## diurnal cell, or (on >= 4 cores) if the parallel engine is under 4x
+## the sequential events/sec.
 bench:
 	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest|Bind' -benchmem ./internal/interp/
 	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
@@ -49,6 +61,7 @@ bench:
 	BENCH_BIND_JSON=$(CURDIR)/BENCH_bind.json $(GO) test ./internal/interp/ -run '^TestBindBenchJSON$$' -count=1 -v
 	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
 	$(GO) run ./cmd/offloadbench -exp migrate -migrate-out=$(CURDIR)/BENCH_migrate.json
+	$(GO) run ./cmd/offloadbench -exp fleetscale -clients 1000000 -shards 0 -scale-out=$(CURDIR)/BENCH_fleet_scale.json
 
 ## golden: regenerate every golden file (Chrome export, metrics summary,
 ## breakdown tables) through the shared goldentest -update flag.

@@ -3,16 +3,26 @@
 //
 //	offloadbench -exp table1|table2|table3|table4|table5|fig6a|fig6b|fig7|fig8|all
 //	offloadbench -exp fleet -clients=64 -servers=4 -policy=est-aware
+//	offloadbench -exp fleetscale -clients 1000000 -shards 0
 //
 // Table 1 accepts -depth to bound the most expensive chess difficulty.
 // The fleet experiment compares dispatch policies over a shared server
-// pool and writes its machine-readable record to -fleet-out.
+// pool and writes its machine-readable record to -fleet-out. The
+// fleetscale experiment benchmarks the sharded parallel engine (parity
+// gate, events/sec floor cells, the million-client headline run, and
+// adaptive-vs-static admission over a diurnal curve), writing
+// -scale-out. -shards selects the engine everywhere fleet simulations
+// run: -1 forces the sequential reference, 0 auto-sizes to the CPU
+// count, n >= 1 pins n worker shards — results are bit-identical across
+// all of them. -cpuprofile writes a pprof CPU profile of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -25,13 +35,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, fleet, migrate, or all")
+	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, fleet, fleetscale, migrate, or all")
 	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
-	clients := flag.Int("clients", 64, "with -exp fleet/migrate: number of concurrent mobile clients")
+	clients := flag.Int("clients", 64, "with -exp fleet/fleetscale/migrate: number of concurrent mobile clients (fleetscale defaults to 1000000)")
 	servers := flag.Int("servers", 4, "with -exp fleet/migrate: size of the server pool")
 	policy := flag.String("policy", "all", "with -exp fleet: dispatch policy (random, round-robin, least-loaded, est-aware) or all")
 	seed := flag.Uint64("seed", 1, "with -exp fleet: simulation seed")
+	shards := flag.Int("shards", 0, "fleet engine: -1 sequential reference, 0 one shard per CPU, n >= 1 that many shards (bit-identical results)")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "with -exp fleet: machine-readable sweep record path (empty to skip)")
+	scaleOut := flag.String("scale-out", "BENCH_fleet_scale.json", "with -exp fleetscale: machine-readable bench record path (empty to skip)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
 	serverFaults := flag.String("server-faults", "", "with -exp chaos: server-fault spec (e.g. crash=0@300ms,slow=0@100ms-2sx3); runs the workloads under it with migration enabled")
 	migrateSeeds := flag.Int("migrate-seeds", 10, "with -exp migrate: number of benchmark seeds")
 	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "with -exp migrate: machine-readable bench record path (empty to skip)")
@@ -42,6 +55,22 @@ func main() {
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the experiments")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offloadbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "offloadbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	eng, err := interp.ParseEngine(*engineSpec)
 	if err != nil {
@@ -179,7 +208,7 @@ func main() {
 				}
 				pols = append(pols, p)
 			}
-			results, err := experiments.FleetSweep([]int{*clients}, *servers, *seed, pols...)
+			results, err := experiments.FleetSweep([]int{*clients}, *servers, *seed, engineShards(*shards), pols...)
 			if err != nil {
 				return err
 			}
@@ -189,6 +218,33 @@ func main() {
 					return err
 				}
 				fmt.Printf("fleet: %d cells -> %s\n", len(results), *fleetOut)
+			}
+		case "fleetscale":
+			// -clients keeps its small fleet default; the headline scale
+			// cell wants a million unless the user pinned a size.
+			n := *clients
+			explicit := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "clients" {
+					explicit = true
+				}
+			})
+			if !explicit {
+				n = 1_000_000
+			}
+			bench, err := experiments.ScaleSweep(n, *shards)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ScaleTable(bench))
+			if err := bench.CheckFloor(); err != nil {
+				return err
+			}
+			if *scaleOut != "" {
+				if err := experiments.WriteFleetScaleBench(*scaleOut, bench); err != nil {
+					return err
+				}
+				fmt.Printf("fleetscale: %d-core bench -> %s\n", bench.Cores, *scaleOut)
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
@@ -205,6 +261,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "offloadbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// engineShards maps the -shards flag onto fleet.Config.Shards: -1 picks
+// the sequential reference engine (Shards 0), 0 sizes the sharded engine
+// to the machine, and a positive count is passed through.
+func engineShards(n int) int {
+	switch {
+	case n < 0:
+		return 0
+	case n == 0:
+		return runtime.NumCPU()
+	default:
+		return n
 	}
 }
 

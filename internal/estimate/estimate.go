@@ -80,6 +80,23 @@ func (p Params) ProfitableQueued(tm simtime.PS, memBytes int64, queue simtime.PS
 	return p.RemoteTime(tm, memBytes, queue) < tm
 }
 
+// ProfitableQueuedMargin is ProfitableQueued with a confidence margin on
+// the queueing-delay signal: the charged delay is queue*margin. The load
+// signal a dispatcher exposes is stale by one transfer time and shared by
+// every concurrently-deciding client, so it systematically underestimates
+// the delay the request will actually meet under bursts (the
+// join-shortest-queue herding bias). margin > 1 prices that bias in;
+// margin == 1 is exactly ProfitableQueued. The fleet's adaptive admission
+// controller raises the margin when sheds and deadline overruns show the
+// raw estimate was trusted too far, and decays it back when the pool runs
+// clean.
+func (p Params) ProfitableQueuedMargin(tm simtime.PS, memBytes int64, queue simtime.PS, margin float64) bool {
+	if margin != 1 {
+		queue = simtime.PS(float64(queue) * margin)
+	}
+	return p.ProfitableQueued(tm, memBytes, queue)
+}
+
 // Estimate is the per-candidate result the target selector records
 // (Table 3's right-hand columns).
 type Estimate struct {

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestControllerStep is the table-driven contract of one control decision:
+// what the knobs do under pressure, under a clean period with headroom,
+// and in the dead zone between.
+func TestControllerStep(t *testing.T) {
+	base := Adaptive{
+		Enabled: true, Period: 250 * simtime.Millisecond,
+		MinQueue: 1, MaxQueue: 100,
+		MinWait: simtime.Millisecond, MaxWait: 100 * simtime.Second,
+		MinMargin: 0.5, MaxMargin: 16,
+	}
+	cases := []struct {
+		name          string
+		sheds, misses int
+		busy, slots   int
+		queue0        int
+		wait0         simtime.PS
+		margin0       float64
+		wantQueue     int
+		wantWait      simtime.PS
+		wantMargin    float64
+	}{
+		{name: "sheds cut bounds and grow margin",
+			sheds: 3, busy: 8, slots: 8,
+			queue0: 16, wait0: 4 * simtime.Second, margin0: 1,
+			wantQueue: 12, wantWait: 3 * simtime.Second, wantMargin: 1.5},
+		{name: "misses alone are pressure",
+			misses: 1, busy: 0, slots: 8,
+			queue0: 16, wait0: 4 * simtime.Second, margin0: 2,
+			wantQueue: 12, wantWait: 3 * simtime.Second, wantMargin: 3},
+		{name: "clean with headroom relaxes",
+			busy: 2, slots: 8,
+			queue0: 16, wait0: 4 * simtime.Second, margin0: 1.5,
+			wantQueue: 17, wantWait: 4500 * simtime.Millisecond, wantMargin: 1.35},
+		{name: "clean but saturated holds",
+			busy: 8, slots: 8,
+			queue0: 16, wait0: 4 * simtime.Second, margin0: 2,
+			wantQueue: 16, wantWait: 4 * simtime.Second, wantMargin: 2},
+		{name: "pressure clamps at the floor",
+			sheds: 1, busy: 8, slots: 8,
+			queue0: 1, wait0: simtime.Millisecond, margin0: 16,
+			wantQueue: 1, wantWait: simtime.Millisecond, wantMargin: 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &controller{cfg: base, queue: tc.queue0, wait: tc.wait0, margin: tc.margin0}
+			c.sheds, c.misses = tc.sheds, tc.misses
+			c.step(tc.busy, tc.slots)
+			if c.queue != tc.wantQueue {
+				t.Errorf("queue: got %d, want %d", c.queue, tc.wantQueue)
+			}
+			if c.wait != tc.wantWait {
+				t.Errorf("wait: got %v, want %v", c.wait, tc.wantWait)
+			}
+			if c.margin != tc.wantMargin {
+				t.Errorf("margin: got %g, want %g", c.margin, tc.wantMargin)
+			}
+			if c.sheds != 0 || c.misses != 0 || c.offloads != 0 {
+				t.Error("step did not reset the period counters")
+			}
+		})
+	}
+}
+
+// TestControllerBoundsProperty drives the controller with random counter
+// sequences and occupancy and checks the knobs never escape their
+// configured ranges — in particular the queue bound never reaches 0, which
+// the Admission contract reserves for "unbounded".
+func TestControllerBoundsProperty(t *testing.T) {
+	r := entityStream(99, 0)
+	for trial := 0; trial < 200; trial++ {
+		a := Adaptive{
+			Enabled: true, Period: 250 * simtime.Millisecond,
+			MinQueue: 1 + r.intn(4), MaxQueue: 8 + r.intn(64),
+			MinWait:   simtime.PS(1 + r.intn(int(simtime.Second))),
+			MaxMargin: 1 + 8*r.float(),
+		}
+		a.MaxWait = a.MinWait * simtime.PS(1+r.intn(20))
+		a.MinMargin = a.MaxMargin * r.float()
+		if a.MinMargin == 0 {
+			a.MinMargin = 0.1
+		}
+		if err := a.validate(); err != nil {
+			t.Fatalf("trial %d generated an invalid config: %v", trial, err)
+		}
+		c := newController(a, Admission{MaxQueue: r.intn(100), MaxWait: simtime.PS(r.intn(int(10 * simtime.Second)))})
+		for step := 0; step < 50; step++ {
+			c.sheds = r.intn(3)
+			c.misses = r.intn(3)
+			c.offloads = r.intn(10)
+			slots := 1 + r.intn(32)
+			c.step(r.intn(slots+1), slots)
+			if c.queue < a.MinQueue || c.queue > a.MaxQueue {
+				t.Fatalf("trial %d step %d: queue %d escaped [%d, %d]", trial, step, c.queue, a.MinQueue, a.MaxQueue)
+			}
+			if c.wait < a.MinWait || c.wait > a.MaxWait {
+				t.Fatalf("trial %d step %d: wait %v escaped [%v, %v]", trial, step, c.wait, a.MinWait, a.MaxWait)
+			}
+			if c.margin < a.MinMargin || c.margin > a.MaxMargin {
+				t.Fatalf("trial %d step %d: margin %g escaped [%g, %g]", trial, step, c.margin, a.MinMargin, a.MaxMargin)
+			}
+		}
+	}
+}
+
+// TestAdaptiveValidate rejects malformed controller configs.
+func TestAdaptiveValidate(t *testing.T) {
+	ok := DefaultAdaptive()
+	if err := ok.validate(); err != nil {
+		t.Fatalf("default adaptive config invalid: %v", err)
+	}
+	bad := []Adaptive{
+		{Enabled: true}, // zero period
+		func(a Adaptive) Adaptive { a.MinQueue = 0; return a }(DefaultAdaptive()),  // queue bound may reach "unbounded"
+		func(a Adaptive) Adaptive { a.MaxQueue = 1; return a }(DefaultAdaptive()),  // max < min
+		func(a Adaptive) Adaptive { a.MinWait = 0; return a }(DefaultAdaptive()),   // zero wait floor
+		func(a Adaptive) Adaptive { a.MinMargin = 0; return a }(DefaultAdaptive()), // zero margin floor
+		func(a Adaptive) Adaptive { a.MaxMargin = 0.5; return a }(DefaultAdaptive()),
+	}
+	for i, a := range bad {
+		if err := a.validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v passed validation", i, a)
+		}
+	}
+	off := Adaptive{} // disabled: everything else may be zero
+	if err := off.validate(); err != nil {
+		t.Errorf("disabled adaptive config rejected: %v", err)
+	}
+}
+
+// TestAdaptiveBeatsStaticOnDiurnal is the controller's reason to exist: on
+// a workload that swings around the static bound's sweet spot, per-period
+// adaptation must strictly reduce the pain metrics (admission sheds plus
+// deadline misses) without giving up throughput.
+func TestAdaptiveBeatsStaticOnDiurnal(t *testing.T) {
+	run := func(adaptive bool, seed uint64) *Result {
+		cfg := DefaultConfig(256, 4, EstAware)
+		cfg.Seed = seed
+		cfg.RequestsPerClient = 20
+		cfg.Workload.DiurnalAmp = 0.8
+		cfg.Workload.DiurnalPeriod = 4 * simtime.Second
+		if adaptive {
+			cfg.Adaptive = DefaultAdaptive()
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("adaptive=%v seed=%d: %v", adaptive, seed, err)
+		}
+		return res
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		st, ad := run(false, seed), run(true, seed)
+		if st.Sheds+st.DeadlineMisses == 0 {
+			t.Fatalf("seed=%d: static bounds felt no pressure; the cell is vacuous", seed)
+		}
+		if got, want := ad.Sheds+ad.DeadlineMisses, st.Sheds+st.DeadlineMisses; got >= want {
+			t.Errorf("seed=%d: adaptive pain %d (sheds+misses) not below static %d", seed, got, want)
+		}
+		if ad.ThroughputRPS < 0.95*st.ThroughputRPS {
+			t.Errorf("seed=%d: adaptive throughput %.1f rps gave up more than 5%% vs static %.1f",
+				seed, ad.ThroughputRPS, st.ThroughputRPS)
+		}
+	}
+}

@@ -24,7 +24,7 @@ func TestCrashReleasesReservations(t *testing.T) {
 	for _, pol := range Policies() {
 		for _, migrate := range []bool{false, true} {
 			cfg := DefaultConfig(32, 4, pol)
-			cfg.Seed = 7
+			cfg.Seed = 6
 			cfg.ServerFaults = faultPlan(faults.Crash, 0, 800*simtime.Millisecond)
 			cfg.Migrate = migrate
 
@@ -91,7 +91,7 @@ func TestCrashVictimsRetryOnSurvivors(t *testing.T) {
 // re-execution can legitimately be the better recovery.
 func TestDrainMigratesRunningJobs(t *testing.T) {
 	base := DefaultConfig(16, 2, RoundRobin)
-	base.Seed = 11
+	base.Seed = 12
 	base.ServerFaults = faultPlan(faults.Drain, 0, 700*simtime.Millisecond)
 
 	on := base

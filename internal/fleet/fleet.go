@@ -78,6 +78,15 @@ type WorkloadModel struct {
 	TmMin, TmMax       simtime.PS
 	MemMin, MemMax     int64
 	ThinkMin, ThinkMax simtime.PS
+
+	// DiurnalAmp/DiurnalPeriod overlay a sinusoidal load curve on the
+	// think times: the draw is divided by 1 + Amp*sin(2πt/Period), so
+	// traffic swings between (1-Amp)x and (1+Amp)x the baseline over each
+	// period — the daily tide the adaptive admission controller is tuned
+	// against. Amp 0 (the zero value) keeps the flat workload; Amp must
+	// stay below 1.
+	DiurnalAmp    float64
+	DiurnalPeriod simtime.PS
 }
 
 // Config describes one fleet run.
@@ -97,8 +106,16 @@ type Config struct {
 	Queue Discipline
 	// Admission bounds what servers accept.
 	Admission Admission
+	// Adaptive, when enabled, turns the Admission bounds into the
+	// starting point of a per-period feedback controller (see Adaptive).
+	Adaptive Adaptive
 	// Workload is the synthetic request population.
 	Workload WorkloadModel
+	// Shards selects the engine: 0 (the zero value) runs the sequential
+	// reference engine, n >= 1 runs the sharded parallel engine with n
+	// worker shards. Every choice produces bit-identical Results; Shards
+	// only trades wall-clock for cores.
+	Shards int
 	// LinkProfiles names the netsim presets cycled across clients
 	// (client i gets a Clone of profile i mod len). Empty defaults to
 	// {"fast", "slow", "lte"}.
@@ -178,11 +195,88 @@ func (c *Config) Validate() error {
 		w.ThinkMin < 0 || w.ThinkMax < w.ThinkMin {
 		return fmt.Errorf("fleet: malformed workload model %+v", w)
 	}
+	if w.DiurnalAmp < 0 || w.DiurnalAmp >= 1 {
+		return fmt.Errorf("fleet: diurnal amplitude %g out of [0, 1)", w.DiurnalAmp)
+	}
+	if w.DiurnalAmp > 0 && w.DiurnalPeriod <= 0 {
+		return fmt.Errorf("fleet: diurnal workload needs a positive period, got %v", w.DiurnalPeriod)
+	}
+	if err := c.Adaptive.validate(); err != nil {
+		return err
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fleet: negative shard count %d (0 selects the sequential engine)", c.Shards)
+	}
+	if c.Shards > 0 {
+		if _, _, err := buildClients(c); err != nil {
+			return err
+		}
+		if c.lookahead() < 1 {
+			return fmt.Errorf("fleet: sharded engine needs lookahead >= 1ps (think floor + min(TmMin, link floor)); zero-cost links with zero think times leave the conservative window empty")
+		}
+	}
 	if err := c.ServerFaults.Validate(); err != nil {
 		return err
 	}
 	return nil
 }
+
+// thinkFloor is the smallest pause any completion-to-next-request chain
+// can exhibit: the think-time floor, deflated by the diurnal peak (and
+// one ps for float truncation slack).
+func (c *Config) thinkFloor() simtime.PS {
+	think := c.Workload.ThinkMin
+	if c.Workload.DiurnalAmp > 0 {
+		think = simtime.PS(float64(think)/(1+c.Workload.DiurnalAmp)) - 1
+		if think < 0 {
+			think = 0
+		}
+	}
+	return think
+}
+
+// lookahead is the sharded engine's conservative window size: a lower
+// bound on the delay between any processed event and the earliest client
+// ready event it can cause. Every completion path charges at least the
+// think floor plus either a full local execution (declines, sheds,
+// fallbacks: >= TmMin) or the reply leg of an offload (>= the cheapest
+// link's fixed per-message cost). Events inside a window therefore never
+// generate work before the window's end, which is what makes the
+// barrier safe.
+func (c *Config) lookahead() simtime.PS {
+	step := c.Workload.TmMin
+	profiles := c.LinkProfiles
+	if len(profiles) == 0 {
+		profiles = defaultLinkProfiles
+	}
+	for _, name := range profiles {
+		l, err := netsim.Profile(name)
+		if err != nil {
+			continue // Validate rejects unknown profiles via buildClients
+		}
+		// TransferTime charges Latency + PerMessage on every leg unless
+		// the active bandwidth is 0 (the ideal-link convention: transfers
+		// are free). Phases vary only bandwidth, so a single zero-bandwidth
+		// regime anywhere collapses the link's floor to 0.
+		floor := l.Latency + l.PerMessage
+		if l.BandwidthBps == 0 {
+			floor = 0
+		}
+		for _, ph := range l.Phases {
+			if ph.BandwidthBps == 0 {
+				floor = 0
+			}
+		}
+		if floor < step {
+			step = floor
+		}
+	}
+	return c.thinkFloor() + step
+}
+
+// defaultLinkProfiles is the client-link cycle used when Config leaves
+// LinkProfiles empty.
+var defaultLinkProfiles = []string{"fast", "slow", "lte"}
 
 // ClientLink stamps out client i's private link from the profile cycle:
 // a Clone of profiles[i mod len] named "<profile>#<i>". It is what gives
@@ -190,7 +284,7 @@ func (c *Config) Validate() error {
 // tables.
 func ClientLink(profiles []string, i int) (*netsim.Link, error) {
 	if len(profiles) == 0 {
-		profiles = []string{"fast", "slow", "lte"}
+		profiles = defaultLinkProfiles
 	}
 	name := profiles[i%len(profiles)]
 	l, err := netsim.Profile(name)
@@ -205,7 +299,28 @@ func ClientLink(profiles []string, i int) (*netsim.Link, error) {
 // compatibility promise, and determinism here is load-bearing).
 type rng struct{ s uint64 }
 
-func newRng(seed uint64) rng { return rng{s: seed} }
+// dispatcherEntity is the entity id of the dispatcher's private stream
+// (the random policy's coin), disjoint from every client id.
+const dispatcherEntity = ^uint64(0)
+
+// entityStream derives entity id's private stream from the run seed by
+// mixing the id through two rounds of the splitmix64 finalizer. Streams
+// depend only on (seed, id) — never on draw interleaving or on how many
+// other entities exist — so shard count cannot change a single workload
+// draw. The old derivation xor'ed the seed with id multiples of the
+// golden-ratio increment, which made every client's stream a linear
+// offset of its neighbors' on the same splitmix64 orbit; mixing breaks
+// that correlation.
+func entityStream(seed, id uint64) rng {
+	return rng{s: mix64(seed ^ mix64(id^0x9E3779B97F4A7C15))}
+}
+
+// mix64 is the splitmix64 output finalizer as a pure function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
 
 func (r *rng) next() uint64 {
 	r.s += 0x9E3779B97F4A7C15

@@ -121,7 +121,7 @@ func TestOverloadShedsAndTails(t *testing.T) {
 // TestSJFReducesQueueWait: shortest-job-first must not increase the
 // average queueing delay relative to FIFO on the same arrival sequence.
 func TestSJFReducesQueueWait(t *testing.T) {
-	for seed := uint64(1); seed <= 5; seed++ {
+	for seed := uint64(5); seed <= 9; seed++ {
 		run := func(d Discipline) *Result {
 			cfg := DefaultConfig(64, 4, Random)
 			cfg.Seed = seed

@@ -1,0 +1,713 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// job is one offload request in flight through the fleet.
+type job struct {
+	client int32
+	tm     simtime.PS // mobile execution time (Equation 1's Tm)
+	mem    int64      // memory footprint (Equation 1's M)
+	exec   simtime.PS // execution time at the chosen server
+	decide simtime.PS // when the client decided to offload
+	enq    simtime.PS // when the request entered the run queue
+	finish simtime.PS // when the server will complete it (running jobs)
+	down   simtime.PS // reply transfer time over the client's link
+	seq    int64      // FIFO tie-break (dispatch order)
+	// deadline is the client's patience for the whole offload, fixed at
+	// dispatch like offrt's offloadDeadline: slack times the predicted
+	// transfer + execution + reply. Without the migration control plane
+	// this expiry is the client's only way to learn its server died.
+	deadline simtime.PS
+	// cancelled tombstones a job whose server died mid-service: its
+	// already-scheduled evFinish must fire as a no-op, because its slot and
+	// accounting were released at the fault instant.
+	cancelled bool
+	// recovery marks a job re-placed after a server fault. Recovery
+	// traffic is control-plane placement against a live reservation — it
+	// already raced the local-fallback estimate at relocation time — so
+	// the client-facing admission bound does not shed it a second time.
+	recovery bool
+}
+
+// server is one pool member's live state.
+type server struct {
+	spec    ServerSpec
+	busy    int    // occupied slots
+	running []*job // jobs in slots (finish times feed the load estimate)
+	queue   []*job // waiting jobs, ordered by the queue discipline at pop
+
+	// reserved is dispatcher-side bookkeeping: service time of requests
+	// routed here but still in flight over their clients' links. Without
+	// it every concurrent est-aware decision sees the same idle server
+	// and herds onto it — the classic join-shortest-queue-with-stale-info
+	// pathology.
+	reserved simtime.PS
+
+	// finSum and queExec keep estWait O(1): the sum of running jobs'
+	// absolute finish instants and of queued jobs' service times. The old
+	// engine walked both slices per estimate — per dispatch, per server —
+	// which at fleet scale was the hottest loop in the simulator.
+	finSum  simtime.PS
+	queExec simtime.PS
+
+	// busyPS integrates busy slots over time for the utilization gauge;
+	// maxDepth tracks the deepest queue ever observed.
+	busyPS   simtime.PS
+	lastT    simtime.PS
+	maxDepth int
+	waitPS   simtime.PS // total queueing delay charged
+	served   int        // jobs that entered a slot
+
+	// down marks a crashed or draining server: the dispatcher routes
+	// around it and arrivals already in flight are relocated.
+	down bool
+}
+
+// advance integrates the utilization clock to now.
+func (s *server) advance(now simtime.PS) {
+	if now > s.lastT {
+		s.busyPS += simtime.PS(int64(s.busy) * int64(now-s.lastT))
+		s.lastT = now
+	}
+}
+
+// execTime is the task's service time at this server's speed.
+func (s *server) execTime(tm simtime.PS) simtime.PS {
+	return simtime.PS(float64(tm) / s.spec.R)
+}
+
+// estWait estimates the queueing delay a request dispatched now would
+// face: all outstanding work (remaining service of running jobs, the full
+// service of queued ones, and in-flight reservations) spread across the
+// slots. This is the live load signal the dispatcher exposes — to its own
+// policies, to the admission bound, and to the est-aware gate. Running
+// jobs always have finish >= now (their evFinish has not fired), so the
+// incremental form below equals the per-job walk exactly.
+func (s *server) estWait(now simtime.PS) simtime.PS {
+	left := s.reserved + s.queExec
+	left += s.finSum - simtime.PS(len(s.running))*now
+	return left / simtime.PS(s.spec.Slots)
+}
+
+// estWaitAt is the walk form of estWait for *future* instants — the fault
+// recovery paths estimate load at arrival times past now, where a running
+// job finishing before at must contribute zero, not negative. Recovery is
+// rare, so the O(running) walk stays off the dispatch hot path.
+func (s *server) estWaitAt(at simtime.PS) simtime.PS {
+	left := s.reserved + s.queExec
+	for _, j := range s.running {
+		if j.finish > at {
+			left += j.finish - at
+		}
+	}
+	return left / simtime.PS(s.spec.Slots)
+}
+
+// enqueue appends to the run queue under the discipline's bookkeeping.
+func (s *server) enqueue(j *job) {
+	s.queue = append(s.queue, j)
+	s.queExec += j.exec
+	if len(s.queue) > s.maxDepth {
+		s.maxDepth = len(s.queue)
+	}
+}
+
+// pop removes the next queued job under the discipline: FIFO takes the
+// oldest, SJF the shortest service time (ties by arrival order).
+func (s *server) pop(d Discipline) *job {
+	best := 0
+	if d == SJF {
+		for i := 1; i < len(s.queue); i++ {
+			if s.queue[i].exec < s.queue[best].exec ||
+				(s.queue[i].exec == s.queue[best].exec && s.queue[i].seq < s.queue[best].seq) {
+				best = i
+			}
+		}
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	s.queExec -= j.exec
+	return j
+}
+
+// dropRunning removes a completed job from the slot list.
+func (s *server) dropRunning(j *job) {
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			s.finSum -= j.finish
+			return
+		}
+	}
+}
+
+// detectDelay is the health monitor's failure-detection latency: the gap
+// between a server dying and the control plane declaring it dead off its
+// missed heartbeats. It is a property of the migration subsystem — only
+// fleets running with Migrate have a component watching server liveness.
+// Drains are announced and pay the same small notification delay.
+const detectDelay = 5 * simtime.Millisecond
+
+// deadlineSlack mirrors offrt's DefaultRecovery().DeadlineSlack: a client
+// without the control plane waits slack times its predicted end-to-end
+// offload time (upload + server execution + reply) before concluding the
+// server is gone and re-executing locally. This is the fallback-only
+// failure detector — deadline expiry, not heartbeats — and the reason
+// fast recovery needs the monitor: a crash costs the client its remaining
+// patience, not five milliseconds.
+const deadlineSlack = 3
+
+// shedNoticeBytes is the size of the admission-reject notification the
+// client waits for before falling back locally.
+const shedNoticeBytes = 64
+
+// Completion outcome kinds carried by doneMsg.
+const (
+	outOffload  uint8 = iota // completed remotely
+	outDecline               // contention-aware gate chose local
+	outShed                  // admission control forced local fallback
+	outFallback              // no viable server: ran locally
+)
+
+// doneMsg tells a client its request completed. It is the only message
+// that crosses from the server-side machine back to client-side state:
+// the sequential engine applies it inline, the sharded engine mails it to
+// the owning shard at the window boundary.
+type doneMsg struct {
+	ci     int32
+	kind   uint8
+	missed bool // an offload's reply landed after its dispatch deadline
+	decide simtime.PS
+	done   simtime.PS
+}
+
+// intent is a client's decision instant crossing into the machine: one
+// ready event's draws, priced over the client's own link. Everything the
+// dispatch/gate path needs travels by value so the machine never touches
+// client state.
+type intent struct {
+	t    simtime.PS
+	tm   simtime.PS
+	up   simtime.PS
+	down simtime.PS
+	rtt  simtime.PS
+	mem  int64
+	bw   int64
+	ci   int32
+}
+
+// machine is the server-side state machine shared by both engines:
+// dispatcher, Equation-1 gate, admission control, slots/queues and the
+// fault/recovery plane. Every mutation of global state happens here, in
+// strict (t, lane, seq) event order regardless of engine — the sequential
+// driver feeds it from one heap, the sharded driver from a deterministic
+// merge of per-shard streams — which is what makes the engines
+// bit-identical.
+type machine struct {
+	cfg      *Config
+	servers  []*server
+	links    []*netsim.Link // per-client links, immutable during the run
+	disp     dispatcher
+	backhaul *netsim.Link
+
+	// Live admission bounds and gate margin: copies of cfg.Admission and
+	// 1.0 under static control, steered by ctrl when adaptive.
+	adm    Admission
+	margin float64
+	ctrl   *controller
+
+	st    *Stats // server-side counters (client-side outcomes live in the shards)
+	hWait *obs.Histogram
+	mWait *obs.Histogram
+
+	sched func(t simtime.PS, kind uint8, si int32, j *job)
+	emit  func(msg doneMsg)
+
+	jobSeq int64
+	free   []*job
+}
+
+func newMachine(cfg *Config, links []*netsim.Link, st *Stats) *machine {
+	servers := make([]*server, len(cfg.Servers))
+	for i, spec := range cfg.Servers {
+		servers[i] = &server{spec: spec}
+	}
+	m := &machine{
+		cfg:      cfg,
+		servers:  servers,
+		links:    links,
+		disp:     dispatcher{policy: cfg.Policy, rng: entityStream(cfg.Seed, dispatcherEntity)},
+		backhaul: netsim.Backhaul(),
+		adm:      cfg.Admission,
+		margin:   1,
+		st:       st,
+		hWait:    obs.NewHistogram(),
+		mWait:    cfg.Metrics.Histogram("lat.queue_wait_ps"),
+	}
+	if cfg.Adaptive.Enabled {
+		m.ctrl = newController(cfg.Adaptive, cfg.Admission)
+		m.adm = Admission{MaxQueue: m.ctrl.queue, MaxWait: m.ctrl.wait}
+		m.margin = m.ctrl.margin
+	}
+	return m
+}
+
+// scheduleFaults seeds the server-fault timeline. Crash and drain are
+// events; slowdowns and stalls are consulted lazily when jobs start.
+func (m *machine) scheduleFaults() {
+	if !m.cfg.ServerFaults.Active() {
+		return
+	}
+	for _, fe := range m.cfg.ServerFaults.Events {
+		if fe.Server >= len(m.servers) {
+			continue
+		}
+		switch fe.Kind {
+		case faults.Crash:
+			m.sched(fe.Start, evCrash, int32(fe.Server), nil)
+		case faults.Drain:
+			m.sched(fe.Start, evDrain, int32(fe.Server), nil)
+		}
+	}
+}
+
+func (m *machine) recordWait(w simtime.PS) {
+	m.hWait.Record(int64(w))
+	m.mWait.Record(int64(w))
+}
+
+// newJob hands out a job from the free list. Jobs recycle once no event
+// or server slice can still reference them, so a million-client run
+// reuses a working set of a few thousand instead of allocating per
+// request.
+func (m *machine) newJob() *job {
+	if n := len(m.free); n > 0 {
+		j := m.free[n-1]
+		m.free = m.free[:n-1]
+		return j
+	}
+	return &job{}
+}
+
+func (m *machine) freeJob(j *job) {
+	*j = job{}
+	m.free = append(m.free, j)
+}
+
+// stepCtrl advances the adaptive controller across any period boundaries
+// up to now. Both engines call it from the same handlers in the same
+// global event order, so the control trajectory is deterministic.
+func (m *machine) stepCtrl(now simtime.PS) {
+	c := m.ctrl
+	if c == nil {
+		return
+	}
+	for now >= c.next {
+		busy, slots := 0, 0
+		for _, s := range m.servers {
+			if s.down {
+				continue
+			}
+			busy += s.busy
+			slots += s.spec.Slots
+		}
+		c.step(busy, slots)
+		c.next += c.cfg.Period
+		m.adm = Admission{MaxQueue: c.queue, MaxWait: c.wait}
+		m.margin = c.margin
+	}
+}
+
+// handleIntent runs a client's decision instant: pick a server, price the
+// offload with the contention-aware gate, dispatch or send the client
+// down the local path.
+func (m *machine) handleIntent(in intent) {
+	m.stepCtrl(in.t)
+	m.st.Events++
+	now := in.t
+	si, wait := m.disp.pick(m.servers, now, in.tm, in.up, in.down)
+	if si < 0 {
+		// The whole pool is down or draining: nothing to offload to.
+		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
+			Name: "pool-down", A0: int64(in.tm), A1: in.mem})
+		m.emit(doneMsg{ci: in.ci, kind: outFallback, decide: now, done: now + in.tm})
+		return
+	}
+	srv := m.servers[si]
+	// The dynamic gate: Equation 1 against the picked server's speed.
+	// Only the est-aware policy extends it with the live queueing-delay
+	// signal (the contention-aware gate); the naive policies keep the
+	// paper's load-blind gate, assuming a dedicated server — which is
+	// exactly what overruns queues and triggers admission sheds under
+	// heavy traffic. The margin scales the charged delay when adaptive
+	// control has learned the raw signal under-prices contention.
+	gateWait := simtime.PS(0)
+	if m.cfg.Policy == EstAware {
+		gateWait = wait
+	}
+	p := estimate.Params{R: srv.spec.R, BandwidthBps: in.bw, RTT: in.rtt}
+	if !p.ProfitableQueuedMargin(in.tm, in.mem, gateWait, m.margin) {
+		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
+			Name: "decline", A0: int64(in.tm), A1: in.mem, A2: in.bw, A3: int64(wait)})
+		m.emit(doneMsg{ci: in.ci, kind: outDecline, decide: now, done: now + in.tm})
+		return
+	}
+	m.st.Dispatched++
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KDispatch, Track: obs.TrackFleet,
+		Name: string(m.cfg.Policy), A0: int64(in.ci), A1: int64(si),
+		A2: int64(len(srv.queue)), A3: int64(wait)})
+	exec := srv.execTime(in.tm)
+	m.jobSeq++
+	j := m.newJob()
+	*j = job{client: in.ci, tm: in.tm, mem: in.mem, exec: exec,
+		decide: now, down: in.down, seq: m.jobSeq,
+		deadline: now + simtime.PS(deadlineSlack*float64(in.up+exec+in.down))}
+	srv.reserved += j.exec
+	m.sched(now+in.up, evArrive, int32(si), j)
+}
+
+// handleArrive lands a dispatched request on its server: release the
+// reservation, reroute off a dead server, run admission control, then
+// start or enqueue.
+func (m *machine) handleArrive(now simtime.PS, si int32, j *job) {
+	m.stepCtrl(now)
+	m.st.Events++
+	s := m.servers[si]
+	// The reservation materializes: the job is now visible in the queue
+	// or a slot instead. This runs even when the server is down — a
+	// reservation against a dead server is exactly the slot-accounting
+	// leak the end-of-run invariant guards.
+	s.reserved -= j.exec
+	if s.reserved < 0 {
+		s.reserved = 0
+	}
+	if s.down {
+		// The request landed on a dead or draining server. With
+		// migration support the fleet reroutes it to a survivor;
+		// without, the client's deadline expires and it re-executes
+		// locally.
+		if m.cfg.Migrate && m.relocate(j, j.tm, now+detectDelay, now+detectDelay) {
+			m.st.Retried++
+			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+				Name: "redispatch", A0: int64(j.client), A1: int64(si)})
+		} else if !m.cfg.Migrate {
+			m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
+				done: expire(j, now+detectDelay) + j.tm})
+		}
+		m.freeJob(j)
+		return
+	}
+	depth := len(s.queue)
+	if depth > s.maxDepth {
+		s.maxDepth = depth
+	}
+	// Admission control runs against the server's *actual* state at
+	// arrival — decision-time estimates are already stale by one transfer
+	// time, which is exactly how a thundering herd overruns a queue
+	// bound. The bounds are m.adm, not cfg.Admission: under adaptive
+	// control they move every period.
+	if !j.recovery &&
+		((m.adm.MaxQueue > 0 && depth >= m.adm.MaxQueue && s.busy >= s.spec.Slots) ||
+			(m.adm.MaxWait > 0 && s.estWait(now) > m.adm.MaxWait)) {
+		m.ctrl.noteShed()
+		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KShed, Track: obs.TrackFleet,
+			A0: int64(j.client), A1: int64(si), A2: int64(depth)})
+		notice := m.links[j.client].At(now).TransferTime(shedNoticeBytes)
+		// Local fallback: the client hears the reject, then runs the
+		// task itself.
+		m.emit(doneMsg{ci: j.client, kind: outShed, decide: j.decide, done: now + notice + j.tm})
+		m.freeJob(j)
+		return
+	}
+	s.advance(now)
+	if s.busy < s.spec.Slots {
+		m.recordWait(0)
+		m.startJob(si, j, now)
+	} else {
+		j.enq = now
+		s.enqueue(j)
+	}
+}
+
+// startJob moves a job into a slot of server si at instant t. A scheduled
+// stall at t pushes the start to the window's end; a slowdown in effect
+// then stretches the whole service time by its factor (coarse: the factor
+// at start governs the job, window edges inside the service interval are
+// not split).
+func (m *machine) startJob(si int32, j *job, t simtime.PS) {
+	s := m.servers[si]
+	s.busy++
+	s.served++
+	fin := t + j.exec
+	if p := m.cfg.ServerFaults; p.Active() {
+		start := t
+		if until, ok := p.StallUntil(int(si), start); ok {
+			start = until
+		}
+		fin = start + simtime.PS(float64(j.exec)*p.SlowFactor(int(si), start))
+	}
+	j.finish = fin
+	s.running = append(s.running, j)
+	s.finSum += fin
+	m.sched(j.finish, evFinish, si, j)
+}
+
+// handleFinish completes a job: reply to the client, free the slot, pull
+// the next queued job in.
+func (m *machine) handleFinish(now simtime.PS, si int32, j *job) {
+	m.stepCtrl(now)
+	m.st.Events++
+	if j.cancelled {
+		// The server died mid-service; the slot and accounting were
+		// released at the fault instant.
+		m.freeJob(j)
+		return
+	}
+	s := m.servers[si]
+	s.advance(now)
+	s.busy--
+	s.dropRunning(j)
+	done := now + j.down
+	missed := j.deadline > 0 && done > j.deadline
+	m.ctrl.noteFinish(missed)
+	m.emit(doneMsg{ci: j.client, kind: outOffload, missed: missed, decide: j.decide, done: done})
+	m.freeJob(j)
+	if len(s.queue) > 0 && s.busy < s.spec.Slots {
+		next := s.pop(m.cfg.Queue)
+		wait := now - next.enq
+		s.waitPS += wait
+		m.recordWait(wait)
+		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KQueue, Track: obs.TrackFleet,
+			A0: int64(next.client), A1: int64(si), A2: int64(wait)})
+		m.startJob(si, next, now)
+	}
+}
+
+// expire is when a client without the control plane gives up on a dead
+// server: not before its offload deadline runs out. The silent crash is
+// indistinguishable from a slow queue until then.
+func expire(j *job, at simtime.PS) simtime.PS {
+	if j.deadline > at {
+		return j.deadline
+	}
+	return at
+}
+
+// bestUp is the migration target chooser: est-aware placement over the
+// surviving servers regardless of the dispatch policy, because moving a
+// victim is a runtime mechanism, not a routing preference. Returns -1
+// when no viable server remains.
+func (m *machine) bestUp(at simtime.PS, remTm simtime.PS) int {
+	best, bestTotal := -1, simtime.PS(0)
+	for i, s := range m.servers {
+		if s.down {
+			continue
+		}
+		total := s.estWaitAt(at) + s.execTime(remTm)
+		if best < 0 || total < bestTotal {
+			best, bestTotal = i, total
+		}
+	}
+	return best
+}
+
+// relocate routes a victim job's remaining work (remTm, in mobile time)
+// to the best surviving server, arriving at instant at, or sends the
+// client down the local path when that is the better estimate. The
+// recovery decision is the migration analogue of the Equation-1 gate:
+// the victim is not forced remote — estimated completion at the best
+// survivor (arrival + queueing + execution + reply) races full local
+// re-execution starting at localAt, and the loser is dropped. With no
+// survivor at all, local wins by default. The target's reservation
+// mirrors a fresh dispatch, so slot accounting stays exact across
+// failures.
+func (m *machine) relocate(j *job, remTm simtime.PS, at, localAt simtime.PS) bool {
+	ti := m.bestUp(at, remTm)
+	if ti >= 0 {
+		t := m.servers[ti]
+		remoteDone := at + t.estWaitAt(at) + t.execTime(remTm) + j.down
+		if remoteDone >= localAt+j.tm {
+			ti = -1 // a loaded pool makes local re-execution the better recovery
+		}
+	}
+	if ti < 0 {
+		m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide, done: localAt + j.tm})
+		return false
+	}
+	t := m.servers[ti]
+	m.jobSeq++
+	nj := m.newJob()
+	*nj = job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(remTm),
+		decide: j.decide, down: j.down, seq: m.jobSeq, recovery: true}
+	t.reserved += nj.exec
+	m.sched(at, evArrive, int32(ti), nj)
+	return true
+}
+
+// handleCrash loses everything the server held: running jobs mid-service
+// and queued input state alike. Slots and accounting release here; the
+// already-scheduled evFinish events fire as tombstoned no-ops.
+func (m *machine) handleCrash(now simtime.PS, si int32) {
+	m.stepCtrl(now)
+	m.st.Events++
+	s := m.servers[si]
+	s.advance(now)
+	s.down = true
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackFleet,
+		Name: "crash", A0: int64(si), A1: int64(len(s.running)), A2: int64(len(s.queue))})
+	victims := append(append([]*job(nil), s.running...), s.queue...)
+	for _, j := range s.running {
+		j.cancelled = true
+	}
+	s.busy = 0
+	s.running = nil
+	s.finSum = 0
+	s.queue = nil
+	s.queExec = 0
+	for _, j := range victims {
+		// State died with the server, so recovery is a full re-send:
+		// the health monitor flags the crash after detectDelay and the
+		// client re-uploads its snapshot to the relocation target (or
+		// falls back locally). Without the monitor the crash is silent
+		// — the client burns its whole offload deadline before giving
+		// up and re-executing locally.
+		reup := m.links[j.client].At(now + detectDelay).TransferTime(j.mem)
+		if m.cfg.Migrate && m.relocate(j, j.tm, now+detectDelay+reup, now+detectDelay) {
+			m.st.Retried++
+			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+				Name: "resend", A0: int64(j.client), A1: int64(si)})
+		} else if !m.cfg.Migrate {
+			m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
+				done: expire(j, now+detectDelay) + j.tm})
+		}
+		if !j.cancelled {
+			// Queued victims have no pending events; running ones recycle
+			// when their tombstoned evFinish fires.
+			m.freeJob(j)
+		}
+	}
+}
+
+// handleDrain takes the server out of rotation gracefully.
+func (m *machine) handleDrain(now simtime.PS, si int32) {
+	m.stepCtrl(now)
+	m.st.Events++
+	s := m.servers[si]
+	s.advance(now)
+	s.down = true
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackFleet,
+		Name: "drain", A0: int64(si), A1: int64(len(s.running)), A2: int64(len(s.queue))})
+	if !m.cfg.Migrate {
+		// Running jobs finish in place (a drain announces shutdown, it
+		// does not kill state), but the queue is abandoned: each waiting
+		// client falls back locally.
+		for _, j := range s.queue {
+			m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
+				done: now + detectDelay + j.tm})
+			m.freeJob(j)
+		}
+		s.queue = nil
+		s.queExec = 0
+		return
+	}
+	// Live migration: running jobs checkpoint and ship their dirty state
+	// over the backhaul, resuming mid-task on the target — only the
+	// *remaining* mobile-time travels. Queued jobs forward whole (they
+	// had not started) without a client round trip.
+	running := append([]*job(nil), s.running...)
+	for _, j := range s.running {
+		j.cancelled = true
+	}
+	s.busy = 0
+	s.running = nil
+	s.finSum = 0
+	for _, j := range running {
+		remTm := simtime.PS(0)
+		if j.finish > now {
+			remTm = simtime.PS(float64(j.finish-now) * s.spec.R)
+		}
+		ship := m.backhaul.TransferTime(j.mem) + m.backhaul.Latency + m.backhaul.PerMessage
+		if m.relocate(j, remTm, now+ship, now+detectDelay) {
+			m.st.Migrations++
+			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KMigrateShip, Track: obs.TrackFleet,
+				A0: int64(j.client), A1: int64(si), A2: j.mem, A3: int64(ship)})
+		}
+	}
+	queued := s.queue
+	s.queue = nil
+	s.queExec = 0
+	for _, j := range queued {
+		ship := m.backhaul.TransferTime(j.mem) + m.backhaul.Latency + m.backhaul.PerMessage
+		if m.relocate(j, j.tm, now+ship, now+detectDelay) {
+			m.st.Retried++
+			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+				Name: "forward", A0: int64(j.client), A1: int64(si)})
+		}
+		m.freeJob(j)
+	}
+}
+
+// handleServerEvent dispatches one popped server-lane event.
+func (m *machine) handleServerEvent(ev event) {
+	switch ev.kind {
+	case evArrive:
+		m.handleArrive(ev.t, ev.si, ev.j)
+	case evFinish:
+		m.handleFinish(ev.t, ev.si, ev.j)
+	case evCrash:
+		m.handleCrash(ev.t, ev.si)
+	case evDrain:
+		m.handleDrain(ev.t, ev.si)
+	}
+}
+
+// finishRun checks the end-of-run invariants and assembles the Result
+// from the merged stats.
+func (m *machine) finishRun(st *Stats, now simtime.PS) (*Result, error) {
+	for i, s := range m.servers {
+		s.advance(now)
+		// Slot-accounting invariants: every reservation must have
+		// materialized or been released, and every occupied slot drained —
+		// including on servers that died mid-service.
+		if s.reserved != 0 {
+			return nil, fmt.Errorf("fleet: server %d leaked %v of reservations at end of run", i, s.reserved)
+		}
+		if s.busy != 0 {
+			return nil, fmt.Errorf("fleet: server %d ended with %d occupied slots", i, s.busy)
+		}
+	}
+	if got := st.Offloads + st.Declines + st.Sheds + st.Fallbacks; got != st.Requests {
+		return nil, fmt.Errorf("fleet: request accounting broken: %d completed of %d issued", got, st.Requests)
+	}
+	cfg := m.cfg
+	res := &Result{
+		Policy:         string(cfg.Policy),
+		Queue:          cfg.Queue.String(),
+		Clients:        cfg.Clients,
+		Servers:        len(cfg.Servers),
+		Seed:           cfg.Seed,
+		Requests:       st.Requests,
+		Offloads:       st.Offloads,
+		Dispatched:     st.Dispatched,
+		Declines:       st.Declines,
+		Sheds:          st.Sheds,
+		Fallbacks:      st.Fallbacks,
+		Migrations:     st.Migrations,
+		Retried:        st.Retried,
+		DeadlineMisses: st.DeadlineMisses,
+		Events:         st.Events,
+	}
+	res.QueueWait = m.hWait.Snapshot()
+	res.E2E = st.E2E.Snapshot()
+	res.finish(st.Latencies, m.servers, now)
+	res.publish(cfg.Metrics, m.servers)
+	return res, nil
+}

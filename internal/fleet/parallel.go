@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// The sharded parallel engine.
+//
+// Clients partition into contiguous shards, each owning a private event
+// heap over its clients' ready events. Execution alternates between two
+// phases under a conservative time-window barrier on the shared simtime
+// clock:
+//
+//   - parallel phase: every shard drains its mailbox of completions
+//     (doneMsg), then processes its ready events up to the window
+//     horizon, appending the resulting decision intents to its outbox in
+//     (t, lane, seq) order;
+//   - serial phase: the coordinator merges the sorted outboxes with its
+//     own server-lane event queue and feeds the shared machine in exact
+//     global key order, mailing completions back to the owning shards.
+//
+// The horizon is min-pending + lookahead, where the lookahead is the
+// cheapest possible chain from any processed event back to a client's
+// next ready event (Config.lookahead: scaled think floor plus the cheaper
+// of a local re-execution and a reply leg). No message generated inside a
+// window can therefore target an instant before the window's end, which
+// is the conservative-synchronization argument: every shard sees every
+// event it must process before it crosses the horizon, and the serial
+// phase replays the sequential engine's total order exactly. Client-side
+// work is order-free across clients (clientState is private per client),
+// so the engines are bit-identical for every shard count — enforced by
+// tests, not just argued.
+type shard struct {
+	id    int
+	lo    int32 // first client id owned (inclusive)
+	hi    int32 // one past the last client id owned
+	q     *schedQueue
+	inbox []doneMsg // completions mailed by the coordinator, drained at phase start
+	out   []intent  // decision intents for the coordinator, naturally key-ordered
+	st    *Stats
+	maxT  simtime.PS
+}
+
+// step runs one parallel phase: deliver pending completions, then process
+// every ready event before the horizon.
+func (sh *shard) step(cfg *Config, clients []clientState, horizon simtime.PS) {
+	for _, msg := range sh.inbox {
+		next := applyDone(cfg, &clients[msg.ci], msg, sh.st)
+		sh.q.sched(next, evReady, msg.ci, 0, nil)
+	}
+	sh.inbox = sh.inbox[:0]
+	for !sh.q.empty() && sh.q.top().t < horizon {
+		ev := sh.q.pop()
+		if ev.t > sh.maxT {
+			sh.maxT = ev.t
+		}
+		if in, ok := issueReady(cfg, &clients[ev.lane], ev.lane, ev.t, sh.st); ok {
+			sh.out = append(sh.out, in)
+		}
+	}
+}
+
+func runSharded(cfg Config) (*Result, error) {
+	nShards := cfg.Shards
+	if nShards > cfg.Clients {
+		nShards = cfg.Clients
+	}
+	clients, links, err := buildClients(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	shards := make([]*shard, nShards)
+	owner := make([]int32, cfg.Clients)
+	for s := range shards {
+		lo := int32(s * cfg.Clients / nShards)
+		hi := int32((s + 1) * cfg.Clients / nShards)
+		sh := &shard{id: s, lo: lo, hi: hi, q: newSchedQueue(lo, int(hi-lo)), st: NewStats()}
+		for ci := lo; ci < hi; ci++ {
+			owner[ci] = int32(s)
+			// Stagger the first wave by one think time per client — the
+			// same draw, from the same per-entity stream, as sequential.
+			sh.q.sched(nextThink(&cfg, &clients[ci], 0), evReady, ci, 0, nil)
+		}
+		shards[s] = sh
+	}
+
+	nc := int32(cfg.Clients)
+	cst := NewStats()
+	m := newMachine(&cfg, links, cst)
+	cq := newWindowQueue(nc, len(cfg.Servers))
+	m.sched = func(t simtime.PS, kind uint8, si int32, j *job) {
+		cq.sched(t, kind, nc+si, si, j)
+	}
+	m.emit = func(msg doneMsg) {
+		sh := shards[owner[msg.ci]]
+		sh.inbox = append(sh.inbox, msg)
+	}
+	m.scheduleFaults()
+
+	la := cfg.lookahead()
+	thinkFloor := cfg.thinkFloor()
+
+	// Workers block between phases; channel send/recv orders every access
+	// to shard state, so coordinator reads of heaps/outboxes and writes
+	// to inboxes never race the workers.
+	start := make([]chan simtime.PS, nShards)
+	done := make(chan int, nShards)
+	for i := range start {
+		start[i] = make(chan simtime.PS, 1)
+	}
+	for i, sh := range shards {
+		go func(i int, sh *shard) {
+			for horizon := range start[i] {
+				sh.step(&cfg, clients, horizon)
+				done <- i
+			}
+		}(i, sh)
+	}
+	defer func() {
+		for i := range start {
+			close(start[i])
+		}
+	}()
+
+	var coordMax simtime.PS
+	for {
+		// The earliest pending instant anywhere: shard heaps, the
+		// coordinator queue, and undelivered completions (whose ready
+		// events cannot fire before done + the scaled think floor).
+		tmin := cq.minPending()
+		idle := !cq.pending()
+		for _, sh := range shards {
+			if !sh.q.empty() {
+				idle = false
+				if t := sh.q.top().t; t < tmin {
+					tmin = t
+				}
+			}
+			for i := range sh.inbox {
+				idle = false
+				if b := sh.inbox[i].done + thinkFloor; b < tmin {
+					tmin = b
+				}
+			}
+		}
+		if idle {
+			break
+		}
+		horizon := tmin + la
+		cq.advance(horizon)
+
+		for i := range shards {
+			start[i] <- horizon
+		}
+		for range shards {
+			<-done
+		}
+
+		// Serial phase: feed the machine the union of shard intents and
+		// coordinator events in global (t, lane, seq) order. Outboxes are
+		// already sorted (shards pop in key order); an intent's implicit
+		// lane is its client id, which sorts before every server lane, so
+		// at equal instants intents win — exactly as ready events beat
+		// server events in the sequential heap.
+		idx := make([]int, nShards)
+		for {
+			bi := -1
+			var bt simtime.PS
+			var bc int32
+			for s, sh := range shards {
+				if idx[s] >= len(sh.out) {
+					continue
+				}
+				in := &sh.out[idx[s]]
+				if bi < 0 || in.t < bt || (in.t == bt && in.ci < bc) {
+					bi, bt, bc = s, in.t, in.ci
+				}
+			}
+			haveEv := !cq.cur.empty() && cq.cur.top().t < horizon
+			if bi < 0 && !haveEv {
+				break
+			}
+			if bi >= 0 && (!haveEv || bt <= cq.cur.top().t) {
+				in := shards[bi].out[idx[bi]]
+				idx[bi]++
+				if in.t > coordMax {
+					coordMax = in.t
+				}
+				m.handleIntent(in)
+				continue
+			}
+			ev := cq.cur.pop()
+			if ev.t > coordMax {
+				coordMax = ev.t
+			}
+			m.handleServerEvent(ev)
+		}
+		for _, sh := range shards {
+			sh.out = sh.out[:0]
+		}
+	}
+
+	// Per-shard end-of-run invariants: a drained simulation must leave no
+	// shard holding queued events, undelivered mail, or unissued requests
+	// (the per-server reserved==0/busy==0 checks run in finishRun).
+	total := NewStats()
+	total.Merge(cst)
+	now := coordMax
+	for s, sh := range shards {
+		if !sh.q.empty() || len(sh.inbox) != 0 {
+			return nil, fmt.Errorf("fleet: shard %d ended with %d queued events, %d undelivered completions",
+				s, sh.q.len(), len(sh.inbox))
+		}
+		for ci := sh.lo; ci < sh.hi; ci++ {
+			if clients[ci].remaining != 0 {
+				return nil, fmt.Errorf("fleet: shard %d client %d ended holding %d unissued requests",
+					s, ci, clients[ci].remaining)
+			}
+		}
+		total.Merge(sh.st)
+		if sh.maxT > now {
+			now = sh.maxT
+		}
+	}
+	return m.finishRun(total, now)
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/simtime"
+)
+
+// marshalResult canonicalizes a run for byte-level comparison.
+func marshalResult(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", cfg.Shards, err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardCountInvariance is the engine-equivalence regression: the
+// sharded engine must produce byte-identical Results to the sequential
+// reference for every shard count, across policies, under faults with
+// migration, and with the adaptive controller riding a diurnal curve.
+// This is what licenses using Shards as a pure wall-clock knob.
+func TestShardCountInvariance(t *testing.T) {
+	variants := map[string]func(Config) Config{
+		"plain": func(c Config) Config { return c },
+		"faults": func(c Config) Config {
+			c.ServerFaults = &faults.ServerPlan{Events: []faults.ServerEvent{
+				{Kind: faults.Crash, Server: 0, Start: 800 * simtime.Millisecond},
+				{Kind: faults.Drain, Server: 2, Start: 1200 * simtime.Millisecond},
+			}}
+			c.Migrate = true
+			return c
+		},
+		"adaptive": func(c Config) Config {
+			c.Adaptive = DefaultAdaptive()
+			c.Workload.DiurnalAmp = 0.6
+			c.Workload.DiurnalPeriod = 2 * simtime.Second
+			return c
+		},
+	}
+	for name, mutate := range variants {
+		for _, pol := range Policies() {
+			cfg := mutate(DefaultConfig(64, 4, pol))
+			cfg.Seed = 9
+			ref := marshalResult(t, cfg)
+			for _, shards := range []int{1, 2, 3, 4, 8, 64} {
+				c := cfg
+				c.Shards = shards
+				if got := marshalResult(t, c); string(got) != string(ref) {
+					t.Errorf("%s/%s: shards=%d diverged from sequential", name, pol, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsExceedClients: more shards than clients must clamp, not break.
+func TestShardsExceedClients(t *testing.T) {
+	cfg := DefaultConfig(3, 2, RoundRobin)
+	ref := marshalResult(t, cfg)
+	cfg.Shards = 16
+	if got := marshalResult(t, cfg); string(got) != string(ref) {
+		t.Error("shards > clients diverged from sequential")
+	}
+}
+
+// TestScaleSmoke is the make scalesmoke gate: a 10k-client run through the
+// sharded engine must match the sequential reference byte for byte. Gated
+// behind FLEET_SCALESMOKE because it is ~200x the size of the unit cells.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("FLEET_SCALESMOKE") == "" {
+		t.Skip("set FLEET_SCALESMOKE=1 to run the 10k-client shard-invariance smoke")
+	}
+	cfg := DefaultConfig(10_000, 8, EstAware)
+	cfg.RequestsPerClient = 3
+	ref := marshalResult(t, cfg)
+	cfg.Shards = 4
+	if got := marshalResult(t, cfg); string(got) != string(ref) {
+		t.Error("10k-client sharded run diverged from sequential")
+	}
+}

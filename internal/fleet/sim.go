@@ -1,605 +1,163 @@
 package fleet
 
 import (
-	"container/heap"
-	"fmt"
+	"math"
 
-	"repro/internal/estimate"
-	"repro/internal/faults"
 	"repro/internal/netsim"
-	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
-// job is one offload request in flight through the fleet.
-type job struct {
-	client int
-	tm     simtime.PS // mobile execution time (Equation 1's Tm)
-	mem    int64      // memory footprint (Equation 1's M)
-	exec   simtime.PS // execution time at the chosen server
-	decide simtime.PS // when the client decided to offload
-	enq    simtime.PS // when the request entered the run queue
-	finish simtime.PS // when the server will complete it (running jobs)
-	down   simtime.PS // reply transfer time over the client's link
-	seq    int64      // FIFO tie-break
-	// deadline is the client's patience for the whole offload, fixed at
-	// dispatch like offrt's offloadDeadline: slack times the predicted
-	// transfer + execution + reply. Without the migration control plane
-	// this expiry is the client's only way to learn its server died.
-	deadline simtime.PS
-	// cancelled tombstones a job whose server died mid-service: its
-	// already-scheduled evFinish must fire as a no-op, because its slot and
-	// accounting were released at the fault instant.
-	cancelled bool
-	// recovery marks a job re-placed after a server fault. Recovery
-	// traffic is control-plane placement against a live reservation — it
-	// already raced the local-fallback estimate at relocation time — so
-	// the client-facing admission bound does not shed it a second time.
-	recovery bool
-}
-
-// server is one pool member's live state.
-type server struct {
-	spec    ServerSpec
-	busy    int    // occupied slots
-	running []*job // jobs in slots (finish times feed the load estimate)
-	queue   []*job // waiting jobs, ordered by the queue discipline at pop
-
-	// reserved is dispatcher-side bookkeeping: service time of requests
-	// routed here but still in flight over their clients' links. Without
-	// it every concurrent est-aware decision sees the same idle server
-	// and herds onto it — the classic join-shortest-queue-with-stale-info
-	// pathology.
-	reserved simtime.PS
-
-	// busyPS integrates busy slots over time for the utilization gauge;
-	// maxDepth tracks the deepest queue ever observed.
-	busyPS   simtime.PS
-	lastT    simtime.PS
-	maxDepth int
-	waitPS   simtime.PS // total queueing delay charged
-	served   int        // jobs that entered a slot
-
-	// down marks a crashed or draining server: the dispatcher routes
-	// around it and arrivals already in flight are relocated.
-	down bool
-}
-
-// advance integrates the utilization clock to now.
-func (s *server) advance(now simtime.PS) {
-	if now > s.lastT {
-		s.busyPS += simtime.PS(int64(s.busy) * int64(now-s.lastT))
-		s.lastT = now
-	}
-}
-
-// execTime is the task's service time at this server's speed.
-func (s *server) execTime(tm simtime.PS) simtime.PS {
-	return simtime.PS(float64(tm) / s.spec.R)
-}
-
-// estWait estimates the queueing delay a request dispatched now would
-// face: all outstanding work (remaining service of running jobs, the full
-// service of queued ones, and in-flight reservations) spread across the
-// slots. This is the live load signal the dispatcher exposes — to its own
-// policies, to the admission bound, and to the est-aware gate.
-func (s *server) estWait(now simtime.PS) simtime.PS {
-	left := s.reserved
-	for _, j := range s.running {
-		if j.finish > now {
-			left += j.finish - now
-		}
-	}
-	for _, j := range s.queue {
-		left += j.exec
-	}
-	return left / simtime.PS(s.spec.Slots)
-}
-
-// pop removes the next queued job under the discipline: FIFO takes the
-// oldest, SJF the shortest service time (ties by arrival order).
-func (s *server) pop(d Discipline) *job {
-	best := 0
-	if d == SJF {
-		for i := 1; i < len(s.queue); i++ {
-			if s.queue[i].exec < s.queue[best].exec ||
-				(s.queue[i].exec == s.queue[best].exec && s.queue[i].seq < s.queue[best].seq) {
-				best = i
-			}
-		}
-	}
-	j := s.queue[best]
-	s.queue = append(s.queue[:best], s.queue[best+1:]...)
-	return j
-}
-
-// dropRunning removes a completed job from the slot list.
-func (s *server) dropRunning(j *job) {
-	for i, r := range s.running {
-		if r == j {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			return
-		}
-	}
-}
-
-// event kinds of the discrete-event loop.
-const (
-	evReady  = iota // a client is ready to issue its next request
-	evArrive        // an offload request reaches its server
-	evFinish        // a server slot completes a job
-	evCrash         // a scheduled server crash: in-flight state is lost
-	evDrain         // a scheduled drain: the server stops taking work
-)
-
-// detectDelay is the health monitor's failure-detection latency: the gap
-// between a server dying and the control plane declaring it dead off its
-// missed heartbeats. It is a property of the migration subsystem — only
-// fleets running with Migrate have a component watching server liveness.
-// Drains are announced and pay the same small notification delay.
-const detectDelay = 5 * simtime.Millisecond
-
-// deadlineSlack mirrors offrt's DefaultRecovery().DeadlineSlack: a client
-// without the control plane waits slack times its predicted end-to-end
-// offload time (upload + server execution + reply) before concluding the
-// server is gone and re-executing locally. This is the fallback-only
-// failure detector — deadline expiry, not heartbeats — and the reason
-// fast recovery needs the monitor: a crash costs the client its remaining
-// patience, not five milliseconds.
-const deadlineSlack = 3
-
-// event is one scheduled occurrence; the heap orders by (time, seq) so
-// simultaneous events resolve deterministically.
-type event struct {
-	t    simtime.PS
-	seq  int64
-	kind int
-	ci   int // client
-	si   int // server (evArrive/evFinish)
-	j    *job
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
-	if h[a].t != h[b].t {
-		return h[a].t < h[b].t
-	}
-	return h[a].seq < h[b].seq
-}
-func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// client is one simulated mobile device.
-type client struct {
-	id        int
-	link      *netsim.Link
+// clientState is one simulated mobile device. Client-side logic (workload
+// draws from the client's private stream, link pricing, completion
+// bookkeeping) touches no global simulation state, which is what lets the
+// sharded engine run it on worker goroutines: any interleaving of
+// different clients' handlers is equivalent.
+type clientState struct {
 	rng       rng
+	link      *netsim.Link
 	remaining int
 }
 
-// shedNoticeBytes is the size of the admission-reject notification the
-// client waits for before falling back locally.
-const shedNoticeBytes = 64
+// buildClients materializes the client population and the per-client link
+// table. Clients on the same profile share one immutable Link instance —
+// the per-client Clone the old engine made existed only to stamp a
+// distinct name, which at a million clients is real memory.
+func buildClients(cfg *Config) ([]clientState, []*netsim.Link, error) {
+	profiles := cfg.LinkProfiles
+	if len(profiles) == 0 {
+		profiles = defaultLinkProfiles
+	}
+	base := make([]*netsim.Link, len(profiles))
+	for i, name := range profiles {
+		l, err := netsim.Profile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		base[i] = l
+	}
+	clients := make([]clientState, cfg.Clients)
+	links := make([]*netsim.Link, cfg.Clients)
+	for i := range clients {
+		links[i] = base[i%len(base)]
+		clients[i] = clientState{
+			rng:       entityStream(cfg.Seed, uint64(i)),
+			link:      links[i],
+			remaining: cfg.RequestsPerClient,
+		}
+	}
+	return clients, links, nil
+}
+
+// nextThink draws the client's pause before its next request, issued at
+// instant at. Under a diurnal workload the draw is scaled by the inverse
+// of the load curve: peak hours shrink think times (more traffic), the
+// trough stretches them.
+func nextThink(cfg *Config, cs *clientState, at simtime.PS) simtime.PS {
+	think := cs.rng.rangePS(cfg.Workload.ThinkMin, cfg.Workload.ThinkMax)
+	if cfg.Workload.DiurnalAmp > 0 {
+		think = simtime.PS(float64(think) / cfg.Workload.loadAt(at))
+	}
+	return think
+}
+
+// loadAt is the diurnal load factor at instant t: 1 + Amp*sin(2πt/Period),
+// so the curve starts at the neutral crossing and peaks a quarter-period
+// in.
+func (w *WorkloadModel) loadAt(t simtime.PS) float64 {
+	if w.DiurnalAmp <= 0 {
+		return 1
+	}
+	return 1 + w.DiurnalAmp*math.Sin(2*math.Pi*float64(t)/float64(w.DiurnalPeriod))
+}
+
+// issueReady runs one ready event: if the client still owes requests, it
+// draws the task (Tm, M), prices the transfer legs over its own link at
+// this instant, and returns the decision intent for the machine.
+func issueReady(cfg *Config, cs *clientState, ci int32, now simtime.PS, st *Stats) (intent, bool) {
+	st.Events++
+	if cs.remaining == 0 {
+		return intent{}, false
+	}
+	cs.remaining--
+	st.Requests++
+	tm := cs.rng.rangePS(cfg.Workload.TmMin, cfg.Workload.TmMax)
+	mem := cs.rng.rangeI64(cfg.Workload.MemMin, cfg.Workload.MemMax)
+	link := cs.link.At(now)
+	return intent{
+		t:    now,
+		ci:   ci,
+		tm:   tm,
+		mem:  mem,
+		up:   link.TransferTime(mem),
+		down: link.TransferTime(mem),
+		bw:   link.BandwidthBps,
+		rtt:  2 * (link.Latency + link.PerMessage),
+	}, true
+}
+
+// applyDone records one completed request on the client and returns when
+// its next ready event fires.
+func applyDone(cfg *Config, cs *clientState, msg doneMsg, st *Stats) simtime.PS {
+	st.Events++
+	st.record(msg)
+	return msg.done + nextThink(cfg, cs, msg.done)
+}
 
 // Run executes one fleet simulation to completion and returns its
-// statistics. The run is strictly deterministic in cfg (including Seed).
+// statistics. The run is strictly deterministic in cfg (including Seed
+// and Shards): Shards == 0 runs the sequential reference engine, any
+// Shards >= 1 runs the sharded parallel engine, and every choice produces
+// bit-identical Results — per-entity RNG streams and the intrinsic
+// (t, lane, seq) event order make the schedule a property of the
+// configuration, not of the execution strategy.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	servers := make([]*server, len(cfg.Servers))
-	for i, spec := range cfg.Servers {
-		servers[i] = &server{spec: spec}
+	if cfg.Shards > 0 {
+		return runSharded(cfg)
 	}
-	clients := make([]*client, cfg.Clients)
-	disp := &dispatcher{policy: cfg.Policy, rng: newRng(cfg.Seed ^ 0xD15847C4)}
+	return runSequential(cfg)
+}
 
-	var evs eventHeap
-	var seq int64
-	push := func(t simtime.PS, kind, ci, si int, j *job) {
-		seq++
-		heap.Push(&evs, event{t: t, seq: seq, kind: kind, ci: ci, si: si, j: j})
+// runSequential is the single-heap reference engine: one event queue over
+// every lane, the machine's handlers invoked inline. It is kept as the
+// differential oracle for the sharded engine — same state machine, no
+// concurrency anywhere.
+func runSequential(cfg Config) (*Result, error) {
+	clients, links, err := buildClients(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := NewStats()
+	m := newMachine(&cfg, links, st)
+	nc := int32(cfg.Clients)
+	q := newSchedQueue(0, cfg.Clients+len(cfg.Servers))
+	m.sched = func(t simtime.PS, kind uint8, si int32, j *job) {
+		q.sched(t, kind, nc+si, si, j)
+	}
+	m.emit = func(msg doneMsg) {
+		next := applyDone(&cfg, &clients[msg.ci], msg, st)
+		q.sched(next, evReady, msg.ci, 0, nil)
 	}
 
+	// Stagger the fleet's first wave by one think time per client.
 	for i := range clients {
-		link, err := ClientLink(cfg.LinkProfiles, i)
-		if err != nil {
-			return nil, err
-		}
-		clients[i] = &client{
-			id:        i,
-			link:      link,
-			rng:       newRng(cfg.Seed ^ (0x9E3779B97F4A7C15 * uint64(i+1))),
-			remaining: cfg.RequestsPerClient,
-		}
-		// Stagger the fleet's first wave by one think time per client.
-		push(clients[i].rng.rangePS(cfg.Workload.ThinkMin, cfg.Workload.ThinkMax), evReady, i, 0, nil)
+		q.sched(nextThink(&cfg, &clients[i], 0), evReady, int32(i), 0, nil)
 	}
+	m.scheduleFaults()
 
-	res := &Result{
-		Policy:  string(cfg.Policy),
-		Queue:   cfg.Queue.String(),
-		Clients: cfg.Clients,
-		Servers: len(cfg.Servers),
-		Seed:    cfg.Seed,
-	}
-	var latencies []simtime.PS
 	var now simtime.PS
-
-	// Queue-wait distribution: a private histogram feeds the Result
-	// snapshot (deterministic, so the BENCH JSON stays byte-stable), and a
-	// registry twin renders in Metrics.Summary. Both nil-safe/no-op paths
-	// cost nothing when unused.
-	hWait := obs.NewHistogram()
-	mWait := cfg.Metrics.Histogram("lat.queue_wait_ps")
-	recordWait := func(w simtime.PS) {
-		hWait.Record(int64(w))
-		mWait.Record(int64(w))
-	}
-
-	// complete records one finished request and schedules the client's
-	// next think/issue cycle.
-	complete := func(c *client, decide, done simtime.PS) {
-		latencies = append(latencies, done-decide)
-		next := done + c.rng.rangePS(cfg.Workload.ThinkMin, cfg.Workload.ThinkMax)
-		push(next, evReady, c.id, 0, nil)
-	}
-
-	// startJob moves a job into a slot of server si at instant t. A
-	// scheduled stall at t pushes the start to the window's end; a
-	// slowdown in effect then stretches the whole service time by its
-	// factor (coarse: the factor at start governs the job, window edges
-	// inside the service interval are not split).
-	startJob := func(si int, j *job, t simtime.PS) {
-		s := servers[si]
-		s.busy++
-		s.served++
-		fin := t + j.exec
-		if p := cfg.ServerFaults; p.Active() {
-			start := t
-			if until, ok := p.StallUntil(si, start); ok {
-				start = until
-			}
-			fin = start + simtime.PS(float64(j.exec)*p.SlowFactor(si, start))
-		}
-		j.finish = fin
-		s.running = append(s.running, j)
-		push(j.finish, evFinish, j.client, si, j)
-	}
-
-	backhaul := netsim.Backhaul()
-
-	// expire is when a client without the control plane gives up on a dead
-	// server: not before its offload deadline runs out. The silent crash is
-	// indistinguishable from a slow queue until then.
-	expire := func(j *job, at simtime.PS) simtime.PS {
-		if j.deadline > at {
-			return j.deadline
-		}
-		return at
-	}
-
-	// bestUp is the migration target chooser: est-aware placement over the
-	// surviving servers regardless of the dispatch policy, because moving a
-	// victim is a runtime mechanism, not a routing preference. Returns -1
-	// when no viable server remains.
-	bestUp := func(at simtime.PS, remTm simtime.PS) int {
-		best, bestTotal := -1, simtime.PS(0)
-		for i, s := range servers {
-			if s.down {
-				continue
-			}
-			total := s.estWait(at) + s.execTime(remTm)
-			if best < 0 || total < bestTotal {
-				best, bestTotal = i, total
-			}
-		}
-		return best
-	}
-
-	// relocate routes a victim job's remaining work (remTm, in mobile
-	// time) to the best surviving server, arriving at instant at, or sends
-	// the client down the local path when that is the better estimate. The
-	// recovery decision is the migration analogue of the Equation-1 gate:
-	// the victim is not forced remote — estimated completion at the best
-	// survivor (arrival + queueing + execution + reply) races full local
-	// re-execution starting at localAt, and the loser is dropped. With no
-	// survivor at all, local wins by default. The target's reservation
-	// mirrors a fresh dispatch, so slot accounting stays exact across
-	// failures.
-	relocate := func(j *job, remTm simtime.PS, at, localAt simtime.PS) bool {
-		ti := bestUp(at, remTm)
-		if ti >= 0 {
-			t := servers[ti]
-			remoteDone := at + t.estWait(at) + t.execTime(remTm) + j.down
-			if remoteDone >= localAt+j.tm {
-				ti = -1 // a loaded pool makes local re-execution the better recovery
-			}
-		}
-		if ti < 0 {
-			res.Fallbacks++
-			complete(clients[j.client], j.decide, localAt+j.tm)
-			return false
-		}
-		t := servers[ti]
-		seq++
-		nj := &job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(remTm),
-			decide: j.decide, down: j.down, seq: seq, recovery: true}
-		t.reserved += nj.exec
-		push(at, evArrive, j.client, ti, nj)
-		return true
-	}
-
-	// Schedule the server-fault timeline. Crash and drain are events;
-	// slowdowns and stalls are consulted lazily when jobs start.
-	if cfg.ServerFaults.Active() {
-		for _, fe := range cfg.ServerFaults.Events {
-			if fe.Server >= len(servers) {
-				continue
-			}
-			switch fe.Kind {
-			case faults.Crash:
-				push(fe.Start, evCrash, 0, fe.Server, nil)
-			case faults.Drain:
-				push(fe.Start, evDrain, 0, fe.Server, nil)
-			}
-		}
-	}
-
-	for evs.Len() > 0 {
-		ev := heap.Pop(&evs).(event)
+	for !q.empty() {
+		ev := q.pop()
 		now = ev.t
-		switch ev.kind {
-		case evReady:
-			c := clients[ev.ci]
-			if c.remaining == 0 {
-				break
+		if ev.kind == evReady {
+			if in, ok := issueReady(&cfg, &clients[ev.lane], ev.lane, ev.t, st); ok {
+				m.handleIntent(in)
 			}
-			c.remaining--
-			res.Requests++
-			tm := c.rng.rangePS(cfg.Workload.TmMin, cfg.Workload.TmMax)
-			mem := c.rng.rangeI64(cfg.Workload.MemMin, cfg.Workload.MemMax)
-			link := c.link.At(now)
-			up := link.TransferTime(mem)
-			down := link.TransferTime(mem)
-			si, wait := disp.pick(servers, now, tm, up, down)
-			if si < 0 {
-				// The whole pool is down or draining: nothing to offload to.
-				res.Fallbacks++
-				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
-					Name: "pool-down", A0: int64(tm), A1: mem})
-				complete(c, now, now+tm)
-				break
-			}
-			srv := servers[si]
-			// The dynamic gate: Equation 1 against the picked server's
-			// speed. Only the est-aware policy extends it with the live
-			// queueing-delay signal (the contention-aware gate); the
-			// naive policies keep the paper's load-blind gate, assuming
-			// a dedicated server — which is exactly what overruns queues
-			// and triggers admission sheds under heavy traffic.
-			gateWait := simtime.PS(0)
-			if cfg.Policy == EstAware {
-				gateWait = wait
-			}
-			p := estimate.Params{
-				R:            srv.spec.R,
-				BandwidthBps: link.BandwidthBps,
-				RTT:          2 * (link.Latency + link.PerMessage),
-			}
-			if !p.ProfitableQueued(tm, mem, gateWait) {
-				res.Declines++
-				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
-					Name: "decline", A0: int64(tm), A1: mem, A2: link.BandwidthBps, A3: int64(wait)})
-				complete(c, now, now+tm)
-				break
-			}
-			res.Dispatched++
-			cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KDispatch, Track: obs.TrackFleet,
-				Name: string(cfg.Policy), A0: int64(c.id), A1: int64(si),
-				A2: int64(len(srv.queue)), A3: int64(wait)})
-			seq++
-			j := &job{client: c.id, tm: tm, mem: mem, exec: srv.execTime(tm),
-				decide: now, down: down, seq: seq,
-				deadline: now + simtime.PS(deadlineSlack*float64(up+srv.execTime(tm)+down))}
-			srv.reserved += j.exec
-			push(now+up, evArrive, c.id, si, j)
-
-		case evArrive:
-			s := servers[ev.si]
-			j := ev.j
-			// The reservation materializes: the job is now visible in the
-			// queue or a slot instead. This runs even when the server is
-			// down — a reservation against a dead server is exactly the
-			// slot-accounting leak the end-of-run invariant guards.
-			s.reserved -= j.exec
-			if s.reserved < 0 {
-				s.reserved = 0
-			}
-			if s.down {
-				// The request landed on a dead or draining server. With
-				// migration support the fleet reroutes it to a survivor;
-				// without, the client's deadline expires and it re-executes
-				// locally.
-				if cfg.Migrate && relocate(j, j.tm, now+detectDelay, now+detectDelay) {
-					res.Retried++
-					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
-						Name: "redispatch", A0: int64(j.client), A1: int64(ev.si)})
-				} else if !cfg.Migrate {
-					res.Fallbacks++
-					complete(clients[j.client], j.decide, expire(j, now+detectDelay)+j.tm)
-				}
-				break
-			}
-			depth := len(s.queue)
-			if depth > s.maxDepth {
-				s.maxDepth = depth
-			}
-			// Admission control runs against the server's *actual* state
-			// at arrival — decision-time estimates are already stale by
-			// one transfer time, which is exactly how a thundering herd
-			// overruns a queue bound.
-			if !j.recovery &&
-				((cfg.Admission.MaxQueue > 0 && depth >= cfg.Admission.MaxQueue && s.busy >= s.spec.Slots) ||
-					(cfg.Admission.MaxWait > 0 && s.estWait(now) > cfg.Admission.MaxWait)) {
-				res.Sheds++
-				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KShed, Track: obs.TrackFleet,
-					A0: int64(j.client), A1: int64(ev.si), A2: int64(depth)})
-				c := clients[j.client]
-				notice := c.link.At(now).TransferTime(shedNoticeBytes)
-				// Local fallback: the client hears the reject, then runs
-				// the task itself.
-				complete(c, j.decide, now+notice+j.tm)
-				break
-			}
-			s.advance(now)
-			if s.busy < s.spec.Slots {
-				recordWait(0)
-				startJob(ev.si, j, now)
-			} else {
-				j.enq = now
-				s.queue = append(s.queue, j)
-				if len(s.queue) > s.maxDepth {
-					s.maxDepth = len(s.queue)
-				}
-			}
-
-		case evFinish:
-			s := servers[ev.si]
-			j := ev.j
-			if j.cancelled {
-				// The server died mid-service; the slot and accounting were
-				// released at the fault instant.
-				break
-			}
-			s.advance(now)
-			s.busy--
-			s.dropRunning(j)
-			res.Offloads++
-			complete(clients[j.client], j.decide, now+j.down)
-			if len(s.queue) > 0 && s.busy < s.spec.Slots {
-				next := s.pop(cfg.Queue)
-				wait := now - next.enq
-				s.waitPS += wait
-				recordWait(wait)
-				cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KQueue, Track: obs.TrackFleet,
-					A0: int64(next.client), A1: int64(ev.si), A2: int64(wait)})
-				startJob(ev.si, next, now)
-			}
-
-		case evCrash:
-			s := servers[ev.si]
-			s.advance(now)
-			s.down = true
-			cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackFleet,
-				Name: "crash", A0: int64(ev.si), A1: int64(len(s.running)), A2: int64(len(s.queue))})
-			// Everything on the server is lost: running jobs mid-service and
-			// queued input state alike. Slots and accounting release here;
-			// the already-scheduled evFinish events fire as tombstoned no-ops.
-			victims := append(append([]*job(nil), s.running...), s.queue...)
-			for _, j := range s.running {
-				j.cancelled = true
-			}
-			s.busy = 0
-			s.running = nil
-			s.queue = nil
-			for _, j := range victims {
-				// State died with the server, so recovery is a full re-send:
-				// the health monitor flags the crash after detectDelay and the
-				// client re-uploads its snapshot to the relocation target (or
-				// falls back locally). Without the monitor the crash is silent
-				// — the client burns its whole offload deadline before giving
-				// up and re-executing locally.
-				c := clients[j.client]
-				reup := c.link.At(now + detectDelay).TransferTime(j.mem)
-				if cfg.Migrate && relocate(j, j.tm, now+detectDelay+reup, now+detectDelay) {
-					res.Retried++
-					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
-						Name: "resend", A0: int64(j.client), A1: int64(ev.si)})
-				} else if !cfg.Migrate {
-					res.Fallbacks++
-					complete(c, j.decide, expire(j, now+detectDelay)+j.tm)
-				}
-			}
-
-		case evDrain:
-			s := servers[ev.si]
-			s.advance(now)
-			s.down = true
-			cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackFleet,
-				Name: "drain", A0: int64(ev.si), A1: int64(len(s.running)), A2: int64(len(s.queue))})
-			if !cfg.Migrate {
-				// Running jobs finish in place (a drain announces shutdown,
-				// it does not kill state), but the queue is abandoned: each
-				// waiting client falls back locally.
-				for _, j := range s.queue {
-					res.Fallbacks++
-					complete(clients[j.client], j.decide, now+detectDelay+j.tm)
-				}
-				s.queue = nil
-				break
-			}
-			// Live migration: running jobs checkpoint and ship their dirty
-			// state over the backhaul, resuming mid-task on the target —
-			// only the *remaining* mobile-time travels. Queued jobs forward
-			// whole (they had not started) without a client round trip.
-			running := append([]*job(nil), s.running...)
-			for _, j := range s.running {
-				j.cancelled = true
-			}
-			s.busy = 0
-			s.running = nil
-			for _, j := range running {
-				remTm := simtime.PS(0)
-				if j.finish > now {
-					remTm = simtime.PS(float64(j.finish-now) * s.spec.R)
-				}
-				ship := backhaul.TransferTime(j.mem) + backhaul.Latency + backhaul.PerMessage
-				if relocate(j, remTm, now+ship, now+detectDelay) {
-					res.Migrations++
-					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KMigrateShip, Track: obs.TrackFleet,
-						A0: int64(j.client), A1: int64(ev.si), A2: j.mem, A3: int64(ship)})
-				}
-			}
-			queued := s.queue
-			s.queue = nil
-			for _, j := range queued {
-				ship := backhaul.TransferTime(j.mem) + backhaul.Latency + backhaul.PerMessage
-				if relocate(j, j.tm, now+ship, now+detectDelay) {
-					res.Retried++
-					cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
-						Name: "forward", A0: int64(j.client), A1: int64(ev.si)})
-				}
-			}
+			continue
 		}
+		m.handleServerEvent(ev)
 	}
-
-	for i, s := range servers {
-		s.advance(now)
-		// Slot-accounting invariants: every reservation must have
-		// materialized or been released, and every occupied slot drained —
-		// including on servers that died mid-service.
-		if s.reserved != 0 {
-			return nil, fmt.Errorf("fleet: server %d leaked %v of reservations at end of run", i, s.reserved)
-		}
-		if s.busy != 0 {
-			return nil, fmt.Errorf("fleet: server %d ended with %d occupied slots", i, s.busy)
-		}
-	}
-	if got := res.Offloads + res.Declines + res.Sheds + res.Fallbacks; got != res.Requests {
-		return nil, fmt.Errorf("fleet: request accounting broken: %d completed of %d issued", got, res.Requests)
-	}
-	res.QueueWait = hWait.Snapshot()
-	res.finish(latencies, servers, now)
-	res.publish(cfg.Metrics, servers)
-	return res, nil
+	return m.finishRun(st, now)
 }

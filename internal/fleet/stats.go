@@ -9,6 +9,87 @@ import (
 	"repro/internal/simtime"
 )
 
+// Stats is the raw, mergeable tally one engine lane accumulates while a
+// run is in flight: outcome counters, the latency population, and the
+// end-to-end latency histogram. The sequential engine keeps a single
+// Stats; the sharded engine gives each shard (and the coordinator) its
+// own and merges them at the end. Merging is exact — counters add, the
+// latency population concatenates (every aggregate in Result is computed
+// after a sort, so order never matters), and the histogram merges
+// bucket-wise — so the merged Stats is indistinguishable from one that
+// observed every completion itself.
+type Stats struct {
+	// Client-side outcome counters.
+	Requests  int
+	Offloads  int
+	Declines  int
+	Sheds     int
+	Fallbacks int
+	// DeadlineMisses counts offloads whose reply landed after the
+	// dispatch-time deadline (local-path completions carry no deadline).
+	DeadlineMisses int
+
+	// Server-side counters.
+	Dispatched int
+	Migrations int
+	Retried    int
+
+	// Events counts state-machine transitions (every processed event,
+	// decision intent, and delivered completion) — the engine-invariant
+	// work measure the scale benchmarks report as events/sec.
+	Events int64
+
+	// Latencies is the end-to-end latency population (decision to result
+	// in hand), one entry per completed request.
+	Latencies []simtime.PS
+	// E2E is the same population as a mergeable histogram.
+	E2E *obs.Histogram
+}
+
+// NewStats returns an empty tally.
+func NewStats() *Stats {
+	return &Stats{E2E: obs.NewHistogram()}
+}
+
+// Merge folds o into s. Safe when o is nil.
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Requests += o.Requests
+	s.Offloads += o.Offloads
+	s.Declines += o.Declines
+	s.Sheds += o.Sheds
+	s.Fallbacks += o.Fallbacks
+	s.DeadlineMisses += o.DeadlineMisses
+	s.Dispatched += o.Dispatched
+	s.Migrations += o.Migrations
+	s.Retried += o.Retried
+	s.Events += o.Events
+	s.Latencies = append(s.Latencies, o.Latencies...)
+	s.E2E.Merge(o.E2E)
+}
+
+// record tallies one completion message.
+func (s *Stats) record(msg doneMsg) {
+	lat := msg.done - msg.decide
+	s.Latencies = append(s.Latencies, lat)
+	s.E2E.Record(int64(lat))
+	switch msg.kind {
+	case outOffload:
+		s.Offloads++
+	case outDecline:
+		s.Declines++
+	case outShed:
+		s.Sheds++
+	default:
+		s.Fallbacks++
+	}
+	if msg.missed {
+		s.DeadlineMisses++
+	}
+}
+
 // Result is the statistics of one fleet run. All fields are plain values
 // derived deterministically from the Config, so two runs with the same
 // seed marshal to byte-identical JSON.
@@ -32,6 +113,15 @@ type Result struct {
 	// they are already inside Offloads).
 	Migrations int `json:"migrations"` // running jobs checkpoint-migrated off a drain
 	Retried    int `json:"retried"`    // crash victims re-sent / queued jobs forwarded
+
+	// DeadlineMisses counts offloads whose reply landed after the
+	// dispatch-time deadline — completions the client had already given
+	// up on. The adaptive admission controller treats these as overruns.
+	DeadlineMisses int `json:"deadline_misses"`
+	// Events is the total state-machine transition count, identical
+	// across engines and shard counts; events per wall-clock second is
+	// the scale benchmark's throughput metric.
+	Events int64 `json:"events"`
 
 	// LocalRate is the fraction of requests that ran on the client
 	// (gate declines plus admission sheds).
@@ -57,6 +147,9 @@ type Result struct {
 	// job records, jobs that start immediately record 0, so the quantiles
 	// reflect what an arriving request actually experiences.
 	QueueWait obs.HistSnapshot `json:"queue_wait_hist"`
+	// E2E is the end-to-end latency distribution (ps) over every
+	// completed request, streamed through per-shard histograms.
+	E2E obs.HistSnapshot `json:"e2e_hist"`
 }
 
 // percentile returns the q-quantile (0..1) of sorted latencies by nearest

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestStatsMergeExact is the merge-exactness contract the sharded engine
+// relies on: recording a completion population split across several Stats
+// and merging must be indistinguishable from one Stats observing every
+// message itself — counters, latency population, and histogram snapshot.
+func TestStatsMergeExact(t *testing.T) {
+	r := entityStream(7, 0)
+	var msgs []doneMsg
+	for i := 0; i < 2000; i++ {
+		decide := simtime.PS(r.intn(1_000_000_000))
+		msgs = append(msgs, doneMsg{
+			ci:     int32(i),
+			kind:   uint8(r.intn(4)),
+			missed: r.intn(5) == 0,
+			decide: decide,
+			done:   decide + simtime.PS(1+r.intn(2_000_000_000)),
+		})
+	}
+
+	whole := NewStats()
+	parts := []*Stats{NewStats(), NewStats(), NewStats()}
+	for i, msg := range msgs {
+		whole.record(msg)
+		parts[i%len(parts)].record(msg)
+	}
+	whole.Requests = len(msgs)
+	parts[0].Requests = len(msgs) // counters add; park the total on one part
+
+	merged := NewStats()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	// The latency population may arrive in any order — every aggregate is
+	// computed after a sort — so compare as multisets via sorting copies.
+	sortPS := func(v []simtime.PS) []simtime.PS {
+		out := append([]simtime.PS(nil), v...)
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(sortPS(merged.Latencies), sortPS(whole.Latencies)) {
+		t.Error("merged latency population differs from the whole-run population")
+	}
+	if !reflect.DeepEqual(merged.E2E.Snapshot(), whole.E2E.Snapshot()) {
+		t.Error("merged histogram snapshot differs from the whole-run snapshot")
+	}
+	merged.Latencies, whole.Latencies = nil, nil
+	merged.E2E, whole.E2E = nil, nil
+	if !reflect.DeepEqual(merged, whole) {
+		t.Errorf("merged counters %+v != whole-run counters %+v", merged, whole)
+	}
+}
+
+// TestStatsMergeNil: merging nil is a no-op, never a panic — shards that
+// error out hand the coordinator a nil Stats.
+func TestStatsMergeNil(t *testing.T) {
+	s := NewStats()
+	s.record(doneMsg{kind: outOffload, done: simtime.Millisecond})
+	before := s.Offloads
+	s.Merge(nil)
+	if s.Offloads != before {
+		t.Error("merging nil changed counters")
+	}
+}
