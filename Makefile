@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke scalesmoke
+.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke scalesmoke tiersmoke
 
 ## check: the tier-1 verification — build, vet, race-enabled tests, a
 ## short fuzz smoke over the hardened wire decoder, the fleet scheduler
 ## smoke, the sharded-engine scale smoke, the profiler/breakdown CLI
-## smoke, the shared-image bind smoke, and the mid-offload migration
-## smoke.
-check: build vet fleet scalesmoke profsmoke bindsmoke migsmoke
+## smoke, the shared-image bind smoke, the mid-offload migration
+## smoke, and the multi-tier placement smoke.
+check: build vet fleet scalesmoke profsmoke bindsmoke migsmoke tiersmoke
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
@@ -29,6 +29,12 @@ scalesmoke:
 ## checkpoint scales with dirty pages (a fresh instance ships zero).
 migsmoke:
 	$(GO) test ./internal/offrt/ -run '^TestMigrationSmoke$$' -count=1
+
+## tiersmoke: the multi-tier placement contract — a hot 3-way cell must
+## beat both static baselines on geomean, actually promote and demote
+## across the backhaul, and stay byte-identical across shard counts.
+tiersmoke:
+	$(GO) test ./internal/fleet/ -run '^TestTierSmoke$$' -count=1
 
 build:
 	$(GO) build ./...
@@ -53,7 +59,11 @@ test:
 ## BENCH_fleet_scale.json; it fails if the engines disagree byte for
 ## byte, if adaptive admission stops beating static bounds on the
 ## diurnal cell, or (on >= 4 cores) if the parallel engine is under 4x
-## the sequential events/sec.
+## the sequential events/sec. The tiers bench sweeps the mobile -> edge
+## -> cloud hierarchy through all three placement modes and writes
+## BENCH_tiers.json; it fails unless 3-way placement holds both
+## aggregate tails at or under each static baseline with shard parity
+## and live cross-tier migration.
 bench:
 	$(GO) test -run '^$$' -bench 'InterpLoop|LoadStore|CallReturn|Digest|Bind' -benchmem ./internal/interp/
 	$(GO) test -run '^$$' -bench 'PageFaultTrace' -benchmem ./internal/obs/
@@ -62,6 +72,7 @@ bench:
 	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
 	$(GO) run ./cmd/offloadbench -exp migrate -migrate-out=$(CURDIR)/BENCH_migrate.json
 	$(GO) run ./cmd/offloadbench -exp fleetscale -clients 1000000 -shards 0 -scale-out=$(CURDIR)/BENCH_fleet_scale.json
+	$(GO) run ./cmd/offloadbench -exp tiers -tiers-out=$(CURDIR)/BENCH_tiers.json
 
 ## golden: regenerate every golden file (Chrome export, metrics summary,
 ## breakdown tables) through the shared goldentest -update flag.

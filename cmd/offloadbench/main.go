@@ -4,17 +4,22 @@
 //	offloadbench -exp table1|table2|table3|table4|table5|fig6a|fig6b|fig7|fig8|all
 //	offloadbench -exp fleet -clients=64 -servers=4 -policy=est-aware
 //	offloadbench -exp fleetscale -clients 1000000 -shards 0
+//	offloadbench -exp tiers -edge-servers 4 -cloud-servers 1
 //
-// Table 1 accepts -depth to bound the most expensive chess difficulty.
-// The fleet experiment compares dispatch policies over a shared server
-// pool and writes its machine-readable record to -fleet-out. The
-// fleetscale experiment benchmarks the sharded parallel engine (parity
-// gate, events/sec floor cells, the million-client headline run, and
-// adaptive-vs-static admission over a diurnal curve), writing
-// -scale-out. -shards selects the engine everywhere fleet simulations
-// run: -1 forces the sequential reference, 0 auto-sizes to the CPU
-// count, n >= 1 pins n worker shards — results are bit-identical across
-// all of them. -cpuprofile writes a pprof CPU profile of the run.
+// Run offloadbench -help for the full mode catalogue with one-line
+// descriptions. Table 1 accepts -depth to bound the most expensive
+// chess difficulty. The fleet experiment compares dispatch policies
+// over a shared server pool and writes its machine-readable record to
+// -fleet-out. The fleetscale experiment benchmarks the sharded
+// parallel engine (parity gate, events/sec floor cells, the
+// million-client headline run, and adaptive-vs-static admission over a
+// diurnal curve), writing -scale-out. The tiers experiment sweeps the
+// mobile -> edge -> cloud hierarchy through all three placement modes
+// and writes -tiers-out. -shards selects the engine everywhere fleet
+// simulations run: -1 forces the sequential reference, 0 auto-sizes to
+// the CPU count, n >= 1 pins n worker shards — results are
+// bit-identical across all of them. -cpuprofile writes a pprof CPU
+// profile of the run.
 package main
 
 import (
@@ -34,8 +39,31 @@ import (
 	"repro/internal/workloads"
 )
 
+// expModes is the -exp catalogue the usage text renders: every mode with
+// a one-line description, so discovering an experiment does not require
+// reading the experiments package.
+var expModes = []struct{ name, desc string }{
+	{"table1", "execution-time comparison across workloads and networks (Table 1)"},
+	{"table2", "offloaded-task coverage and per-task statistics (Table 2)"},
+	{"table3", "traffic volume per workload (Table 3)"},
+	{"table4", "server-side execution coverage (Table 4)"},
+	{"table5", "energy consumption per workload (Table 5)"},
+	{"fig6a", "execution-time breakdown, slow network (Figure 6a)"},
+	{"fig6b", "execution-time breakdown, fast network (Figure 6b)"},
+	{"fig7", "overhead component breakdown (Figure 7)"},
+	{"fig8", "power timeline of a representative run (Figure 8)"},
+	{"ablation", "optimization ablation grid (prefetch, compression, batching, remote I/O)"},
+	{"crossarch", "mobile/server architecture cross product"},
+	{"chaos", "fault-injection campaign; with -server-faults, server-fault equivalence"},
+	{"fleet", "dispatch-policy comparison over a shared server pool (BENCH_fleet.json)"},
+	{"fleetscale", "sharded parallel engine benchmark, million-client headline (BENCH_fleet_scale.json)"},
+	{"migrate", "mid-offload migration vs fallback-only recovery (BENCH_migrate.json)"},
+	{"tiers", "3-way edge/cloud placement vs static single-tier baselines (BENCH_tiers.json)"},
+	{"all", "every paper table and figure (table1..fig8, ablation, crossarch)"},
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1..table5, fig6a, fig6b, fig7, fig8, ablation, crossarch, chaos, fleet, fleetscale, migrate, or all")
+	exp := flag.String("exp", "all", "experiment id (see the mode list in -help)")
 	depth := flag.Int64("depth", 11, "maximum chess difficulty for table1")
 	clients := flag.Int("clients", 64, "with -exp fleet/fleetscale/migrate: number of concurrent mobile clients (fleetscale defaults to 1000000)")
 	servers := flag.Int("servers", 4, "with -exp fleet/migrate: size of the server pool")
@@ -48,12 +76,24 @@ func main() {
 	serverFaults := flag.String("server-faults", "", "with -exp chaos: server-fault spec (e.g. crash=0@300ms,slow=0@100ms-2sx3); runs the workloads under it with migration enabled")
 	migrateSeeds := flag.Int("migrate-seeds", 10, "with -exp migrate: number of benchmark seeds")
 	migrateOut := flag.String("migrate-out", "BENCH_migrate.json", "with -exp migrate: machine-readable bench record path (empty to skip)")
+	edgeServers := flag.Int("edge-servers", 4, "with -exp tiers: edge pool size (low-RTT, modest compute)")
+	cloudServers := flag.Int("cloud-servers", 1, "with -exp tiers: cloud pool size (behind the WAN, high compute)")
+	tiersOut := flag.String("tiers-out", "BENCH_tiers.json", "with -exp tiers: machine-readable bench record path (empty to skip)")
 	observe := flag.String("w", "", "workload to deep-dive with -trace/-metrics instead of running -exp")
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
 	showHist := flag.Bool("hist", false, "with -w: print the latency histogram snapshots (p50/p90/p99/max)")
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the experiments")
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "Usage: offloadbench [flags]\n\nExperiment modes (-exp):\n")
+		for _, m := range expModes {
+			fmt.Fprintf(w, "  %-12s %s\n", m.name, m.desc)
+		}
+		fmt.Fprintf(w, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -218,6 +258,21 @@ func main() {
 					return err
 				}
 				fmt.Printf("fleet: %d cells -> %s\n", len(results), *fleetOut)
+			}
+		case "tiers":
+			bench, err := experiments.TierSweep(experiments.TierBenchLoads(), *edgeServers, *cloudServers, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.TierTable(bench))
+			if err := bench.CheckFloor(); err != nil {
+				return err
+			}
+			if *tiersOut != "" {
+				if err := experiments.WriteTierBench(*tiersOut, bench); err != nil {
+					return err
+				}
+				fmt.Printf("tiers: %d cells -> %s\n", len(bench.Cells), *tiersOut)
 			}
 		case "fleetscale":
 			// -clients keeps its small fleet default; the headline scale

@@ -7,6 +7,11 @@
 //	offloadrun -w 445.gobmk
 //	offloadrun -w chess -depth 9 -turns 2
 //	offloadrun -w 164.gzip -faults "drop=0.2,outage=900ms-20s,seed=6"
+//	offloadrun -w 429.mcf -tiers 3way
+//
+// -tiers places every offload over the mobile -> edge -> cloud
+// hierarchy (3way, edge-only or cloud-only) instead of the classic
+// binary gate, printing the per-tier placement counts after the run.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"repro/internal/offrt"
 	"repro/internal/report"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 	"repro/internal/workloads"
 )
 
@@ -42,6 +48,7 @@ type observability struct {
 	faults       *faults.Plan
 	serverFaults *faults.ServerPlan
 	migrate      bool
+	topo         *tiers.Topology
 	sampleEvery  simtime.PS
 }
 
@@ -73,6 +80,7 @@ func (o *observability) attach(fw *core.Framework) {
 		m := offrt.DefaultMigration()
 		fw.Migration = &m
 	}
+	fw.Tiers = o.topo
 	fw.SampleEvery = o.sampleEvery
 }
 
@@ -105,6 +113,10 @@ func (o *observability) reportRun(off *core.OffloadResult, model energy.PowerMod
 		evs := o.tracer.Events()
 		fmt.Println(analyze.TimeTable(analyze.Breakdown(evs)))
 		fmt.Println(analyze.RadioTable(analyze.Radio(evs, model)))
+	}
+	if o.topo != nil {
+		fmt.Printf("tiers (%s): %d placed on edge, %d on cloud, %d kept local\n",
+			o.topo.EffectiveMode(), off.Stats.EdgePlaced, off.Stats.CloudPlaced, off.Stats.Declines)
 	}
 }
 
@@ -151,6 +163,7 @@ func main() {
 	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
 	serverFaultSpec := flag.String("server-faults", "", `inject server faults into the offloaded run, e.g. "crash=0@300ms,slow=0@100ms-2sx3,drain=0@1s"`)
 	migrate := flag.Bool("migrate", false, "enable mid-flight offload migration: on a server fault, checkpoint/ship/resume the task on a spare host instead of falling back locally")
+	tiersMode := flag.String("tiers", "", "place offloads over the mobile -> edge -> cloud hierarchy: 3way, edge-only or cloud-only (empty keeps the classic binary gate)")
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
@@ -208,6 +221,16 @@ func main() {
 	o.faults = plan
 	o.serverFaults = serverPlan
 	o.migrate = *migrate
+	if *tiersMode != "" {
+		mode, err := tiers.ParseMode(*tiersMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offloadrun: -tiers: %v\n", err)
+			os.Exit(1)
+		}
+		topo := tiers.Default(2, 1)
+		topo.Mode = mode
+		o.topo = topo
+	}
 	if *irFile != "" {
 		runIRFile(*irFile, *stdin, *cost, *showOut, o)
 		o.finish()
@@ -229,9 +252,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "offloadrun: -profile cannot be combined with -faults")
 			os.Exit(1)
 		}
+		if o.topo != nil {
+			fmt.Fprintln(os.Stderr, "offloadrun: -profile cannot be combined with -tiers")
+			os.Exit(1)
+		}
 		r, err = experiments.RunProgramProfiled(w, o.tracer, o.metrics, o.sampleEvery)
 	} else {
-		r, err = experiments.RunProgramFaulted(w, plan, o.tracer, o.metrics)
+		r, err = experiments.RunProgramTiered(w, o.topo, plan, o.tracer, o.metrics)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offloadrun: %v\n", err)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/offrt"
 	"repro/internal/profile"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 )
 
 // Network selects one of the paper's two evaluation environments.
@@ -78,6 +79,11 @@ type Framework struct {
 	// detected server fault the session checkpoints, ships and resumes the
 	// task on a spare instance instead of falling back locally.
 	Migration *offrt.Migration
+	// Tiers, when non-nil, places a hierarchical edge/cloud topology
+	// behind every offloaded run's gate: decisions become the 3-way
+	// placement over {local, edge, cloud} instead of the binary
+	// Equation-1 question. Nil keeps the binary gate.
+	Tiers *tiers.Topology
 
 	// Engine selects the interpreter engine for every machine this
 	// framework builds (RunLocal, RunOffloaded, Profile's machine). The
@@ -341,6 +347,9 @@ func (fw *Framework) RunOffloaded(cres *compiler.Result, io *interp.StdIO, pol o
 	}
 	if fw.Migration != nil {
 		opts = append(opts, offrt.WithMigration(*fw.Migration))
+	}
+	if fw.Tiers != nil {
+		opts = append(opts, offrt.WithTiers(fw.Tiers))
 	}
 	sess, err := offrt.NewSession(mobile, server, fw.Link, opts...)
 	if err != nil {

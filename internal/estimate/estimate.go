@@ -112,6 +112,92 @@ func (p Params) Evaluate(tm simtime.PS, memBytes int64, invocations int) Estimat
 	return Estimate{Tideal: ideal, Tc: tc, Tg: ideal - tc}
 }
 
+// PlacementChoice is the 3-way placement verdict at dispatch time:
+// run locally, offload to the nearby edge tier, or offload to the
+// distant cloud tier.
+type PlacementChoice int
+
+const (
+	// PlaceLocal runs the task on the mobile.
+	PlaceLocal PlacementChoice = iota
+	// PlaceEdge offloads over the access link to the edge pool.
+	PlaceEdge
+	// PlaceCloud offloads over access link + backhaul to the cloud pool.
+	PlaceCloud
+)
+
+func (c PlacementChoice) String() string {
+	switch c {
+	case PlaceLocal:
+		return "local"
+	case PlaceEdge:
+		return "edge"
+	case PlaceCloud:
+		return "cloud"
+	}
+	return "unknown"
+}
+
+// TierOption describes one remote tier as a placement candidate: the
+// tier's effective network+compute parameters (for the cloud tier the
+// Params are the serial combination of access link and backhaul) and
+// the live queueing delay of the best server in that tier's pool.
+// OK = false removes the tier from consideration (no pool configured,
+// or every server down).
+type TierOption struct {
+	OK    bool
+	P     Params
+	Queue simtime.PS
+}
+
+// remoteTime scores the option with the margin-scaled queue signal.
+func (o TierOption) remoteTime(tm simtime.PS, memBytes int64, margin float64) simtime.PS {
+	q := o.Queue
+	if margin != 1 {
+		q = simtime.PS(float64(q) * margin)
+	}
+	return o.P.RemoteTime(tm, memBytes, q)
+}
+
+// Placement is the 3-way generalization of ProfitableQueued: it scores
+// local execution (tm) against each available tier's RemoteTime — which
+// already charges that tier's communication cost, compute ratio and
+// live queue delay — and returns the choice minimizing estimated
+// completion, together with that estimate:
+//
+//	T_local = tm
+//	T_edge  = CommTime_edge(M,1) + tm/R_edge  + Q_edge
+//	T_cloud = CommTime_cloud(M,1) + tm/R_cloud + Q_cloud
+//
+// A remote tier must strictly beat every cheaper alternative: local
+// wins ties (matching ProfitableQueued's strict inequality), and edge
+// wins ties against cloud (prefer the nearer tier when estimates are
+// equal). With the cloud option absent, Placement degenerates exactly
+// to ProfitableQueued on the edge tier's parameters.
+func Placement(tm simtime.PS, memBytes int64, edge, cloud TierOption) (PlacementChoice, simtime.PS) {
+	return PlacementMargin(tm, memBytes, edge, cloud, 1)
+}
+
+// PlacementMargin is Placement with ProfitableQueuedMargin's confidence
+// margin applied to each tier's queue signal: the charged delay is
+// Queue*margin. margin == 1 is exactly Placement. The fleet's adaptive
+// admission controller feeds its per-server margin here so tiered
+// dispatch prices the same herding bias as the 2-way gate.
+func PlacementMargin(tm simtime.PS, memBytes int64, edge, cloud TierOption, margin float64) (PlacementChoice, simtime.PS) {
+	best, choice := tm, PlaceLocal
+	if edge.OK {
+		if t := edge.remoteTime(tm, memBytes, margin); t < best {
+			best, choice = t, PlaceEdge
+		}
+	}
+	if cloud.OK {
+		if t := cloud.remoteTime(tm, memBytes, margin); t < best {
+			best, choice = t, PlaceCloud
+		}
+	}
+	return choice, best
+}
+
 // MigrationCost estimates the time to move an in-flight offload to
 // another server: ship the checkpoint payload one way over the
 // server-to-server backhaul plus one round trip of handshaking. This is

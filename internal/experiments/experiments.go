@@ -19,6 +19,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/survey"
+	"repro/internal/tiers"
 	"repro/internal/workloads"
 )
 
@@ -81,7 +82,15 @@ func RunProgramObserved(w *workloads.Workload, tracer *obs.Tracer, metrics *obs.
 // asserted either way: a faulted run whose output diverges from the local
 // baseline is an error, not a result.
 func RunProgramFaulted(w *workloads.Workload, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics) (*ProgramResult, error) {
-	return runProgram(w, plan, tracer, metrics, 0)
+	return runProgram(w, plan, tracer, metrics, nil, 0)
+}
+
+// RunProgramTiered is RunProgramFaulted with a tier topology behind the
+// fast-network session's gate: every offload decision becomes the 3-way
+// {local, edge, cloud} placement instead of the binary profitability
+// test. The slow-network run keeps the classic gate for comparison.
+func RunProgramTiered(w *workloads.Workload, topo *tiers.Topology, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics) (*ProgramResult, error) {
+	return runProgram(w, plan, tracer, metrics, topo, 0)
 }
 
 // RunProgramProfiled is RunProgramObserved with a guest sampling profiler
@@ -92,14 +101,15 @@ func RunProgramProfiled(w *workloads.Workload, tracer *obs.Tracer, metrics *obs.
 	if sampleEvery <= 0 {
 		sampleEvery = interp.DefaultSamplePeriod
 	}
-	return runProgram(w, nil, tracer, metrics, sampleEvery)
+	return runProgram(w, nil, tracer, metrics, nil, sampleEvery)
 }
 
-func runProgram(w *workloads.Workload, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics, sampleEvery simtime.PS) (*ProgramResult, error) {
+func runProgram(w *workloads.Workload, plan *faults.Plan, tracer *obs.Tracer, metrics *obs.Metrics, topo *tiers.Topology, sampleEvery simtime.PS) (*ProgramResult, error) {
 	fast := core.NewFramework(core.FastNetwork).WithScale(workloads.Scale, w.CostScale)
 	slow := core.NewFramework(core.SlowNetwork).WithScale(workloads.Scale, w.CostScale)
 	fast.Tracer, fast.Metrics = tracer, metrics
 	fast.Faults = plan
+	fast.Tiers = topo
 	fast.SampleEvery = sampleEvery
 
 	mod := w.Build()

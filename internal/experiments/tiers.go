@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/tiers"
+)
+
+// TierBenchCell is one (load, placement mode) cell of the multi-tier
+// benchmark: the same clients, workload and seed, differing only in
+// which tiers the placement may use.
+type TierBenchCell struct {
+	Clients int    `json:"clients"`
+	Mode    string `json:"mode"`
+
+	P99Ms     float64 `json:"p99_ms"`
+	GeomeanMs float64 `json:"geomean_ms"`
+
+	EdgeOffloads  int `json:"edge_offloads"`
+	CloudOffloads int `json:"cloud_offloads"`
+	Promotions    int `json:"promotions"`
+	Demotions     int `json:"demotions"`
+	Declines      int `json:"declines"`
+	Sheds         int `json:"sheds"`
+}
+
+// TierBench is the committed BENCH_tiers.json record: the topology, the
+// per-cell results, the per-mode aggregates the floor check runs
+// against (p99 as the mean over loads, geomean as the geometric mean
+// over loads), and the shard-parity verdict of re-running every 3-way
+// cell through the sharded engine.
+type TierBench struct {
+	EdgeServers  int     `json:"edge_servers"`
+	EdgeSlots    int     `json:"edge_slots"`
+	EdgeR        float64 `json:"edge_r"`
+	CloudServers int     `json:"cloud_servers"`
+	CloudSlots   int     `json:"cloud_slots"`
+	CloudR       float64 `json:"cloud_r"`
+	Seed         uint64  `json:"seed"`
+
+	Cells []*TierBenchCell `json:"cells"`
+
+	ThreeWayP99Ms  float64 `json:"three_way_p99_ms"`
+	ThreeWayGeoMs  float64 `json:"three_way_geomean_ms"`
+	EdgeOnlyP99Ms  float64 `json:"edge_only_p99_ms"`
+	EdgeOnlyGeoMs  float64 `json:"edge_only_geomean_ms"`
+	CloudOnlyP99Ms float64 `json:"cloud_only_p99_ms"`
+	CloudOnlyGeoMs float64 `json:"cloud_only_geomean_ms"`
+
+	// ShardParity is true when every 3-way cell re-run through the
+	// sharded engine (4 shards) marshalled byte-identically to the
+	// sequential reference.
+	ShardParity bool `json:"shard_parity"`
+}
+
+// tierBenchTopology is the benchmark's hierarchy: a pool of modest edge
+// servers on the access link and a small, fast cloud pool behind the
+// WAN. The default 4-edge/1-cloud asymmetry is what gives the 3-way
+// placement its room: the small cloud saturates under the diurnal burst
+// (demotion pressure) while the wide edge drains between bursts
+// (promotion windows) — a symmetric topology would leave migration idle.
+func tierBenchTopology(mode tiers.Mode, edgeServers, cloudServers int) *tiers.Topology {
+	topo := tiers.Default(edgeServers, cloudServers)
+	topo.Mode = mode
+	return topo
+}
+
+// tierBenchConfig is one benchmark cell: tasks short enough that the WAN
+// round trip is a real fraction of the cloud's execution saving, under a
+// diurnal curve that alternates burst and drain phases across the tiers.
+func tierBenchConfig(clients int, topo *tiers.Topology, seed uint64) fleet.Config {
+	cfg := fleet.TieredConfig(clients, topo)
+	cfg.Seed = seed
+	cfg.RequestsPerClient = 20
+	cfg.Workload.TmMin = 200 * simtime.Millisecond
+	cfg.Workload.TmMax = 1 * simtime.Second
+	cfg.Workload.MemMin = 64 << 10
+	cfg.Workload.MemMax = 512 << 10
+	cfg.Workload.DiurnalAmp = 0.6
+	cfg.Workload.DiurnalPeriod = 10 * simtime.Second
+	return cfg
+}
+
+// TierSweep runs the multi-tier placement benchmark: each load level
+// through all three placement modes over the same topology, workload and
+// seed, so the mode columns differ only in which tiers the gate may use
+// and whether cross-tier migration may correct the placement later. The
+// 3-way cells additionally re-run through the sharded engine, feeding
+// the record's shard-parity verdict. The committed record uses the
+// default 4-edge/1-cloud geometry; other geometries run the same sweep
+// but are not guaranteed to hold the floor.
+func TierSweep(loads []int, edgeServers, cloudServers int, seed uint64) (*TierBench, error) {
+	topo := tierBenchTopology(tiers.ThreeWay, edgeServers, cloudServers)
+	bench := &TierBench{
+		EdgeServers: topo.Edge.Servers, EdgeSlots: topo.Edge.Slots, EdgeR: topo.Edge.R,
+		CloudServers: topo.Cloud.Servers, CloudSlots: topo.Cloud.Slots, CloudR: topo.Cloud.R,
+		Seed:        seed,
+		ShardParity: true,
+	}
+	type agg struct {
+		sumP99, logGeo float64
+	}
+	aggs := map[tiers.Mode]*agg{}
+	for _, n := range loads {
+		for _, mode := range tiers.Modes() {
+			cfg := tierBenchConfig(n, tierBenchTopology(mode, edgeServers, cloudServers), seed)
+			res, err := fleet.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("tier sweep %s n=%d: %w", mode, n, err)
+			}
+			bench.Cells = append(bench.Cells, &TierBenchCell{
+				Clients: n, Mode: string(mode),
+				P99Ms: res.P99Ms, GeomeanMs: res.GeomeanMs,
+				EdgeOffloads: res.EdgeOffloads, CloudOffloads: res.CloudOffloads,
+				Promotions: res.Promotions, Demotions: res.Demotions,
+				Declines: res.Declines, Sheds: res.Sheds,
+			})
+			a := aggs[mode]
+			if a == nil {
+				a = &agg{}
+				aggs[mode] = a
+			}
+			a.sumP99 += res.P99Ms
+			a.logGeo += math.Log(res.GeomeanMs)
+
+			if mode == tiers.ThreeWay {
+				ref, err := json.Marshal(res)
+				if err != nil {
+					return nil, err
+				}
+				scfg := cfg
+				scfg.Shards = 4
+				sres, err := fleet.Run(scfg)
+				if err != nil {
+					return nil, fmt.Errorf("tier sweep sharded n=%d: %w", n, err)
+				}
+				got, err := json.Marshal(sres)
+				if err != nil {
+					return nil, err
+				}
+				if !bytes.Equal(ref, got) {
+					bench.ShardParity = false
+				}
+			}
+		}
+	}
+	n := float64(len(loads))
+	final := func(m tiers.Mode) (float64, float64) {
+		a := aggs[m]
+		return a.sumP99 / n, math.Exp(a.logGeo / n)
+	}
+	bench.ThreeWayP99Ms, bench.ThreeWayGeoMs = final(tiers.ThreeWay)
+	bench.EdgeOnlyP99Ms, bench.EdgeOnlyGeoMs = final(tiers.EdgeOnly)
+	bench.CloudOnlyP99Ms, bench.CloudOnlyGeoMs = final(tiers.CloudOnly)
+	return bench, nil
+}
+
+// CheckFloor enforces the benchmark's acceptance bar: 3-way est-aware
+// placement must hold both aggregate tails at or under each static
+// baseline, the sharded engine must have agreed byte for byte on every
+// 3-way cell, and the cross-tier migration machinery must actually have
+// fired somewhere in the sweep (a placement win with idle promotion and
+// demotion paths would not exercise what the benchmark claims to).
+func (b *TierBench) CheckFloor() error {
+	if b.ThreeWayP99Ms > b.EdgeOnlyP99Ms || b.ThreeWayP99Ms > b.CloudOnlyP99Ms {
+		return fmt.Errorf("tier bench: p99 floor broken: 3way %.2f ms vs edge-only %.2f ms, cloud-only %.2f ms",
+			b.ThreeWayP99Ms, b.EdgeOnlyP99Ms, b.CloudOnlyP99Ms)
+	}
+	if b.ThreeWayGeoMs > b.EdgeOnlyGeoMs || b.ThreeWayGeoMs > b.CloudOnlyGeoMs {
+		return fmt.Errorf("tier bench: geomean floor broken: 3way %.2f ms vs edge-only %.2f ms, cloud-only %.2f ms",
+			b.ThreeWayGeoMs, b.EdgeOnlyGeoMs, b.CloudOnlyGeoMs)
+	}
+	if !b.ShardParity {
+		return fmt.Errorf("tier bench: sharded engine diverged from the sequential reference on a 3-way cell")
+	}
+	moved := 0
+	for _, c := range b.Cells {
+		moved += c.Promotions + c.Demotions
+	}
+	if moved == 0 {
+		return fmt.Errorf("tier bench: no cell promoted or demoted; the migration machinery is vacuous")
+	}
+	return nil
+}
+
+// TierTable renders the benchmark for the CLI.
+func TierTable(b *TierBench) *report.Table {
+	t := report.New(fmt.Sprintf("Multi-tier placement: %dx edge (R=%g, %d slots) + %dx cloud (R=%g, %d slots) over WAN",
+		b.EdgeServers, b.EdgeR, b.EdgeSlots, b.CloudServers, b.CloudR, b.CloudSlots),
+		"clients", "mode", "p99 (ms)", "geomean (ms)", "edge", "cloud",
+		"promoted", "demoted", "declines", "sheds")
+	for _, c := range b.Cells {
+		t.Add(c.Clients, c.Mode, c.P99Ms, c.GeomeanMs, c.EdgeOffloads, c.CloudOffloads,
+			c.Promotions, c.Demotions, c.Declines, c.Sheds)
+	}
+	t.Note("aggregate p99: 3way %.1f ms vs edge-only %.1f ms, cloud-only %.1f ms",
+		b.ThreeWayP99Ms, b.EdgeOnlyP99Ms, b.CloudOnlyP99Ms)
+	t.Note("aggregate geomean: 3way %.1f ms vs edge-only %.1f ms, cloud-only %.1f ms",
+		b.ThreeWayGeoMs, b.EdgeOnlyGeoMs, b.CloudOnlyGeoMs)
+	t.Note("shard parity: %v (every 3-way cell re-run on 4 shards, compared byte for byte)", b.ShardParity)
+	return t
+}
+
+// TierJSON marshals the bench record. Deterministic: same sweep, same
+// bytes.
+func TierJSON(b *TierBench) ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteTierBench writes the record to path (BENCH_tiers.json under make
+// bench) after enforcing the floor.
+func WriteTierBench(path string, b *TierBench) error {
+	if err := b.CheckFloor(); err != nil {
+		return err
+	}
+	out, err := TierJSON(b)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// TierBenchLoads is the default load ladder of the tier benchmark: from
+// a lightly loaded fleet (placement alone decides) through the burst
+// regime where cross-tier migration corrects the placement mid-flight.
+func TierBenchLoads() []int { return []int{24, 48, 96, 128} }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 )
 
 // ServerSpec is one server's capacity: its server/mobile performance
@@ -126,6 +127,15 @@ type Config struct {
 	// mid-run, slowdowns and stalls stretch the service times of jobs
 	// started inside their windows. Nil leaves the pool perfectly healthy.
 	ServerFaults *faults.ServerPlan
+	// Tiers, when set, arranges the pool as a hierarchical edge/cloud
+	// topology: Servers must equal TieredServers(Tiers) (edge indices
+	// first), dispatch becomes the est-aware 3-way placement gate
+	// (estimate.Placement) and, with Migrate on, saturated-edge arrivals
+	// demote to the cloud and freed edge slots promote running cloud jobs
+	// back, both over the topology's WAN backhaul. Nil keeps the flat
+	// single-tier fleet.
+	Tiers *tiers.Topology
+
 	// Migrate enables mid-flight recovery of the work a failed server was
 	// holding: running jobs on a draining server checkpoint-and-migrate to
 	// the best-placed survivor over the backhaul, jobs lost to a crash are
@@ -153,6 +163,33 @@ func DefaultServers(n int) []ServerSpec {
 		specs[i] = ServerSpec{R: r, Slots: 2}
 	}
 	return specs
+}
+
+// TieredServers materializes a topology's pools as the fleet server
+// slice: edge servers occupy the low indices [0, Edge.Servers), cloud
+// servers follow — the index layout Topology.TierOf assumes.
+func TieredServers(topo *tiers.Topology) []ServerSpec {
+	specs := make([]ServerSpec, 0, topo.Total())
+	for i := 0; i < topo.Edge.Servers; i++ {
+		specs = append(specs, ServerSpec{R: topo.Edge.R, Slots: topo.Edge.Slots})
+	}
+	for i := 0; i < topo.Cloud.Servers; i++ {
+		specs = append(specs, ServerSpec{R: topo.Cloud.R, Slots: topo.Cloud.Slots})
+	}
+	return specs
+}
+
+// TieredConfig is DefaultConfig over a hierarchical topology: every
+// client reaches the edge pool over the edge-wifi access profile,
+// dispatch is the 3-way placement gate (the topology's Mode selects
+// 3way / edge-only / cloud-only), and cross-tier migration is enabled.
+func TieredConfig(clients int, topo *tiers.Topology) Config {
+	cfg := DefaultConfig(clients, 1, EstAware)
+	cfg.Servers = TieredServers(topo)
+	cfg.Tiers = topo
+	cfg.LinkProfiles = []string{"edge-wifi"}
+	cfg.Migrate = true
+	return cfg
 }
 
 // DefaultConfig is the standard scaling-experiment cell: n clients over a
@@ -217,6 +254,17 @@ func (c *Config) Validate() error {
 	}
 	if err := c.ServerFaults.Validate(); err != nil {
 		return err
+	}
+	if c.Tiers != nil {
+		if err := c.Tiers.Validate(); err != nil {
+			return err
+		}
+		if got := c.Tiers.Total(); got != len(c.Servers) {
+			return fmt.Errorf("fleet: topology describes %d servers but the pool has %d (build the pool with TieredServers)", got, len(c.Servers))
+		}
+		if c.Policy != EstAware {
+			return fmt.Errorf("fleet: tiered placement requires the est-aware policy, got %q", c.Policy)
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 )
 
 // job is one offload request in flight through the fleet.
@@ -35,6 +36,13 @@ type job struct {
 	// already raced the local-fallback estimate at relocation time — so
 	// the client-facing admission bound does not shed it a second time.
 	recovery bool
+	// tier is the tier the job is placed on (tierEdge/tierCloud; 0 in a
+	// flat fleet). A cross-tier move restamps it.
+	tier uint8
+	// adown is the access-link-only reply time, kept alongside down so a
+	// cross-tier move can recompute the reply leg: an edge job replies
+	// over adown alone, a cloud job over adown plus the WAN leg.
+	adown simtime.PS
 }
 
 // server is one pool member's live state.
@@ -138,6 +146,18 @@ func (s *server) pop(d Discipline) *job {
 	return j
 }
 
+// removeQueued unlinks one specific queued job (cross-tier promotion
+// pulls from the middle of the queue, not from its head).
+func (s *server) removeQueued(j *job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.queExec -= j.exec
+			return
+		}
+	}
+}
+
 // dropRunning removes a completed job from the slot list.
 func (s *server) dropRunning(j *job) {
 	for i, r := range s.running {
@@ -184,10 +204,19 @@ const (
 type doneMsg struct {
 	ci     int32
 	kind   uint8
-	missed bool // an offload's reply landed after its dispatch deadline
+	tier   uint8 // completion tier of an offload (0 in a flat fleet)
+	missed bool  // an offload's reply landed after its dispatch deadline
 	decide simtime.PS
 	done   simtime.PS
 }
+
+// Tier codes carried by job.tier and doneMsg.tier: zero means the flat
+// (untiered) fleet, so the codes are the tiers.Tier values shifted by
+// one.
+const (
+	tierEdge  = uint8(tiers.Edge) + 1
+	tierCloud = uint8(tiers.Cloud) + 1
+)
 
 // intent is a client's decision instant crossing into the machine: one
 // ready event's draws, priced over the client's own link. Everything the
@@ -217,6 +246,18 @@ type machine struct {
 	links    []*netsim.Link // per-client links, immutable during the run
 	disp     dispatcher
 	backhaul *netsim.Link
+
+	// Tiered-topology state (nil/empty in a flat fleet). wan and wanRTT
+	// cache the topology's backhaul so the dispatch hot path never
+	// re-materializes the link; edgeIdx/cloudIdx are the per-tier
+	// candidate sets the dispatcher picks within.
+	topo      *tiers.Topology
+	wan       *netsim.Link
+	wanRTT    simtime.PS // both fixed round-trip costs of the WAN leg
+	edgeIdx   []int
+	cloudIdx  []int
+	hWaitTier [2]*obs.Histogram
+	mWaitTier [2]*obs.Histogram
 
 	// Live admission bounds and gate margin: copies of cfg.Admission and
 	// 1.0 under static control, steered by ctrl when adaptive.
@@ -257,6 +298,24 @@ func newMachine(cfg *Config, links []*netsim.Link, st *Stats) *machine {
 		m.adm = Admission{MaxQueue: m.ctrl.queue, MaxWait: m.ctrl.wait}
 		m.margin = m.ctrl.margin
 	}
+	if cfg.Tiers != nil {
+		m.topo = cfg.Tiers
+		m.wan = m.topo.WAN()
+		m.wanRTT = 2 * (m.wan.Latency + m.wan.PerMessage)
+		lo, hi := m.topo.Indices(tiers.Edge)
+		for i := lo; i < hi; i++ {
+			m.edgeIdx = append(m.edgeIdx, i)
+		}
+		lo, hi = m.topo.Indices(tiers.Cloud)
+		for i := lo; i < hi; i++ {
+			m.cloudIdx = append(m.cloudIdx, i)
+		}
+		m.hWaitTier = [2]*obs.Histogram{obs.NewHistogram(), obs.NewHistogram()}
+		m.mWaitTier = [2]*obs.Histogram{
+			cfg.Metrics.Histogram("lat.queue_wait_edge_ps"),
+			cfg.Metrics.Histogram("lat.queue_wait_cloud_ps"),
+		}
+	}
 	return m
 }
 
@@ -279,9 +338,14 @@ func (m *machine) scheduleFaults() {
 	}
 }
 
-func (m *machine) recordWait(w simtime.PS) {
+func (m *machine) recordWait(si int32, w simtime.PS) {
 	m.hWait.Record(int64(w))
 	m.mWait.Record(int64(w))
+	if m.topo != nil {
+		t := m.topo.TierOf(int(si))
+		m.hWaitTier[t].Record(int64(w))
+		m.mWaitTier[t].Record(int64(w))
+	}
 }
 
 // newJob hands out a job from the free list. Jobs recycle once no event
@@ -330,6 +394,10 @@ func (m *machine) stepCtrl(now simtime.PS) {
 // offload with the contention-aware gate, dispatch or send the client
 // down the local path.
 func (m *machine) handleIntent(in intent) {
+	if m.topo != nil {
+		m.handleIntentTiered(in)
+		return
+	}
 	m.stepCtrl(in.t)
 	m.st.Events++
 	now := in.t
@@ -372,6 +440,84 @@ func (m *machine) handleIntent(in intent) {
 		deadline: now + simtime.PS(deadlineSlack*float64(in.up+exec+in.down))}
 	srv.reserved += j.exec
 	m.sched(now+in.up, evArrive, int32(si), j)
+}
+
+// handleIntentTiered is handleIntent over the hierarchical topology:
+// one est-aware pick *within* each tier yields that tier's best server
+// and live queue delay, and estimate.Placement arbitrates the 3-way
+// {local, edge, cloud} race with each tier priced on its own network
+// path — the access link alone for the edge, access plus WAN leg in
+// series for the cloud. The topology's mode masks tiers to degenerate
+// into the static edge-only / cloud-only baselines the experiments
+// compare against; the local gate always stays live.
+func (m *machine) handleIntentTiered(in intent) {
+	m.stepCtrl(in.t)
+	m.st.Events++
+	now := in.t
+	mode := m.topo.EffectiveMode()
+	wanLeg := m.wan.TransferTime(in.mem)
+
+	var edge, cloud estimate.TierOption
+	ei, ci := -1, -1
+	if mode != tiers.CloudOnly && len(m.edgeIdx) > 0 {
+		var ew simtime.PS
+		ei, ew = m.disp.pickAmong(m.servers, m.edgeIdx, now, in.tm, in.up, in.down)
+		if ei >= 0 {
+			edge = estimate.TierOption{OK: true,
+				P:     estimate.Params{R: m.servers[ei].spec.R, BandwidthBps: in.bw, RTT: in.rtt},
+				Queue: ew}
+		}
+	}
+	if mode != tiers.EdgeOnly && len(m.cloudIdx) > 0 {
+		var cw simtime.PS
+		ci, cw = m.disp.pickAmong(m.servers, m.cloudIdx, now, in.tm, in.up+wanLeg, in.down+wanLeg)
+		if ci >= 0 {
+			cloud = estimate.TierOption{OK: true,
+				P: estimate.Params{R: m.servers[ci].spec.R,
+					BandwidthBps: tiers.CombineBps(in.bw, m.wan.BandwidthBps),
+					RTT:          in.rtt + m.wanRTT},
+				Queue: cw}
+		}
+	}
+	if ei < 0 && ci < 0 {
+		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
+			Name: "pool-down", A0: int64(in.tm), A1: in.mem})
+		m.emit(doneMsg{ci: in.ci, kind: outFallback, decide: now, done: now + in.tm})
+		return
+	}
+
+	choice, est := estimate.PlacementMargin(in.tm, in.mem, edge, cloud, m.margin)
+	si, wait := -1, simtime.PS(0)
+	tier := uint8(0)
+	up, down := in.up, in.down
+	switch choice {
+	case estimate.PlaceEdge:
+		si, wait, tier = ei, edge.Queue, tierEdge
+	case estimate.PlaceCloud:
+		si, wait, tier = ci, cloud.Queue, tierCloud
+		up += wanLeg
+		down += wanLeg
+	}
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KTierPlace, Track: obs.TrackFleet,
+		Name: choice.String(), A0: int64(in.ci), A1: int64(si), A2: int64(est), A3: int64(wait)})
+	if si < 0 {
+		// Local won the 3-way race: no tier's RemoteTime beats Tm.
+		m.emit(doneMsg{ci: in.ci, kind: outDecline, decide: now, done: now + in.tm})
+		return
+	}
+	srv := m.servers[si]
+	m.st.Dispatched++
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KDispatch, Track: obs.TrackFleet,
+		Name: string(m.cfg.Policy), A0: int64(in.ci), A1: int64(si),
+		A2: int64(len(srv.queue)), A3: int64(wait)})
+	exec := srv.execTime(in.tm)
+	m.jobSeq++
+	j := m.newJob()
+	*j = job{client: in.ci, tm: in.tm, mem: in.mem, exec: exec,
+		decide: now, down: down, adown: in.down, tier: tier, seq: m.jobSeq,
+		deadline: now + simtime.PS(deadlineSlack*float64(up+exec+down))}
+	srv.reserved += j.exec
+	m.sched(now+up, evArrive, int32(si), j)
 }
 
 // handleArrive lands a dispatched request on its server: release the
@@ -417,6 +563,16 @@ func (m *machine) handleArrive(now simtime.PS, si int32, j *job) {
 	if !j.recovery &&
 		((m.adm.MaxQueue > 0 && depth >= m.adm.MaxQueue && s.busy >= s.spec.Slots) ||
 			(m.adm.MaxWait > 0 && s.estWait(now) > m.adm.MaxWait)) {
+		// A saturated edge demotes the arrival to the cloud tier instead
+		// of shedding it, when the WAN detour still beats the local
+		// fallback the shed would force.
+		if j.tier == tierEdge && m.cfg.Migrate && m.topo.EffectiveMode() == tiers.ThreeWay {
+			notice := m.links[j.client].At(now).TransferTime(shedNoticeBytes)
+			if m.demote(now, si, j, notice+j.tm, false) {
+				m.freeJob(j)
+				return
+			}
+		}
 		m.ctrl.noteShed()
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KShed, Track: obs.TrackFleet,
 			A0: int64(j.client), A1: int64(si), A2: int64(depth)})
@@ -429,9 +585,20 @@ func (m *machine) handleArrive(now simtime.PS, si int32, j *job) {
 	}
 	s.advance(now)
 	if s.busy < s.spec.Slots {
-		m.recordWait(0)
+		m.recordWait(si, 0)
 		m.startJob(si, j, now)
 	} else {
+		// Late-binding demotion: the edge backlog this arrival would
+		// queue behind can have overshot the decision-time estimate (a
+		// diurnal burst lands faster than slots free). If the cloud now
+		// beats staying by more than the WAN detour costs, push the
+		// request down a tier instead of queueing it.
+		if j.tier == tierEdge && !j.recovery && m.cfg.Migrate &&
+			m.topo.EffectiveMode() == tiers.ThreeWay &&
+			m.demote(now, si, j, s.estWait(now)+s.execTime(j.tm)+j.adown, true) {
+			m.freeJob(j)
+			return
+		}
 		j.enq = now
 		s.enqueue(j)
 	}
@@ -478,16 +645,25 @@ func (m *machine) handleFinish(now simtime.PS, si int32, j *job) {
 	done := now + j.down
 	missed := j.deadline > 0 && done > j.deadline
 	m.ctrl.noteFinish(missed)
-	m.emit(doneMsg{ci: j.client, kind: outOffload, missed: missed, decide: j.decide, done: done})
+	m.emit(doneMsg{ci: j.client, kind: outOffload, tier: j.tier, missed: missed, decide: j.decide, done: done})
 	m.freeJob(j)
 	if len(s.queue) > 0 && s.busy < s.spec.Slots {
 		next := s.pop(m.cfg.Queue)
 		wait := now - next.enq
 		s.waitPS += wait
-		m.recordWait(wait)
+		m.recordWait(si, wait)
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KQueue, Track: obs.TrackFleet,
 			A0: int64(next.client), A1: int64(si), A2: int64(wait)})
 		m.startJob(si, next, now)
+	}
+	// A drained edge queue is the promotion trigger: if the fleet is
+	// tiered and this finish left an edge server with no backlog, scan the
+	// cloud for the job that gains most from coming back over the WAN.
+	// The gain test prices queueing at this server via estWaitAt, so the
+	// scan is safe to run even while the slots themselves are still busy.
+	if m.topo != nil && m.cfg.Migrate && m.topo.EffectiveMode() == tiers.ThreeWay &&
+		!s.down && len(s.queue) == 0 && m.topo.TierOf(int(si)) == tiers.Edge {
+		m.promote(now, si)
 	}
 }
 
@@ -531,9 +707,20 @@ func (m *machine) bestUp(at simtime.PS, remTm simtime.PS) int {
 // failures.
 func (m *machine) relocate(j *job, remTm simtime.PS, at, localAt simtime.PS) bool {
 	ti := m.bestUp(at, remTm)
+	down, tier := j.down, j.tier
 	if ti >= 0 {
+		if m.topo != nil {
+			// Recompute the reply leg for the target's tier: an edge
+			// survivor replies over the access link alone, a cloud one
+			// adds the WAN leg.
+			down, tier = j.adown, tierEdge
+			if m.topo.TierOf(ti) == tiers.Cloud {
+				down += m.wan.TransferTime(j.mem)
+				tier = tierCloud
+			}
+		}
 		t := m.servers[ti]
-		remoteDone := at + t.estWaitAt(at) + t.execTime(remTm) + j.down
+		remoteDone := at + t.estWaitAt(at) + t.execTime(remTm) + down
 		if remoteDone >= localAt+j.tm {
 			ti = -1 // a loaded pool makes local re-execution the better recovery
 		}
@@ -546,10 +733,139 @@ func (m *machine) relocate(j *job, remTm simtime.PS, at, localAt simtime.PS) boo
 	m.jobSeq++
 	nj := m.newJob()
 	*nj = job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(remTm),
-		decide: j.decide, down: j.down, seq: m.jobSeq, recovery: true}
+		decide: j.decide, down: down, adown: j.adown, tier: tier, seq: m.jobSeq, recovery: true}
 	t.reserved += nj.exec
 	m.sched(at, evArrive, int32(ti), nj)
 	return true
+}
+
+// demote forwards an edge arrival down to the cloud tier: the request's
+// input state ships one WAN leg to the best cloud server instead of
+// staying put. stay is the estimated time-from-now of the alternative
+// the caller would otherwise take — local re-execution for an admission
+// shed, queueing behind the edge backlog for a late-binding re-place.
+// The demotion gate races the cloud completion (arrival + queueing +
+// execution + WAN reply) against it; a voluntary move must additionally
+// win by more than the ship time itself (the hysteresis that keeps
+// marginal estimates from bouncing work across the WAN), while a
+// shed-conversion only has to beat the fallback it replaces. Returns
+// false to let the caller's normal path run.
+func (m *machine) demote(now simtime.PS, si int32, j *job, stay simtime.PS, voluntary bool) bool {
+	ship := m.wan.TransferTime(j.mem)
+	at := now + ship
+	ti, bestTotal := -1, simtime.PS(0)
+	for _, ci := range m.cloudIdx {
+		s := m.servers[ci]
+		if s.down {
+			continue
+		}
+		total := s.estWaitAt(at) + s.execTime(j.tm)
+		if ti < 0 || total < bestTotal {
+			ti, bestTotal = ci, total
+		}
+	}
+	if ti < 0 {
+		return false
+	}
+	down := j.adown + ship
+	bar := now + stay
+	if voluntary {
+		bar -= ship
+	}
+	if at+bestTotal+down >= bar {
+		return false
+	}
+	t := m.servers[ti]
+	m.st.Demotions++
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KTierMigrate, Track: obs.TrackFleet,
+		Name: "demote", A0: int64(j.client), A1: int64(si), A2: int64(ti), A3: int64(ship)})
+	m.jobSeq++
+	nj := m.newJob()
+	*nj = job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(j.tm),
+		decide: j.decide, down: down, adown: j.adown, tier: tierCloud,
+		seq: m.jobSeq, recovery: true, deadline: j.deadline}
+	t.reserved += nj.exec
+	m.sched(at, evArrive, int32(ti), nj)
+	return true
+}
+
+// promote pulls a running cloud job back to the freed edge slot on
+// server ei: checkpoint on the cloud server, ship the state one WAN leg,
+// resume mid-task on the edge — PR 7's drain migration machinery turned
+// into a voluntary cross-tier move. The candidate maximizing the finish
+// gain wins (ties by dispatch order), and the gain must exceed the ship
+// time itself: the hysteresis that keeps a job from oscillating between
+// tiers on marginal estimates. Promoted jobs carry recovery=true, so
+// admission cannot demote them again — each offload crosses the WAN at
+// most twice.
+func (m *machine) promote(now simtime.PS, ei int32) {
+	e := m.servers[ei]
+	var best *job
+	bi, bestRunning := -1, false
+	var bestGain simtime.PS
+	consider := func(j *job, ci int, running bool, stay simtime.PS, remTm simtime.PS) {
+		ship := m.wan.TransferTime(j.mem)
+		at := now + ship
+		move := at + e.estWaitAt(at) + e.execTime(remTm) + j.adown
+		gain := stay - move
+		if gain <= ship {
+			return
+		}
+		if best == nil || gain > bestGain || (gain == bestGain && j.seq < best.seq) {
+			best, bi, bestRunning, bestGain = j, ci, running, gain
+		}
+	}
+	for _, ci := range m.cloudIdx {
+		c := m.servers[ci]
+		if c.down {
+			continue
+		}
+		// Running jobs win only when the edge out-executes the cloud for
+		// what remains (rare under cloud R > edge R); queued jobs win
+		// whenever skipping the cloud backlog buys more than the WAN ship
+		// — the common case the freed-slot trigger exists for.
+		for _, j := range c.running {
+			if j.cancelled || j.finish <= now {
+				continue
+			}
+			remTm := simtime.PS(float64(j.finish-now) * c.spec.R)
+			consider(j, ci, true, j.finish+j.down, remTm)
+		}
+		if c.busy >= c.spec.Slots {
+			backlog := c.estWaitAt(now)
+			for _, j := range c.queue {
+				consider(j, ci, false, now+backlog+j.exec+j.down, j.tm)
+			}
+		}
+	}
+	if best == nil {
+		return
+	}
+	c := m.servers[bi]
+	remTm := best.tm
+	if bestRunning {
+		c.advance(now)
+		c.busy--
+		c.dropRunning(best)
+		best.cancelled = true // its scheduled evFinish fires as a no-op
+		remTm = simtime.PS(float64(best.finish-now) * c.spec.R)
+	} else {
+		c.removeQueued(best)
+	}
+	ship := m.wan.TransferTime(best.mem)
+	m.st.Promotions++
+	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KTierMigrate, Track: obs.TrackFleet,
+		Name: "promote", A0: int64(best.client), A1: int64(bi), A2: int64(ei), A3: int64(ship)})
+	m.jobSeq++
+	nj := m.newJob()
+	*nj = job{client: best.client, tm: best.tm, mem: best.mem, exec: e.execTime(remTm),
+		decide: best.decide, down: best.adown, adown: best.adown, tier: tierEdge,
+		seq: m.jobSeq, recovery: true, deadline: best.deadline}
+	e.reserved += nj.exec
+	m.sched(now+ship, evArrive, ei, nj)
+	if !bestRunning {
+		m.freeJob(best)
+	}
 }
 
 // handleCrash loses everything the server held: running jobs mid-service
@@ -707,6 +1023,18 @@ func (m *machine) finishRun(st *Stats, now simtime.PS) (*Result, error) {
 	}
 	res.QueueWait = m.hWait.Snapshot()
 	res.E2E = st.E2E.Snapshot()
+	if m.topo != nil {
+		res.TierMode = string(m.topo.EffectiveMode())
+		res.EdgeServers = m.topo.Edge.Servers
+		res.CloudServers = m.topo.Cloud.Servers
+		res.EdgeOffloads = st.EdgeOffloads
+		res.CloudOffloads = st.CloudOffloads
+		res.Promotions = st.Promotions
+		res.Demotions = st.Demotions
+		eh := m.hWaitTier[tiers.Edge].Snapshot()
+		ch := m.hWaitTier[tiers.Cloud].Snapshot()
+		res.QueueWaitEdge, res.QueueWaitCloud = &eh, &ch
+	}
 	res.finish(st.Latencies, m.servers, now)
 	res.publish(cfg.Metrics, m.servers)
 	return res, nil

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 )
 
 // marshalResult canonicalizes a run for byte-level comparison.
@@ -58,6 +59,33 @@ func TestShardCountInvariance(t *testing.T) {
 					t.Errorf("%s/%s: shards=%d diverged from sequential", name, pol, shards)
 				}
 			}
+		}
+	}
+
+	// Tiered topology: 3-way placement, cross-tier promotion/demotion and
+	// the per-tier histograms must survive sharding bit for bit. The cell
+	// is loaded enough that both migration directions actually fire, so
+	// the invariance covers the new event paths rather than idling past
+	// them (tiers is EstAware-only, hence outside the policy loop above).
+	tcfg := tieredBenchConfig(96, tiers.ThreeWay)
+	tcfg.Seed = 9
+	tref, err := Run(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tref.Promotions == 0 || tref.Demotions == 0 {
+		t.Fatalf("tiered invariance cell idle (%d promotions, %d demotions): pick a hotter cell",
+			tref.Promotions, tref.Demotions)
+	}
+	refJSON, err := json.Marshal(tref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		c := tcfg
+		c.Shards = shards
+		if got := marshalResult(t, c); string(got) != string(refJSON) {
+			t.Errorf("tiers: shards=%d diverged from sequential", shards)
 		}
 	}
 }

@@ -53,10 +53,27 @@ type dispatcher struct {
 // Crashed and draining servers are out of rotation for every policy; with
 // nobody up, pick returns -1 and the client runs the task locally.
 func (d *dispatcher) pick(servers []*server, now simtime.PS, tm simtime.PS, up, down simtime.PS) (int, simtime.PS) {
-	alive := make([]int, 0, len(servers))
-	for i, s := range servers {
-		if !s.down {
-			alive = append(alive, i)
+	return d.pickAmong(servers, nil, now, tm, up, down)
+}
+
+// pickAmong is pick restricted to a candidate index subset (nil means
+// the whole pool). The tiered dispatcher runs one pick per tier and
+// lets the 3-way placement gate arbitrate between the winners.
+func (d *dispatcher) pickAmong(servers []*server, candidates []int, now simtime.PS, tm simtime.PS, up, down simtime.PS) (int, simtime.PS) {
+	var alive []int
+	if candidates == nil {
+		alive = make([]int, 0, len(servers))
+		for i, s := range servers {
+			if !s.down {
+				alive = append(alive, i)
+			}
+		}
+	} else {
+		alive = make([]int, 0, len(candidates))
+		for _, i := range candidates {
+			if !servers[i].down {
+				alive = append(alive, i)
+			}
 		}
 	}
 	if len(alive) == 0 {

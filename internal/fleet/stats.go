@@ -29,10 +29,20 @@ type Stats struct {
 	// dispatch-time deadline (local-path completions carry no deadline).
 	DeadlineMisses int
 
+	// Per-tier completion counters (tiered runs only; a completed
+	// request counts on the tier it finished on).
+	EdgeOffloads  int
+	CloudOffloads int
+
 	// Server-side counters.
 	Dispatched int
 	Migrations int
 	Retried    int
+	// Cross-tier moves (tiered runs only): Promotions pulled a running
+	// cloud job back to a freed edge slot, Demotions forwarded a
+	// saturated-edge arrival down to the cloud.
+	Promotions int
+	Demotions  int
 
 	// Events counts state-machine transitions (every processed event,
 	// decision intent, and delivered completion) — the engine-invariant
@@ -62,9 +72,13 @@ func (s *Stats) Merge(o *Stats) {
 	s.Sheds += o.Sheds
 	s.Fallbacks += o.Fallbacks
 	s.DeadlineMisses += o.DeadlineMisses
+	s.EdgeOffloads += o.EdgeOffloads
+	s.CloudOffloads += o.CloudOffloads
 	s.Dispatched += o.Dispatched
 	s.Migrations += o.Migrations
 	s.Retried += o.Retried
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
 	s.Events += o.Events
 	s.Latencies = append(s.Latencies, o.Latencies...)
 	s.E2E.Merge(o.E2E)
@@ -78,6 +92,12 @@ func (s *Stats) record(msg doneMsg) {
 	switch msg.kind {
 	case outOffload:
 		s.Offloads++
+		switch msg.tier {
+		case tierEdge:
+			s.EdgeOffloads++
+		case tierCloud:
+			s.CloudOffloads++
+		}
 	case outDecline:
 		s.Declines++
 	case outShed:
@@ -113,6 +133,20 @@ type Result struct {
 	// they are already inside Offloads).
 	Migrations int `json:"migrations"` // running jobs checkpoint-migrated off a drain
 	Retried    int `json:"retried"`    // crash victims re-sent / queued jobs forwarded
+
+	// Tiered-topology fields, populated only when Config.Tiers is set
+	// (omitted from flat-fleet JSON so the committed BENCH_fleet.json
+	// stays byte-identical).
+	TierMode      string `json:"tier_mode,omitempty"`
+	EdgeServers   int    `json:"edge_servers,omitempty"`
+	CloudServers  int    `json:"cloud_servers,omitempty"`
+	EdgeOffloads  int    `json:"edge_offloads,omitempty"`  // completed on the edge tier
+	CloudOffloads int    `json:"cloud_offloads,omitempty"` // completed on the cloud tier
+	Promotions    int    `json:"promotions,omitempty"`     // running cloud jobs pulled to a freed edge slot
+	Demotions     int    `json:"demotions,omitempty"`      // saturated-edge arrivals forwarded to the cloud
+	// Per-tier queue-wait distributions (ps), the tier split of QueueWait.
+	QueueWaitEdge  *obs.HistSnapshot `json:"queue_wait_edge_hist,omitempty"`
+	QueueWaitCloud *obs.HistSnapshot `json:"queue_wait_cloud_hist,omitempty"`
 
 	// DeadlineMisses counts offloads whose reply landed after the
 	// dispatch-time deadline — completions the client had already given
@@ -226,6 +260,12 @@ func (r *Result) publish(m *obs.Metrics, servers []*server) {
 	m.Counter("fleet.fallbacks").Set(int64(r.Fallbacks))
 	m.Counter("fleet.migrations").Set(int64(r.Migrations))
 	m.Counter("fleet.retried").Set(int64(r.Retried))
+	if r.TierMode != "" {
+		m.Counter("fleet.tier.edge_offloads").Set(int64(r.EdgeOffloads))
+		m.Counter("fleet.tier.cloud_offloads").Set(int64(r.CloudOffloads))
+		m.Counter("fleet.tier.promotions").Set(int64(r.Promotions))
+		m.Counter("fleet.tier.demotions").Set(int64(r.Demotions))
+	}
 	m.Counter("fleet.shed_rate_milli").Set(int64(1000 * float64(r.Sheds) / float64(r.Requests)))
 	m.Counter("fleet.queue_depth.max").Set(int64(r.MaxQueueDepth))
 	m.Counter("fleet.queue_wait_ms.avg").Set(int64(r.AvgQueueWaitMs))

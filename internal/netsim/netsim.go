@@ -7,6 +7,7 @@ package netsim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -143,6 +144,34 @@ func Backhaul() *Link {
 	}
 }
 
+// EdgeWiFi returns the access link to a *nearby* edge server: an 802.11ac
+// AP colocated with the edge pool, so the latency is dominated by the air
+// interface rather than any wide-area hop. This is the "low RTT, small R"
+// tier of the mobile -> edge -> cloud topology.
+func EdgeWiFi() *Link {
+	return &Link{
+		Name:         "edge-wifi",
+		BandwidthBps: 500_000_000,
+		Latency:      500 * simtime.Microsecond,
+		PerMessage:   40 * simtime.Microsecond,
+	}
+}
+
+// CloudWAN returns the edge-to-cloud backhaul: a provisioned wide-area
+// path with plenty of bandwidth but tens of milliseconds of propagation
+// delay. Reaching the cloud tier crosses the client's access link *and*
+// this leg in series, which is exactly why Equation 1 turns into a 3-way
+// placement decision: the cloud's large compute ratio must buy back the
+// WAN round trip.
+func CloudWAN() *Link {
+	return &Link{
+		Name:         "cloud-wan",
+		BandwidthBps: 1_000_000_000,
+		Latency:      40 * simtime.Millisecond,
+		PerMessage:   20 * simtime.Microsecond,
+	}
+}
+
 // Clone returns an independent deep copy of l (including any phase
 // schedule) renamed to name; an empty name keeps l's. The fleet uses it to
 // stamp out per-client links from one named profile without re-declaring
@@ -158,23 +187,42 @@ func (l *Link) Clone(name string) *Link {
 	return &c
 }
 
-// Profile resolves a named link preset: "slow" (802.11n), "fast"
-// (802.11ac), "lte", or "ideal". Each call returns a fresh Link, so
-// callers may mutate the result freely.
-func Profile(name string) (*Link, error) {
-	switch name {
-	case "slow":
-		return Slow80211N(), nil
-	case "fast":
-		return Fast80211AC(), nil
-	case "lte":
-		return LTE(), nil
-	case "ideal":
-		return Ideal(), nil
-	case "backhaul":
-		return Backhaul(), nil
+// profiles is the preset registry, in the order Profiles reports (and the
+// resolver's error message enumerates).
+var profiles = []struct {
+	name string
+	mk   func() *Link
+}{
+	{"slow", Slow80211N},
+	{"fast", Fast80211AC},
+	{"lte", LTE},
+	{"ideal", Ideal},
+	{"backhaul", Backhaul},
+	{"edge-wifi", EdgeWiFi},
+	{"cloud-wan", CloudWAN},
+}
+
+// Profiles lists every known link preset name, in registry order.
+func Profiles() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.name
 	}
-	return nil, fmt.Errorf("netsim: unknown link profile %q (want slow, fast, lte, ideal or backhaul)", name)
+	return names
+}
+
+// Profile resolves a named link preset: "slow" (802.11n), "fast"
+// (802.11ac), "lte", "ideal", "backhaul" (10GbE server fabric),
+// "edge-wifi" (nearby edge access), or "cloud-wan" (edge-to-cloud
+// backhaul). Each call returns a fresh Link, so callers may mutate the
+// result freely.
+func Profile(name string) (*Link, error) {
+	for _, p := range profiles {
+		if p.name == name {
+			return p.mk(), nil
+		}
+	}
+	return nil, fmt.Errorf("netsim: unknown link profile %q (want %s)", name, strings.Join(Profiles(), ", "))
 }
 
 // Scaled returns a copy of l with bandwidth divided by factor. The

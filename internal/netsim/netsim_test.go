@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/faults"
@@ -234,6 +235,12 @@ func TestProfilePresets(t *testing.T) {
 		{"fast", 650_000_000, 1 * simtime.Millisecond, 60 * simtime.Microsecond},
 		{"lte", 35_000_000, 25 * simtime.Millisecond, 300 * simtime.Microsecond},
 		{"ideal", 0, 0, 0},
+		{"backhaul", 10_000_000_000, 50 * simtime.Microsecond, 5 * simtime.Microsecond},
+		{"edge-wifi", 500_000_000, 500 * simtime.Microsecond, 40 * simtime.Microsecond},
+		{"cloud-wan", 1_000_000_000, 40 * simtime.Millisecond, 20 * simtime.Microsecond},
+	}
+	if got, want := len(cases), len(Profiles()); got != want {
+		t.Errorf("preset table covers %d profiles, registry has %d (%v)", got, want, Profiles())
 	}
 	for _, c := range cases {
 		l, err := Profile(c.name)
@@ -253,6 +260,14 @@ func TestProfilePresets(t *testing.T) {
 	}
 	if _, err := Profile("carrier-pigeon"); err == nil {
 		t.Error("unknown profile accepted")
+	} else {
+		// The resolver's error must enumerate every known profile, so a
+		// typo'd CLI flag tells the user what is actually available.
+		for _, name := range Profiles() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("Profile error %q does not mention preset %q", err, name)
+			}
+		}
 	}
 }
 

@@ -130,6 +130,15 @@ const (
 	// Name is the migration reason ("crash", "drain", "health", "forced");
 	// A0=task id, A1=source host, A2=target host.
 	KMigrateResume
+	// KTierPlace is one 3-way placement decision of the tiered fleet.
+	// Name is the chosen tier ("local", "edge", "cloud"); A0=client,
+	// A1=server picked (-1 for local), A2=estimated completion (ps),
+	// A3=charged queue delay (ps).
+	KTierPlace
+	// KTierMigrate is one cross-tier move of an offload over the WAN.
+	// Name is the direction ("promote" cloud->edge, "demote" edge->cloud);
+	// A0=client, A1=from server, A2=to server, A3=ship time (ps).
+	KTierMigrate
 	numKinds
 )
 
@@ -165,6 +174,8 @@ var kindMeta = [numKinds]struct {
 	KMigrateCheckpoint: {"migrate.checkpoint", [4]string{"task", "pages", "bytes", ""}},
 	KMigrateShip:       {"migrate.ship", [4]string{"task", "wire_bytes", "", ""}},
 	KMigrateResume:     {"migrate.resume", [4]string{"task", "from_host", "to_host", ""}},
+	KTierPlace:         {"tier.place", [4]string{"client", "server", "est_ps", "wait_ps"}},
+	KTierMigrate:       {"tier.migrate", [4]string{"client", "from_server", "to_server", "ship_ps"}},
 }
 
 func (k Kind) String() string { return kindMeta[k].name }

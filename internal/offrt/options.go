@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 )
 
 // LoadSignal is the dispatcher-side load view a server fleet exposes to
@@ -35,6 +36,7 @@ type config struct {
 	start      simtime.PS
 	serverPlan *faults.ServerPlan
 	mig        *Migration
+	topo       *tiers.Topology
 }
 
 // Option configures a Session at construction.
@@ -101,6 +103,18 @@ func WithServerFaults(p *faults.ServerPlan) Option { return func(c *config) { c.
 // failure degrades to local fallback.
 func WithMigration(m Migration) Option { return func(c *config) { c.mig = &m } }
 
+// WithTiers places a hierarchical topology behind the session's gate:
+// instead of the binary Equation-1 question, every decision scores
+// {local, edge over the access link, cloud over access + WAN backhaul}
+// with estimate.Placement and offloads whenever either remote tier beats
+// local execution. The session's wire simulation still runs over its one
+// link and server — the topology informs the decision layer (placement
+// choice, per-tier accounting, tier.place traces); full per-tier
+// execution timing is the fleet simulator's job. A nil topology keeps
+// the binary gate, whose decisions Placement reproduces exactly when the
+// cloud option is absent.
+func WithTiers(topo *tiers.Topology) Option { return func(c *config) { c.topo = topo } }
+
 // WithStartTime places the session at instant t on the shared simulated
 // timeline instead of 0: both machines' clocks, the energy recorder, and
 // the initial link-phase resolution all start there. A fleet dispatcher
@@ -143,6 +157,9 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 	if err := cfg.serverPlan.Validate(); err != nil {
 		return nil, fmt.Errorf("offrt: invalid server-fault plan: %w", err)
 	}
+	if err := cfg.topo.Validate(); err != nil {
+		return nil, fmt.Errorf("offrt: invalid tier topology: %w", err)
+	}
 	mig := DefaultMigration()
 	migOn := false
 	if cfg.mig != nil {
@@ -173,6 +190,7 @@ func NewSession(mobile, server *interp.Machine, link *netsim.Link, opts ...Optio
 		Recorder: energy.NewRecorder(cfg.start, energy.Compute),
 		rec:      rec,
 		load:     cfg.load,
+		topo:     cfg.topo,
 
 		serverPlan: cfg.serverPlan,
 		mig:        mig,

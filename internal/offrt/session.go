@@ -26,6 +26,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/tiers"
 )
 
 // TaskSpec is what the dynamic estimator knows about one offload target.
@@ -114,6 +115,10 @@ type Session struct {
 
 	tasks map[int32]TaskSpec
 	est   estimate.Params
+
+	// topo, when set, turns the binary gate into the 3-way placement
+	// decision over {local, edge, cloud} (see WithTiers).
+	topo *tiers.Topology
 
 	// load, when set, is the fleet dispatcher's live load signal: the
 	// gate charges its estimated queueing delay on top of communication,
@@ -234,6 +239,11 @@ type SessionStats struct {
 	MigratedPages int
 	MigratedBytes int64
 	CrashRetries  int
+
+	// Placement outcomes of the tiered gate (WithTiers sessions only):
+	// how many offload decisions the 3-way placement sent to each tier.
+	EdgePlaced  int
+	CloudPlaced int
 }
 
 // TaskStats is per-task accounting for Table 4 and Figure 6.
@@ -385,6 +395,12 @@ func (s *Session) publishMetrics() {
 	m.Counter("session.migrated_pages").Set(int64(s.Stats.MigratedPages))
 	m.Counter("session.migrated_bytes").Set(s.Stats.MigratedBytes)
 	m.Counter("session.crash_retries").Set(int64(s.Stats.CrashRetries))
+	if s.topo != nil {
+		// Published only on tiered sessions so untiered metric summaries
+		// (and their goldens) are untouched.
+		m.Counter("session.tier.edge_placed").Set(int64(s.Stats.EdgePlaced))
+		m.Counter("session.tier.cloud_placed").Set(int64(s.Stats.CloudPlaced))
+	}
 	m.Counter("faults.injected").Set(s.LinkStats.Injector.Stats().Total())
 	for id, st := range s.PerTask {
 		p := fmt.Sprintf("task.%d.", id)
@@ -453,7 +469,10 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 	// Dynamic estimation uses the *current* network bandwidth — and, when
 	// the session serves against a shared fleet, the dispatcher's current
 	// queueing delay — which is the whole point of deciding at run time
-	// (Section 4, generalized to shared servers).
+	// (Section 4, generalized to shared servers). The decision itself is
+	// the 3-way placement over {local, edge, cloud}: without a topology
+	// the cloud option is absent and Placement reduces exactly to the
+	// paper's binary ProfitableQueued gate.
 	est := s.est
 	est.BandwidthBps = s.linkAt(m.Clock).BandwidthBps
 	var queue simtime.PS
@@ -464,7 +483,33 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 		}
 		queue = s.load.EstQueueDelay(m.Clock, exec)
 	}
-	ok = est.ProfitableQueued(spec.TimePerInvocation, spec.MemBytes, queue)
+	edge := estimate.TierOption{OK: true, P: est, Queue: queue}
+	var cloud estimate.TierOption
+	if s.topo != nil {
+		mode := s.topo.EffectiveMode()
+		if mode != tiers.EdgeOnly {
+			// The cloud prices the serial access + WAN path at the cloud
+			// pool's compute ratio. No load signal reaches past the edge,
+			// so the cloud queues as the elastic (uncontended) tier.
+			cloud = estimate.TierOption{OK: true, P: s.topo.CloudParams(est)}
+		}
+		if mode == tiers.CloudOnly {
+			edge.OK = false
+		}
+	}
+	choice, _ := estimate.Placement(spec.TimePerInvocation, spec.MemBytes, edge, cloud)
+	ok = choice != estimate.PlaceLocal
+	if s.topo != nil {
+		switch choice {
+		case estimate.PlaceEdge:
+			s.Stats.EdgePlaced++
+		case estimate.PlaceCloud:
+			s.Stats.CloudPlaced++
+		}
+		s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KTierPlace, Track: obs.TrackMobile,
+			Name: choice.String(), A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
+			A2: int64(queue)})
+	}
 	if debugGate != nil {
 		debugGate(m.Clock, est.BandwidthBps, ok)
 	}
