@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke scalesmoke tiersmoke
+.PHONY: check build vet test bench bindsmoke golden fuzz chaos fleet profsmoke migsmoke scalesmoke tiersmoke critsmoke
 
 ## check: the tier-1 verification — build, vet, race-enabled tests, a
 ## short fuzz smoke over the hardened wire decoder, the fleet scheduler
 ## smoke, the sharded-engine scale smoke, the profiler/breakdown CLI
 ## smoke, the shared-image bind smoke, the mid-offload migration
-## smoke, and the multi-tier placement smoke.
-check: build vet fleet scalesmoke profsmoke bindsmoke migsmoke tiersmoke
+## smoke, the multi-tier placement smoke, and the span-tracing smoke.
+check: build vet fleet scalesmoke profsmoke bindsmoke migsmoke tiersmoke critsmoke
 	$(GO) test -race ./...
 	$(GO) test ./internal/offrt/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
@@ -36,6 +36,14 @@ migsmoke:
 tiersmoke:
 	$(GO) test ./internal/fleet/ -run '^TestTierSmoke$$' -count=1
 
+## critsmoke: the span-tracing contract — a tiered cell with the tail
+## sampler on must retain exactly the slowest-K jobs with complete span
+## trees inside the ring bound, each exemplar's critical-path segments
+## must sum bit-exactly to its end-to-end latency, and the retained set
+## must be byte-identical across shard counts.
+critsmoke:
+	$(GO) test ./internal/fleet/ -run '^TestCritSmoke$$' -count=1
+
 build:
 	$(GO) build ./...
 
@@ -58,8 +66,10 @@ test:
 ## drives a million clients through the sharded engine and writes
 ## BENCH_fleet_scale.json; it fails if the engines disagree byte for
 ## byte, if adaptive admission stops beating static bounds on the
-## diurnal cell, or (on >= 4 cores) if the parallel engine is under 4x
-## the sequential events/sec. The tiers bench sweeps the mobile -> edge
+## diurnal cell, (on >= 4 cores) if the parallel engine is under 4x
+## the sequential events/sec, or if the 100k-client exemplar cell
+## stops retaining the 64 slowest jobs as complete span trees with
+## exact segment sums inside the trace-ring bound. The tiers bench sweeps the mobile -> edge
 ## -> cloud hierarchy through all three placement modes and writes
 ## BENCH_tiers.json; it fails unless 3-way placement holds both
 ## aggregate tails at or under each static baseline with shard parity
@@ -71,7 +81,7 @@ bench:
 	BENCH_BIND_JSON=$(CURDIR)/BENCH_bind.json $(GO) test ./internal/interp/ -run '^TestBindBenchJSON$$' -count=1 -v
 	$(GO) run ./cmd/offloadbench -exp fleet -fleet-out=$(CURDIR)/BENCH_fleet.json
 	$(GO) run ./cmd/offloadbench -exp migrate -migrate-out=$(CURDIR)/BENCH_migrate.json
-	$(GO) run ./cmd/offloadbench -exp fleetscale -clients 1000000 -shards 0 -scale-out=$(CURDIR)/BENCH_fleet_scale.json
+	$(GO) run ./cmd/offloadbench -exp fleetscale -clients 1000000 -shards 0 -exemplars 64 -scale-out=$(CURDIR)/BENCH_fleet_scale.json
 	$(GO) run ./cmd/offloadbench -exp tiers -tiers-out=$(CURDIR)/BENCH_tiers.json
 
 ## golden: regenerate every golden file (Chrome export, metrics summary,

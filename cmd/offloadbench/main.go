@@ -35,6 +35,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -83,6 +84,8 @@ func main() {
 	traceFile := flag.String("trace", "", "with -w: write a Chrome trace_event JSON of the fast-network run")
 	showMetrics := flag.Bool("metrics", false, "with -w: print the aggregated session metrics")
 	showHist := flag.Bool("hist", false, "with -w: print the latency histogram snapshots (p50/p90/p99/max)")
+	exemplars := flag.Int("exemplars", 0, "with -exp fleet/fleetscale: retain complete span trees for the N slowest / shed / migrated / faulted jobs plus an N-sized seeded baseline (0 disables the tail sampler)")
+	critPath := flag.Bool("critpath", false, "with -w or -exp fleet: print the per-job critical-path table and the where-the-tail-lives summary from the trace")
 	engineSpec := flag.String("engine", "fast", "execution engine: fast (pre-decoded) or ref (reference tree-walker)")
 	bindStats := flag.Bool("bindstats", false, "print compilation-cache statistics (programs, hits, misses) after the experiments")
 	flag.Usage = func() {
@@ -127,7 +130,7 @@ func main() {
 	}
 
 	if *observe != "" || *traceFile != "" || *showMetrics || *showHist {
-		if err := runObserved(*observe, *traceFile, *showMetrics, *showHist); err != nil {
+		if err := runObserved(*observe, *traceFile, *showMetrics, *showHist, *critPath, *exemplars); err != nil {
 			fmt.Fprintf(os.Stderr, "offloadbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -259,6 +262,11 @@ func main() {
 				}
 				fmt.Printf("fleet: %d cells -> %s\n", len(results), *fleetOut)
 			}
+			if *exemplars > 0 {
+				if err := fleetExemplars(*clients, *servers, *seed, engineShards(*shards), *policy, *exemplars, *critPath); err != nil {
+					return err
+				}
+			}
 		case "tiers":
 			bench, err := experiments.TierSweep(experiments.TierBenchLoads(), *edgeServers, *cloudServers, *seed)
 			if err != nil {
@@ -287,7 +295,7 @@ func main() {
 			if !explicit {
 				n = 1_000_000
 			}
-			bench, err := experiments.ScaleSweep(n, *shards)
+			bench, err := experiments.ScaleSweep(n, *shards, *exemplars)
 			if err != nil {
 				return err
 			}
@@ -333,9 +341,58 @@ func engineShards(n int) int {
 	}
 }
 
+// fleetExemplars deep-dives one fleet cell with the tail sampler on:
+// re-runs the chosen policy with k exemplars per retention category and a
+// bounded tracer ring, reports the retained set, and with -critpath prints
+// the per-exemplar critical-path decomposition and tail summary.
+func fleetExemplars(clients, servers int, seed uint64, shards int, policy string, k int, critPath bool) error {
+	pol := fleet.EstAware
+	if policy != "all" {
+		p, err := fleet.ParsePolicy(policy)
+		if err != nil {
+			return err
+		}
+		pol = p
+	}
+	cfg := fleet.DefaultConfig(clients, servers, pol)
+	cfg.Seed = seed
+	cfg.Shards = shards
+	cfg.Exemplars = k
+	tr := obs.NewTracer(0)
+	cfg.Tracer = tr
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exemplars (%s): %d span trees retained (K=%d per category) in %d trace events\n",
+		pol, len(res.Exemplars), k, tr.Len())
+	if w := tr.DropWarning(); w != "" {
+		fmt.Fprintln(os.Stderr, "offloadbench:", w)
+	}
+	if !critPath {
+		return nil
+	}
+	keep := make(map[int64]bool, len(res.Exemplars))
+	for _, ex := range res.Exemplars {
+		keep[ex.Job] = true
+	}
+	// The ring also holds cheap KJob summaries of recent non-retained jobs;
+	// the tables cover the retained exemplars only.
+	cs := analyze.Crit(tr.Events())
+	kept := &analyze.CritSummary{}
+	for _, cp := range cs.Jobs {
+		if keep[cp.Job] {
+			kept.Jobs = append(kept.Jobs, cp)
+		}
+	}
+	fmt.Println(analyze.CritTable(kept))
+	fmt.Println(analyze.WhereTable(kept, 0.99))
+	return nil
+}
+
 // runObserved evaluates one workload with the observability layer attached,
 // writing the Chrome trace and/or printing the metrics summary.
-func runObserved(name, traceFile string, showMetrics, showHist bool) error {
+func runObserved(name, traceFile string, showMetrics, showHist bool, critPath bool, exemplars int) error {
 	if name == "" {
 		return fmt.Errorf("-trace/-metrics/-hist need a workload: add -w <name>")
 	}
@@ -344,7 +401,7 @@ func runObserved(name, traceFile string, showMetrics, showHist bool) error {
 		return fmt.Errorf("unknown workload %q", name)
 	}
 	var tracer *obs.Tracer
-	if traceFile != "" {
+	if traceFile != "" || critPath {
 		tracer = obs.NewTracer(0)
 	}
 	var metrics *obs.Metrics
@@ -357,7 +414,12 @@ func runObserved(name, traceFile string, showMetrics, showHist bool) error {
 	}
 	fmt.Printf("%s: local %v -> offloaded %v (%.2fx speedup)\n",
 		w.Name, r.Local.Time, r.Fast.Time, r.Fast.Speedup(r.Local))
-	if tracer != nil {
+	if critPath && tracer != nil {
+		cs := analyze.Crit(tracer.Events()).Top(exemplars)
+		fmt.Println(analyze.CritTable(cs))
+		fmt.Println(analyze.WhereTable(cs, 0.99))
+	}
+	if tracer != nil && traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
 			return err
@@ -372,6 +434,10 @@ func runObserved(name, traceFile string, showMetrics, showHist bool) error {
 		fmt.Printf("trace: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
 			tracer.Len(), traceFile)
 	}
+	if w := tracer.DropWarning(); w != "" {
+		fmt.Fprintln(os.Stderr, "offloadbench:", w)
+	}
+	tracer.PublishDropped(metrics)
 	if showMetrics {
 		fmt.Println(report.MetricsTable(w.Name+" session metrics", metrics.Names(), metrics.Value))
 	}

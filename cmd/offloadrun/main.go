@@ -43,6 +43,8 @@ type observability struct {
 	traceFile    string
 	profileFile  string
 	breakdown    bool
+	critPath     bool
+	exemplars    int
 	tracer       *obs.Tracer
 	metrics      *obs.Metrics
 	faults       *faults.Plan
@@ -52,14 +54,16 @@ type observability struct {
 	sampleEvery  simtime.PS
 }
 
-func newObservability(traceFile, profileFile string, breakdown, wantMetrics bool) *observability {
-	o := &observability{traceFile: traceFile, profileFile: profileFile, breakdown: breakdown}
+func newObservability(traceFile, profileFile string, breakdown, wantMetrics, critPath bool, exemplars int) *observability {
+	o := &observability{traceFile: traceFile, profileFile: profileFile, breakdown: breakdown,
+		critPath: critPath, exemplars: exemplars}
 	if traceFile != "" {
 		o.tracer = obs.NewTracer(0)
 	}
-	if breakdown && o.tracer == nil {
-		// The breakdown replays the trace; without -trace, capture into a
-		// generous in-memory ring (never written to disk).
+	if (breakdown || critPath) && o.tracer == nil {
+		// The breakdown and critical-path analyses replay the trace; without
+		// -trace, capture into a generous in-memory ring (never written to
+		// disk).
 		o.tracer = obs.NewTracer(1 << 20)
 	}
 	if wantMetrics {
@@ -114,6 +118,11 @@ func (o *observability) reportRun(off *core.OffloadResult, model energy.PowerMod
 		fmt.Println(analyze.TimeTable(analyze.Breakdown(evs)))
 		fmt.Println(analyze.RadioTable(analyze.Radio(evs, model)))
 	}
+	if o.critPath && o.tracer != nil {
+		cs := analyze.Crit(o.tracer.Events()).Top(o.exemplars)
+		fmt.Println(analyze.CritTable(cs))
+		fmt.Println(analyze.WhereTable(cs, 0.99))
+	}
 	if o.topo != nil {
 		fmt.Printf("tiers (%s): %d placed on edge, %d on cloud, %d kept local\n",
 			o.topo.EffectiveMode(), off.Stats.EdgePlaced, off.Stats.CloudPlaced, off.Stats.Declines)
@@ -122,6 +131,10 @@ func (o *observability) reportRun(off *core.OffloadResult, model energy.PowerMod
 
 // finish writes the Chrome trace file and prints the metrics summary.
 func (o *observability) finish() {
+	if w := o.tracer.DropWarning(); w != "" {
+		fmt.Fprintln(os.Stderr, "offloadrun:", w)
+	}
+	o.tracer.PublishDropped(o.metrics)
 	if o.tracer != nil && o.traceFile != "" {
 		f, err := os.Create(o.traceFile)
 		if err != nil {
@@ -159,6 +172,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the offloaded run")
 	profileFile := flag.String("profile", "", "write a folded-stack guest flamegraph profile of the offloaded run and print the top-functions table")
 	breakdown := flag.Bool("breakdown", false, "print the per-offload time and radio-energy breakdown (Fig. 6/7 shape) replayed from the trace")
+	critPath := flag.Bool("critpath", false, "print each job's critical-path decomposition and the where-the-tail-lives summary replayed from the trace")
+	exemplars := flag.Int("exemplars", 0, "with -critpath: limit the per-job table to the N slowest jobs (0 keeps them all)")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated session metrics after the run")
 	faultSpec := flag.String("faults", "", `inject link faults into the offloaded run, e.g. "drop=0.1,corrupt=0.02,outage=100ms-250ms,seed=7"`)
 	serverFaultSpec := flag.String("server-faults", "", `inject server faults into the offloaded run, e.g. "crash=0@300ms,slow=0@100ms-2sx3,drain=0@1s"`)
@@ -217,7 +232,7 @@ func main() {
 		}
 		serverPlan = p
 	}
-	o := newObservability(*traceFile, *profileFile, *breakdown, *showMetrics)
+	o := newObservability(*traceFile, *profileFile, *breakdown, *showMetrics, *critPath, *exemplars)
 	o.faults = plan
 	o.serverFaults = serverPlan
 	o.migrate = *migrate

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/simtime"
 )
@@ -43,6 +44,24 @@ type AdaptiveCell struct {
 	AdaptiveRPS    float64 `json:"adaptive_rps"`
 }
 
+// ExemplarCell records the tail-sampled exemplar run: the 100k-client
+// floor cell re-run with the sampler on and a bounded tracer ring
+// attached, plus the structural facts CheckFloor enforces — the slowest-K
+// jobs all retained, every retained exemplar assembling into a complete
+// span tree whose critical-path segments sum exactly to its latency, and
+// the whole flush staying inside the ring's existing memory bound.
+type ExemplarCell struct {
+	Exemplars     int   `json:"exemplars"`
+	Clients       int   `json:"clients"`
+	Retained      int   `json:"retained"`
+	SlowRetained  int   `json:"slow_retained"`
+	CompleteTrees int   `json:"complete_trees"`
+	SumExact      int   `json:"sum_exact"`
+	RingEvents    int   `json:"ring_events"`
+	RingCap       int   `json:"ring_capacity"`
+	TraceDropped  int64 `json:"trace_dropped"`
+}
+
 // ScaleBench is the machine-readable record make bench writes to
 // BENCH_fleet_scale.json.
 type ScaleBench struct {
@@ -59,6 +78,11 @@ type ScaleBench struct {
 	Big ScaleCell `json:"big"`
 
 	Adaptive []AdaptiveCell `json:"adaptive"`
+
+	// Exemplar is the tail-sampling cell; nil (and absent from the JSON)
+	// unless the sweep ran with exemplars > 0, so existing bench artifacts
+	// stay byte-identical.
+	Exemplar *ExemplarCell `json:"exemplar,omitempty"`
 }
 
 // scaleConfig is the shared workload of the timed cells: est-aware policy
@@ -92,11 +116,58 @@ func timeCell(name string, cfg fleet.Config) (ScaleCell, error) {
 	}, nil
 }
 
+// exemplarCell re-runs the floor workload with the tail sampler on and a
+// default-capacity tracer ring attached, then scores the retained set:
+// how many exemplars came back, how many carry the "slow" (slowest-K)
+// category, how many assemble into complete span trees whose root
+// duration matches the recorded latency, and on how many the
+// critical-path segments sum exactly to the end-to-end latency.
+func exemplarCell(clients, shards, k int) (*ExemplarCell, error) {
+	cfg := scaleConfig(clients, 10, shards)
+	cfg.Exemplars = k
+	tr := obs.NewTracer(0)
+	cfg.Tracer = tr
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar cell: %w", err)
+	}
+	cell := &ExemplarCell{
+		Exemplars: k, Clients: clients,
+		Retained:   len(res.Exemplars),
+		RingEvents: tr.Len(), RingCap: obs.DefaultCapacity,
+		TraceDropped: res.TraceDropped,
+	}
+	trees := make(map[int64]*obs.JobTrace)
+	for _, jt := range obs.AssembleSpans(tr.Events()) {
+		trees[jt.Job] = jt
+	}
+	for _, ex := range res.Exemplars {
+		for _, c := range ex.Categories {
+			if c == "slow" {
+				cell.SlowRetained++
+				break
+			}
+		}
+		var sum int64
+		for _, s := range ex.Segments {
+			sum += s.PS
+		}
+		if sum == ex.LatencyPS {
+			cell.SumExact++
+		}
+		if jt := trees[ex.Job]; jt != nil && jt.Complete && int64(jt.Roots[0].Dur) == ex.LatencyPS {
+			cell.CompleteTrees++
+		}
+	}
+	return cell, nil
+}
+
 // ScaleSweep runs the full fleet-scale benchmark. clients sizes the
 // headline cell (the floor cells are pinned at 100k so the speedup number
 // is comparable across runs); shards is the worker count for the parallel
-// cells, typically runtime.NumCPU().
-func ScaleSweep(clients, shards int) (*ScaleBench, error) {
+// cells, typically runtime.NumCPU(); exemplars > 0 adds the tail-sampling
+// cell retaining that many jobs per category.
+func ScaleSweep(clients, shards, exemplars int) (*ScaleBench, error) {
 	if shards < 1 {
 		shards = runtime.NumCPU()
 	}
@@ -137,6 +208,12 @@ func ScaleSweep(clients, shards int) (*ScaleBench, error) {
 		return nil, err
 	}
 	b.SpeedupX = b.Par.EventsPerSec / b.Seq.EventsPerSec
+
+	if exemplars > 0 {
+		if b.Exemplar, err = exemplarCell(100_000, shards, exemplars); err != nil {
+			return nil, err
+		}
+	}
 
 	rpc := 3 // a million clients need fewer requests each to stay in budget
 	if clients < 1 {
@@ -213,6 +290,24 @@ func (b *ScaleBench) CheckFloor() error {
 		return fmt.Errorf("fleetscale: parallel engine at %.2fx sequential on %d core(s); overhead out of bounds",
 			b.SpeedupX, b.Cores)
 	}
+	if c := b.Exemplar; c != nil {
+		if c.SlowRetained != c.Exemplars {
+			return fmt.Errorf("fleetscale: exemplar cell retained %d slowest jobs, want all %d",
+				c.SlowRetained, c.Exemplars)
+		}
+		if c.CompleteTrees != c.Retained {
+			return fmt.Errorf("fleetscale: only %d of %d retained exemplars assembled complete span trees",
+				c.CompleteTrees, c.Retained)
+		}
+		if c.SumExact != c.Retained {
+			return fmt.Errorf("fleetscale: critical-path sum identity failed on %d of %d exemplars",
+				c.Retained-c.SumExact, c.Retained)
+		}
+		if c.RingEvents > c.RingCap {
+			return fmt.Errorf("fleetscale: exemplar flush overflowed the trace ring (%d events > cap %d)",
+				c.RingEvents, c.RingCap)
+		}
+	}
 	return nil
 }
 
@@ -227,6 +322,10 @@ func ScaleTable(b *ScaleBench) *report.Table {
 	for _, c := range b.Adaptive {
 		t.Note(fmt.Sprintf("diurnal seed %d: static sheds+misses %d -> adaptive %d (rps %.1f -> %.1f)",
 			c.Seed, c.StaticSheds+c.StaticMisses, c.AdaptiveSheds+c.AdaptiveMisses, c.StaticRPS, c.AdaptiveRPS))
+	}
+	if c := b.Exemplar; c != nil {
+		t.Note(fmt.Sprintf("exemplars: %d retained over %d clients (%d/%d slowest, %d complete trees, %d exact sums) in %d/%d ring events",
+			c.Retained, c.Clients, c.SlowRetained, c.Exemplars, c.CompleteTrees, c.SumExact, c.RingEvents, c.RingCap))
 	}
 	return t
 }

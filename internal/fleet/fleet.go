@@ -143,6 +143,14 @@ type Config struct {
 	// victim degrades to the client-local fallback path.
 	Migrate bool
 
+	// Exemplars, when positive, turns on the tail sampler: every job emits
+	// a cheap KJob summary, and complete span trees are retained for the
+	// slowest-K jobs, the K worst of each anomaly class (shed / migrated /
+	// faulted) and a K-sized seeded baseline, flushed into the Tracer ring
+	// at end of run. Zero (the default) records nothing extra. Retention
+	// is deterministic and shard-invariant.
+	Exemplars int
+
 	// Tracer receives fleet.dispatch / fleet.queue / fleet.shed events
 	// (plus per-request gate decisions); Metrics receives the end-of-run
 	// gauges. Both may be nil.
@@ -243,6 +251,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("fleet: negative shard count %d (0 selects the sequential engine)", c.Shards)
+	}
+	if c.Exemplars < 0 {
+		return fmt.Errorf("fleet: negative exemplar count %d (0 disables the tail sampler)", c.Exemplars)
 	}
 	if c.Shards > 0 {
 		if _, _, err := buildClients(c); err != nil {

@@ -13,6 +13,16 @@ import (
 
 // job is one offload request in flight through the fleet.
 type job struct {
+	// id is the logical JobID: fixed when the client issues the request
+	// and inherited by every continuation a retry, demotion, promotion or
+	// migration creates, so one id names the whole causal chain.
+	id int64
+	// rec is the job's span record when the tail sampler is on (nil
+	// otherwise); continuations share it.
+	rec *jobRec
+	// pend labels the in-flight transit interval the next arrival closes
+	// (uplink for a dispatch, wan.ship for a cross-tier move, ...).
+	pend   uint8
 	client int32
 	tm     simtime.PS // mobile execution time (Equation 1's Tm)
 	mem    int64      // memory footprint (Equation 1's M)
@@ -230,6 +240,7 @@ type intent struct {
 	rtt  simtime.PS
 	mem  int64
 	bw   int64
+	job  int64 // logical JobID (client id x requests-per-client + ordinal)
 	ci   int32
 }
 
@@ -269,6 +280,12 @@ type machine struct {
 	hWait *obs.Histogram
 	mWait *obs.Histogram
 
+	// samp is the tail sampler (nil unless Config.Exemplars > 0). It
+	// lives in the machine because every completion is delivered here in
+	// the serial core, whose event order is bit-identical across engines
+	// — which makes the retained exemplar set shard-invariant for free.
+	samp *sampler
+
 	sched func(t simtime.PS, kind uint8, si int32, j *job)
 	emit  func(msg doneMsg)
 
@@ -292,6 +309,7 @@ func newMachine(cfg *Config, links []*netsim.Link, st *Stats) *machine {
 		st:       st,
 		hWait:    obs.NewHistogram(),
 		mWait:    cfg.Metrics.Histogram("lat.queue_wait_ps"),
+		samp:     newSampler(cfg),
 	}
 	if cfg.Adaptive.Enabled {
 		m.ctrl = newController(cfg.Adaptive, cfg.Admission)
@@ -366,6 +384,21 @@ func (m *machine) freeJob(j *job) {
 	m.free = append(m.free, j)
 }
 
+// complete finalizes a job's span record, feeds the tail sampler, and
+// delivers the completion to the owning client. Every terminal path of a
+// job funnels through here, so the sampler observes each logical request
+// exactly once, in the serial core's deterministic order.
+func (m *machine) complete(r *jobRec, msg doneMsg) {
+	if r != nil {
+		r.out = msg.kind
+		r.tier = msg.tier
+		r.missed = msg.missed
+		r.done = msg.done
+		m.samp.observe(r, m.cfg.Tracer)
+	}
+	m.emit(msg)
+}
+
 // stepCtrl advances the adaptive controller across any period boundaries
 // up to now. Both engines call it from the same handlers in the same
 // global event order, so the control trajectory is deterministic.
@@ -405,8 +438,10 @@ func (m *machine) handleIntent(in intent) {
 	if si < 0 {
 		// The whole pool is down or draining: nothing to offload to.
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
-			Name: "pool-down", A0: int64(in.tm), A1: in.mem})
-		m.emit(doneMsg{ci: in.ci, kind: outFallback, decide: now, done: now + in.tm})
+			Name: "pool-down", A0: int64(in.tm), A1: in.mem, Job: in.job})
+		r := m.samp.rec(in.job, in)
+		r.mark(now+in.tm, segLocal, -1)
+		m.complete(r, doneMsg{ci: in.ci, kind: outFallback, decide: now, done: now + in.tm})
 		return
 	}
 	srv := m.servers[si]
@@ -424,18 +459,21 @@ func (m *machine) handleIntent(in intent) {
 	p := estimate.Params{R: srv.spec.R, BandwidthBps: in.bw, RTT: in.rtt}
 	if !p.ProfitableQueuedMargin(in.tm, in.mem, gateWait, m.margin) {
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
-			Name: "decline", A0: int64(in.tm), A1: in.mem, A2: in.bw, A3: int64(wait)})
-		m.emit(doneMsg{ci: in.ci, kind: outDecline, decide: now, done: now + in.tm})
+			Name: "decline", A0: int64(in.tm), A1: in.mem, A2: in.bw, A3: int64(wait), Job: in.job})
+		r := m.samp.rec(in.job, in)
+		r.mark(now+in.tm, segLocal, -1)
+		m.complete(r, doneMsg{ci: in.ci, kind: outDecline, decide: now, done: now + in.tm})
 		return
 	}
 	m.st.Dispatched++
 	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KDispatch, Track: obs.TrackFleet,
 		Name: string(m.cfg.Policy), A0: int64(in.ci), A1: int64(si),
-		A2: int64(len(srv.queue)), A3: int64(wait)})
+		A2: int64(len(srv.queue)), A3: int64(wait), Job: in.job})
 	exec := srv.execTime(in.tm)
 	m.jobSeq++
 	j := m.newJob()
-	*j = job{client: in.ci, tm: in.tm, mem: in.mem, exec: exec,
+	*j = job{id: in.job, rec: m.samp.rec(in.job, in), pend: segUplink,
+		client: in.ci, tm: in.tm, mem: in.mem, exec: exec,
 		decide: now, down: in.down, seq: m.jobSeq,
 		deadline: now + simtime.PS(deadlineSlack*float64(in.up+exec+in.down))}
 	srv.reserved += j.exec
@@ -481,8 +519,10 @@ func (m *machine) handleIntentTiered(in intent) {
 	}
 	if ei < 0 && ci < 0 {
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KGate, Track: obs.TrackFleet,
-			Name: "pool-down", A0: int64(in.tm), A1: in.mem})
-		m.emit(doneMsg{ci: in.ci, kind: outFallback, decide: now, done: now + in.tm})
+			Name: "pool-down", A0: int64(in.tm), A1: in.mem, Job: in.job})
+		r := m.samp.rec(in.job, in)
+		r.mark(now+in.tm, segLocal, -1)
+		m.complete(r, doneMsg{ci: in.ci, kind: outFallback, decide: now, done: now + in.tm})
 		return
 	}
 
@@ -499,21 +539,25 @@ func (m *machine) handleIntentTiered(in intent) {
 		down += wanLeg
 	}
 	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KTierPlace, Track: obs.TrackFleet,
-		Name: choice.String(), A0: int64(in.ci), A1: int64(si), A2: int64(est), A3: int64(wait)})
+		Name: choice.String(), A0: int64(in.ci), A1: int64(si), A2: int64(est), A3: int64(wait),
+		Job: in.job})
 	if si < 0 {
 		// Local won the 3-way race: no tier's RemoteTime beats Tm.
-		m.emit(doneMsg{ci: in.ci, kind: outDecline, decide: now, done: now + in.tm})
+		r := m.samp.rec(in.job, in)
+		r.mark(now+in.tm, segLocal, -1)
+		m.complete(r, doneMsg{ci: in.ci, kind: outDecline, decide: now, done: now + in.tm})
 		return
 	}
 	srv := m.servers[si]
 	m.st.Dispatched++
 	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KDispatch, Track: obs.TrackFleet,
 		Name: string(m.cfg.Policy), A0: int64(in.ci), A1: int64(si),
-		A2: int64(len(srv.queue)), A3: int64(wait)})
+		A2: int64(len(srv.queue)), A3: int64(wait), Job: in.job})
 	exec := srv.execTime(in.tm)
 	m.jobSeq++
 	j := m.newJob()
-	*j = job{client: in.ci, tm: in.tm, mem: in.mem, exec: exec,
+	*j = job{id: in.job, rec: m.samp.rec(in.job, in), pend: segUplink,
+		client: in.ci, tm: in.tm, mem: in.mem, exec: exec,
 		decide: now, down: down, adown: in.down, tier: tier, seq: m.jobSeq,
 		deadline: now + simtime.PS(deadlineSlack*float64(up+exec+down))}
 	srv.reserved += j.exec
@@ -535,18 +579,28 @@ func (m *machine) handleArrive(now simtime.PS, si int32, j *job) {
 	if s.reserved < 0 {
 		s.reserved = 0
 	}
+	// The transit that delivered this arrival (uplink, WAN ship, resend)
+	// closes here.
+	j.rec.mark(now, j.pend, -1)
 	if s.down {
 		// The request landed on a dead or draining server. With
 		// migration support the fleet reroutes it to a survivor;
 		// without, the client's deadline expires and it re-executes
 		// locally.
-		if m.cfg.Migrate && m.relocate(j, j.tm, now+detectDelay, now+detectDelay) {
+		j.rec.fault()
+		if m.cfg.Migrate && m.relocate(j, j.tm, now+detectDelay, now+detectDelay, segDetect) {
 			m.st.Retried++
 			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
-				Name: "redispatch", A0: int64(j.client), A1: int64(si)})
+				Name: "redispatch", A0: int64(j.client), A1: int64(si), Job: j.id})
 		} else if !m.cfg.Migrate {
-			m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
-				done: expire(j, now+detectDelay) + j.tm})
+			done := expire(j, now+detectDelay) + j.tm
+			if r := j.rec; r != nil {
+				r.mark(now+detectDelay, segDetect, -1)
+				r.mark(done-j.tm, segDeadline, -1)
+				r.mark(done, segLocal, -1)
+			}
+			m.complete(j.rec, doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
+				done: done})
 		}
 		m.freeJob(j)
 		return
@@ -575,11 +629,16 @@ func (m *machine) handleArrive(now simtime.PS, si int32, j *job) {
 		}
 		m.ctrl.noteShed()
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KShed, Track: obs.TrackFleet,
-			A0: int64(j.client), A1: int64(si), A2: int64(depth)})
+			A0: int64(j.client), A1: int64(si), A2: int64(depth), Job: j.id})
 		notice := m.links[j.client].At(now).TransferTime(shedNoticeBytes)
 		// Local fallback: the client hears the reject, then runs the
 		// task itself.
-		m.emit(doneMsg{ci: j.client, kind: outShed, decide: j.decide, done: now + notice + j.tm})
+		if r := j.rec; r != nil {
+			r.server = si
+			r.mark(now+notice, segNotice, si)
+			r.mark(now+notice+j.tm, segLocal, -1)
+		}
+		m.complete(j.rec, doneMsg{ci: j.client, kind: outShed, decide: j.decide, done: now + notice + j.tm})
 		m.freeJob(j)
 		return
 	}
@@ -645,15 +704,22 @@ func (m *machine) handleFinish(now simtime.PS, si int32, j *job) {
 	done := now + j.down
 	missed := j.deadline > 0 && done > j.deadline
 	m.ctrl.noteFinish(missed)
-	m.emit(doneMsg{ci: j.client, kind: outOffload, tier: j.tier, missed: missed, decide: j.decide, done: done})
+	fid := j.id
+	if r := j.rec; r != nil {
+		r.server = si
+		r.mark(now, segRun, si)
+		r.mark(done, segReply, -1)
+	}
+	m.complete(j.rec, doneMsg{ci: j.client, kind: outOffload, tier: j.tier, missed: missed, decide: j.decide, done: done})
 	m.freeJob(j)
 	if len(s.queue) > 0 && s.busy < s.spec.Slots {
 		next := s.pop(m.cfg.Queue)
 		wait := now - next.enq
 		s.waitPS += wait
 		m.recordWait(si, wait)
+		next.rec.mark(now, segQueue, si)
 		m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KQueue, Track: obs.TrackFleet,
-			A0: int64(next.client), A1: int64(si), A2: int64(wait)})
+			A0: int64(next.client), A1: int64(si), A2: int64(wait), Job: next.id})
 		m.startJob(si, next, now)
 	}
 	// A drained edge queue is the promotion trigger: if the fleet is
@@ -663,7 +729,7 @@ func (m *machine) handleFinish(now simtime.PS, si int32, j *job) {
 	// scan is safe to run even while the slots themselves are still busy.
 	if m.topo != nil && m.cfg.Migrate && m.topo.EffectiveMode() == tiers.ThreeWay &&
 		!s.down && len(s.queue) == 0 && m.topo.TierOf(int(si)) == tiers.Edge {
-		m.promote(now, si)
+		m.promote(now, si, fid)
 	}
 }
 
@@ -704,8 +770,10 @@ func (m *machine) bestUp(at simtime.PS, remTm simtime.PS) int {
 // re-execution starting at localAt, and the loser is dropped. With no
 // survivor at all, local wins by default. The target's reservation
 // mirrors a fresh dispatch, so slot accounting stays exact across
-// failures.
-func (m *machine) relocate(j *job, remTm simtime.PS, at, localAt simtime.PS) bool {
+// failures. transit labels the span segment the recovery transfer
+// charges (detect for in-flight reroutes, resend for crash re-uploads,
+// wan.ship for checkpoint migrations).
+func (m *machine) relocate(j *job, remTm simtime.PS, at, localAt simtime.PS, transit uint8) bool {
 	ti := m.bestUp(at, remTm)
 	down, tier := j.down, j.tier
 	if ti >= 0 {
@@ -726,13 +794,18 @@ func (m *machine) relocate(j *job, remTm simtime.PS, at, localAt simtime.PS) boo
 		}
 	}
 	if ti < 0 {
-		m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide, done: localAt + j.tm})
+		if r := j.rec; r != nil {
+			r.mark(localAt, segDetect, -1)
+			r.mark(localAt+j.tm, segLocal, -1)
+		}
+		m.complete(j.rec, doneMsg{ci: j.client, kind: outFallback, decide: j.decide, done: localAt + j.tm})
 		return false
 	}
 	t := m.servers[ti]
 	m.jobSeq++
 	nj := m.newJob()
-	*nj = job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(remTm),
+	*nj = job{id: j.id, rec: j.rec, pend: transit,
+		client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(remTm),
 		decide: j.decide, down: down, adown: j.adown, tier: tier, seq: m.jobSeq, recovery: true}
 	t.reserved += nj.exec
 	m.sched(at, evArrive, int32(ti), nj)
@@ -778,10 +851,13 @@ func (m *machine) demote(now simtime.PS, si int32, j *job, stay simtime.PS, volu
 	t := m.servers[ti]
 	m.st.Demotions++
 	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KTierMigrate, Track: obs.TrackFleet,
-		Name: "demote", A0: int64(j.client), A1: int64(si), A2: int64(ti), A3: int64(ship)})
+		Name: "demote", A0: int64(j.client), A1: int64(si), A2: int64(ti), A3: int64(ship),
+		Job: j.id})
+	j.rec.migrate()
 	m.jobSeq++
 	nj := m.newJob()
-	*nj = job{client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(j.tm),
+	*nj = job{id: j.id, rec: j.rec, pend: segWanShip,
+		client: j.client, tm: j.tm, mem: j.mem, exec: t.execTime(j.tm),
 		decide: j.decide, down: down, adown: j.adown, tier: tierCloud,
 		seq: m.jobSeq, recovery: true, deadline: j.deadline}
 	t.reserved += nj.exec
@@ -797,8 +873,9 @@ func (m *machine) demote(now simtime.PS, si int32, j *job, stay simtime.PS, volu
 // time itself: the hysteresis that keeps a job from oscillating between
 // tiers on marginal estimates. Promoted jobs carry recovery=true, so
 // admission cannot demote them again — each offload crosses the WAN at
-// most twice.
-func (m *machine) promote(now simtime.PS, ei int32) {
+// most twice. trigger is the JobID whose completion freed the slot — the
+// promoted job's causal parent in the span model.
+func (m *machine) promote(now simtime.PS, ei int32, trigger int64) {
 	e := m.servers[ei]
 	var best *job
 	bi, bestRunning := -1, false
@@ -849,16 +926,24 @@ func (m *machine) promote(now simtime.PS, ei int32) {
 		c.dropRunning(best)
 		best.cancelled = true // its scheduled evFinish fires as a no-op
 		remTm = simtime.PS(float64(best.finish-now) * c.spec.R)
+		best.rec.mark(now, segRun, int32(bi))
 	} else {
 		c.removeQueued(best)
+		best.rec.mark(now, segQueue, int32(bi))
+	}
+	if r := best.rec; r != nil {
+		r.parent = trigger
+		r.migrated = true
 	}
 	ship := m.wan.TransferTime(best.mem)
 	m.st.Promotions++
 	m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KTierMigrate, Track: obs.TrackFleet,
-		Name: "promote", A0: int64(best.client), A1: int64(bi), A2: int64(ei), A3: int64(ship)})
+		Name: "promote", A0: int64(best.client), A1: int64(bi), A2: int64(ei), A3: int64(ship),
+		Job: best.id, Parent: trigger})
 	m.jobSeq++
 	nj := m.newJob()
-	*nj = job{client: best.client, tm: best.tm, mem: best.mem, exec: e.execTime(remTm),
+	*nj = job{id: best.id, rec: best.rec, pend: segWanShip,
+		client: best.client, tm: best.tm, mem: best.mem, exec: e.execTime(remTm),
 		decide: best.decide, down: best.adown, adown: best.adown, tier: tierEdge,
 		seq: m.jobSeq, recovery: true, deadline: best.deadline}
 	e.reserved += nj.exec
@@ -895,14 +980,31 @@ func (m *machine) handleCrash(now simtime.PS, si int32) {
 		// falls back locally). Without the monitor the crash is silent
 		// — the client burns its whole offload deadline before giving
 		// up and re-executing locally.
+		if r := j.rec; r != nil {
+			r.faulted = true
+			// The work done (or waited) before the crash is lost time.
+			if j.cancelled {
+				r.mark(now, segRunLost, si)
+			} else {
+				r.mark(now, segQueueLost, si)
+			}
+		}
 		reup := m.links[j.client].At(now + detectDelay).TransferTime(j.mem)
-		if m.cfg.Migrate && m.relocate(j, j.tm, now+detectDelay+reup, now+detectDelay) {
-			m.st.Retried++
-			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
-				Name: "resend", A0: int64(j.client), A1: int64(si)})
-		} else if !m.cfg.Migrate {
-			m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
-				done: expire(j, now+detectDelay) + j.tm})
+		if m.cfg.Migrate {
+			j.rec.mark(now+detectDelay, segDetect, -1)
+			if m.relocate(j, j.tm, now+detectDelay+reup, now+detectDelay, segResend) {
+				m.st.Retried++
+				m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
+					Name: "resend", A0: int64(j.client), A1: int64(si), Job: j.id})
+			}
+		} else {
+			done := expire(j, now+detectDelay) + j.tm
+			if r := j.rec; r != nil {
+				r.mark(done-j.tm, segDeadline, -1)
+				r.mark(done, segLocal, -1)
+			}
+			m.complete(j.rec, doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
+				done: done})
 		}
 		if !j.cancelled {
 			// Queued victims have no pending events; running ones recycle
@@ -926,7 +1028,13 @@ func (m *machine) handleDrain(now simtime.PS, si int32) {
 		// does not kill state), but the queue is abandoned: each waiting
 		// client falls back locally.
 		for _, j := range s.queue {
-			m.emit(doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
+			if r := j.rec; r != nil {
+				r.faulted = true
+				r.mark(now, segQueueLost, si)
+				r.mark(now+detectDelay, segDetect, -1)
+				r.mark(now+detectDelay+j.tm, segLocal, -1)
+			}
+			m.complete(j.rec, doneMsg{ci: j.client, kind: outFallback, decide: j.decide,
 				done: now + detectDelay + j.tm})
 			m.freeJob(j)
 		}
@@ -950,22 +1058,31 @@ func (m *machine) handleDrain(now simtime.PS, si int32) {
 		if j.finish > now {
 			remTm = simtime.PS(float64(j.finish-now) * s.spec.R)
 		}
+		if r := j.rec; r != nil {
+			r.faulted = true
+			r.mark(now, segRun, si) // the partial run before the checkpoint
+		}
 		ship := m.backhaul.TransferTime(j.mem) + m.backhaul.Latency + m.backhaul.PerMessage
-		if m.relocate(j, remTm, now+ship, now+detectDelay) {
+		if m.relocate(j, remTm, now+ship, now+detectDelay, segWanShip) {
 			m.st.Migrations++
+			j.rec.migrate()
 			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KMigrateShip, Track: obs.TrackFleet,
-				A0: int64(j.client), A1: int64(si), A2: j.mem, A3: int64(ship)})
+				A0: int64(j.client), A1: int64(si), A2: j.mem, A3: int64(ship), Job: j.id})
 		}
 	}
 	queued := s.queue
 	s.queue = nil
 	s.queExec = 0
 	for _, j := range queued {
+		if r := j.rec; r != nil {
+			r.faulted = true
+			r.mark(now, segQueue, si) // the wait spent behind the drained backlog
+		}
 		ship := m.backhaul.TransferTime(j.mem) + m.backhaul.Latency + m.backhaul.PerMessage
-		if m.relocate(j, j.tm, now+ship, now+detectDelay) {
+		if m.relocate(j, j.tm, now+ship, now+detectDelay, segWanShip) {
 			m.st.Retried++
 			m.cfg.Tracer.Emit(obs.Event{Time: now, Kind: obs.KRetry, Track: obs.TrackFleet,
-				Name: "forward", A0: int64(j.client), A1: int64(si)})
+				Name: "forward", A0: int64(j.client), A1: int64(si), Job: j.id})
 		}
 		m.freeJob(j)
 	}
@@ -1037,5 +1154,12 @@ func (m *machine) finishRun(st *Stats, now simtime.PS) (*Result, error) {
 	}
 	res.finish(st.Latencies, m.servers, now)
 	res.publish(cfg.Metrics, m.servers)
+	if m.samp != nil {
+		// Flush the retained exemplars' span trees last: the ring keeps
+		// newest, so the trees survive whatever the live stream dropped.
+		res.Exemplars = m.samp.flush(cfg.Tracer)
+	}
+	res.TraceDropped = cfg.Tracer.Dropped()
+	cfg.Tracer.PublishDropped(cfg.Metrics)
 	return res, nil
 }

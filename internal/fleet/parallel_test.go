@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tiers"
 )
@@ -67,8 +68,12 @@ func TestShardCountInvariance(t *testing.T) {
 	// is loaded enough that both migration directions actually fire, so
 	// the invariance covers the new event paths rather than idling past
 	// them (tiers is EstAware-only, hence outside the policy loop above).
+	// Tracing and tail sampling stay on so the invariance also covers the
+	// retained exemplar set — its span segments ride in the Result JSON.
 	tcfg := tieredBenchConfig(96, tiers.ThreeWay)
 	tcfg.Seed = 9
+	tcfg.Exemplars = 8
+	tcfg.Tracer = obs.NewTracer(1 << 17)
 	tref, err := Run(tcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +82,10 @@ func TestShardCountInvariance(t *testing.T) {
 		t.Fatalf("tiered invariance cell idle (%d promotions, %d demotions): pick a hotter cell",
 			tref.Promotions, tref.Demotions)
 	}
+	if len(tref.Exemplars) == 0 || tref.TraceDropped != 0 {
+		t.Fatalf("tiered invariance cell retained %d exemplars with %d drops: sampling not exercised",
+			len(tref.Exemplars), tref.TraceDropped)
+	}
 	refJSON, err := json.Marshal(tref)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +93,7 @@ func TestShardCountInvariance(t *testing.T) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		c := tcfg
 		c.Shards = shards
+		c.Tracer = obs.NewTracer(1 << 17)
 		if got := marshalResult(t, c); string(got) != string(refJSON) {
 			t.Errorf("tiers: shards=%d diverged from sequential", shards)
 		}

@@ -80,6 +80,12 @@ func issueReady(cfg *Config, cs *clientState, ci int32, now simtime.PS, st *Stat
 	}
 	cs.remaining--
 	st.Requests++
+	// The logical JobID: fixed here, at issue time, from (client, ordinal)
+	// alone — 1-based so id 0 stays "unattributed" — and carried through
+	// every continuation of the request's life. Being a pure function of
+	// the client's identity, it is identical under every engine and shard
+	// count.
+	ord := int64(cfg.RequestsPerClient - cs.remaining)
 	tm := cs.rng.rangePS(cfg.Workload.TmMin, cfg.Workload.TmMax)
 	mem := cs.rng.rangeI64(cfg.Workload.MemMin, cfg.Workload.MemMax)
 	link := cs.link.At(now)
@@ -92,6 +98,7 @@ func issueReady(cfg *Config, cs *clientState, ci int32, now simtime.PS, st *Stat
 		down: link.TransferTime(mem),
 		bw:   link.BandwidthBps,
 		rtt:  2 * (link.Latency + link.PerMessage),
+		job:  int64(ci)*int64(cfg.RequestsPerClient) + ord,
 	}, true
 }
 

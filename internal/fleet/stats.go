@@ -184,6 +184,15 @@ type Result struct {
 	// E2E is the end-to-end latency distribution (ps) over every
 	// completed request, streamed through per-shard histograms.
 	E2E obs.HistSnapshot `json:"e2e_hist"`
+
+	// TraceDropped surfaces the tracer ring's overwrite count, so a bench
+	// JSON produced from a truncated trace says so (omitted when the trace
+	// is complete or tracing is off — flat-fleet goldens stay byte-identical).
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// Exemplars are the tail sampler's retained jobs (Config.Exemplars > 0
+	// only): per-job critical-path decompositions whose segments sum exactly
+	// to the job's end-to-end latency.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // percentile returns the q-quantile (0..1) of sorted latencies by nearest

@@ -266,6 +266,10 @@ type LinkStats struct {
 
 	// Tracer, when set, receives one KMessage event per Send.
 	Tracer *obs.Tracer
+	// Job, when non-zero, attributes emitted KMessage/KFault events to the
+	// logical offload request currently on the wire (see obs.Event.Job);
+	// the session restamps it as jobs begin.
+	Job int64
 
 	// Injector, when set, is consulted on every transfer and may drop,
 	// corrupt or delay it (see TrySend). Send ignores verdicts other than
@@ -329,7 +333,7 @@ func (s *LinkStats) TrySend(l *Link, toServer bool, size int64, at simtime.PS) (
 		case faults.Drop, faults.Outage:
 			verdict = Dropped
 		}
-		s.Tracer.Emit(obs.Event{Time: at, Kind: obs.KFault, Track: obs.TrackLink, Name: f.Kind.String(), A0: size, A1: int64(f.Delay)})
+		s.Tracer.Emit(obs.Event{Time: at, Kind: obs.KFault, Track: obs.TrackLink, Name: f.Kind.String(), A0: size, A1: int64(f.Delay), Job: s.Job})
 	}
 	dir := "to_mobile"
 	if toServer {
@@ -341,6 +345,6 @@ func (s *LinkStats) TrySend(l *Link, toServer bool, size int64, at simtime.PS) (
 		s.BytesToMobile += size
 	}
 	s.CommTimeMobile += d
-	s.Tracer.Emit(obs.Event{Time: at, Dur: d, Kind: obs.KMessage, Track: obs.TrackLink, Name: dir, A0: size})
+	s.Tracer.Emit(obs.Event{Time: at, Dur: d, Kind: obs.KMessage, Track: obs.TrackLink, Name: dir, A0: size, Job: s.Job})
 	return d, verdict
 }

@@ -1,0 +1,237 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+// Critical-path analysis over assembled span trees: walk a retained
+// exemplar's tree into the causally-ordered segments its end-to-end
+// latency decomposes into, with the invariant that the segments sum
+// *exactly* to the job's total — the per-job refinement of Breakdown's
+// aggregate identity. Fleet exemplars carry explicit KJobSeg segments
+// that partition the root by construction; session (offrt) traces derive
+// their segments from the communication-shaped child spans with the
+// server's execution as the exact remainder, mirroring Breakdown.
+
+// Segment is one causally-ordered interval of a job's critical path.
+type Segment struct {
+	Name   string
+	Track  obs.Track
+	Server int64 // server the interval ran against, -1 when n/a
+	Start  simtime.PS
+	Dur    simtime.PS
+}
+
+// CritPath is one job's critical-path decomposition.
+type CritPath struct {
+	Job     int64
+	Client  int64
+	Outcome string
+	Start   simtime.PS
+	// Total is the job's end-to-end latency (the root span's duration) —
+	// exactly what fleet Stats recorded for it, and what the per-offload
+	// slice of SessionStats.E2ELatency is for a session trace.
+	Total simtime.PS
+	// Complete mirrors the assembled tree: false when ring wraparound ate
+	// part of the job, in which case the sum identity is not claimed.
+	Complete bool
+	Segments []Segment
+}
+
+// SegSum sums the segment durations; on a Complete path it equals Total.
+func (cp *CritPath) SegSum() simtime.PS {
+	var t simtime.PS
+	for _, s := range cp.Segments {
+		t += s.Dur
+	}
+	return t
+}
+
+// CritSummary is the critical-path view of every job in a trace.
+type CritSummary struct {
+	Jobs []*CritPath
+}
+
+// Crit assembles the stream's span trees and decomposes each job.
+func Crit(events []obs.Event) *CritSummary {
+	cs := &CritSummary{}
+	for _, jt := range obs.AssembleSpans(events) {
+		cs.Jobs = append(cs.Jobs, FromTrace(jt))
+	}
+	return cs
+}
+
+// FromTrace decomposes one assembled job tree. The widest root is the
+// job's span; its direct children yield the segments:
+//
+//   - KJobSeg children (fleet exemplars) are taken verbatim — the fleet
+//     emits them as an exact partition of the root, so no remainder
+//     remains;
+//   - communication-shaped children of a session offload (first
+//     to_server message = init, page-fault services, remote I/O,
+//     write-back) become segments and the gap left over is the server's
+//     execution, charged as one "remote.compute" remainder segment —
+//     Breakdown's Compute definition, so the identity stays exact.
+//
+// Jobs with no span root (a gate-declined session job retains only its
+// verdict instant) decompose to an empty path with Total 0.
+func FromTrace(jt *obs.JobTrace) *CritPath {
+	cp := &CritPath{Job: jt.Job, Client: -1, Complete: jt.Complete}
+	if len(jt.Roots) == 0 {
+		return cp
+	}
+	root := jt.Roots[0]
+	for _, r := range jt.Roots[1:] {
+		// Instant roots (a gate verdict fired just before the span opened)
+		// and truncation orphans can precede the job's enclosing interval;
+		// the widest root is the span the analysis decomposes.
+		if r.Dur > root.Dur {
+			root = r
+		}
+	}
+	cp.Outcome = root.Name
+	cp.Start = root.Time
+	cp.Total = root.Dur
+	switch root.Kind {
+	case obs.KJob:
+		cp.Client = root.A0
+	case obs.KOffload, obs.KFallback:
+		// Session traces have no client id; the task id stands in.
+		cp.Client = root.A0
+	}
+	sawInit := false
+	for _, c := range root.Children {
+		switch c.Kind {
+		case obs.KJobSeg:
+			cp.Segments = append(cp.Segments, Segment{
+				Name: c.Name, Track: c.Track, Server: c.A1, Start: c.Time, Dur: c.Dur})
+		case obs.KMessage:
+			if !sawInit && c.Name == "to_server" && c.Dur > 0 {
+				cp.Segments = append(cp.Segments, Segment{
+					Name: "init", Track: c.Track, Server: -1, Start: c.Time, Dur: c.Dur})
+				sawInit = true
+			}
+		case obs.KPageFault:
+			if c.Dur > 0 {
+				cp.Segments = append(cp.Segments, Segment{
+					Name: "page.fault", Track: c.Track, Server: -1, Start: c.Time, Dur: c.Dur})
+			}
+		case obs.KRemoteIO:
+			if c.Dur > 0 {
+				cp.Segments = append(cp.Segments, Segment{
+					Name: "remote.io", Track: c.Track, Server: -1, Start: c.Time, Dur: c.Dur})
+			}
+		case obs.KWriteBack:
+			if c.Dur > 0 {
+				cp.Segments = append(cp.Segments, Segment{
+					Name: "write.back", Track: c.Track, Server: -1, Start: c.Time, Dur: c.Dur})
+			}
+		}
+	}
+	if rem := cp.Total - cp.SegSum(); rem != 0 && root.Kind != obs.KJob {
+		// The uncovered remainder of a session offload is the server's
+		// execution (plus any retry backoff the trace does not separate) —
+		// appending it restores the exact partition.
+		cp.Segments = append(cp.Segments, Segment{
+			Name: "remote.compute", Track: obs.TrackServer, Server: -1, Dur: rem})
+	}
+	return cp
+}
+
+// Tail returns the jobs at or above the q-quantile of Total (0.99 asks
+// where the p99 lives), slowest first.
+func (cs *CritSummary) Tail(q float64) []*CritPath {
+	jobs := make([]*CritPath, 0, len(cs.Jobs))
+	for _, cp := range cs.Jobs {
+		if cp.Total > 0 {
+			jobs = append(jobs, cp)
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Total != jobs[b].Total {
+			return jobs[a].Total > jobs[b].Total
+		}
+		return jobs[a].Job < jobs[b].Job
+	})
+	n := len(jobs) - int(q*float64(len(jobs)))
+	if n < 1 {
+		n = 1
+	}
+	return jobs[:n]
+}
+
+// Top returns a summary restricted to the n slowest jobs (all of them
+// when n <= 0 or n exceeds the population), slowest first — the CLI's
+// -exemplars cap on the per-job table.
+func (cs *CritSummary) Top(n int) *CritSummary {
+	jobs := cs.Tail(0) // every positive-latency job, slowest first
+	if n > 0 && n < len(jobs) {
+		jobs = jobs[:n]
+	}
+	return &CritSummary{Jobs: jobs}
+}
+
+// CritTable renders the per-job decomposition: one row per job, its
+// segments inline in causal order.
+func CritTable(cs *CritSummary) *report.Table {
+	t := report.New("Per-job critical path (causally ordered segments)",
+		"job", "outcome", "total_ms", "segments")
+	for _, cp := range cs.Jobs {
+		if cp.Total == 0 {
+			continue
+		}
+		segs := ""
+		for i, s := range cp.Segments {
+			if i > 0 {
+				segs += " + "
+			}
+			segs += s.Name
+		}
+		t.Add(cp.Job, cp.Outcome, cp.Total.Millis(), segs)
+	}
+	return t
+}
+
+// WhereTable is the aggregate "where does the p99 live" view: over the
+// tail jobs at or above the q-quantile, the share of tail latency each
+// segment name accounts for, largest first.
+func WhereTable(cs *CritSummary, q float64) *report.Table {
+	tail := cs.Tail(q)
+	per := make(map[string]simtime.PS)
+	var names []string
+	var total simtime.PS
+	for _, cp := range tail {
+		for _, s := range cp.Segments {
+			if _, ok := per[s.Name]; !ok {
+				names = append(names, s.Name)
+			}
+			per[s.Name] += s.Dur
+			total += s.Dur
+		}
+	}
+	sort.Slice(names, func(a, b int) bool {
+		if per[names[a]] != per[names[b]] {
+			return per[names[a]] > per[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	t := report.New("Where the tail lives (segment share of slowest jobs)",
+		"segment", "total_ms", "share")
+	for _, n := range names {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(per[n]) / float64(total)
+		}
+		t.Add(n, per[n].Millis(), fmt.Sprintf("%.1f%%", share))
+	}
+	t.Note("%d job(s) at or above the q=%.2f latency quantile", len(tail), q)
+	return t
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// critTracer builds one fleet-style exemplar (KJob root partitioned by
+// KJobSeg segments) and one session-style offload (KOffload root with
+// communication children and a compute remainder).
+func critTracer() *obs.Tracer {
+	ms := simtime.Millisecond
+	tr := obs.NewTracer(64)
+	tr.Emit(obs.Event{Time: 10 * ms, Dur: 20 * ms, Kind: obs.KJob, Track: obs.TrackMobile,
+		Name: "offload", Job: 42, A0: 7, A1: 2})
+	tr.Emit(obs.Event{Time: 10 * ms, Dur: 4 * ms, Kind: obs.KJobSeg, Track: obs.TrackLink,
+		Name: "uplink", Job: 42, A0: 7, A1: -1})
+	tr.Emit(obs.Event{Time: 14 * ms, Dur: 6 * ms, Kind: obs.KJobSeg, Track: obs.TrackEdge,
+		Name: "queue", Job: 42, A0: 7, A1: 2})
+	tr.Emit(obs.Event{Time: 20 * ms, Dur: 10 * ms, Kind: obs.KJobSeg, Track: obs.TrackEdge,
+		Name: "run", Job: 42, A0: 7, A1: 2})
+
+	tr.Emit(obs.Event{Time: 50 * ms, Kind: obs.KGate, Track: obs.TrackMobile, Name: "offload", Job: 3})
+	tr.Emit(obs.Event{Time: 51 * ms, Dur: 40 * ms, Kind: obs.KOffload, Track: obs.TrackMobile,
+		Name: "crunch", Job: 3, A0: 1})
+	tr.Emit(obs.Event{Time: 51 * ms, Dur: 3 * ms, Kind: obs.KMessage, Track: obs.TrackLink,
+		Name: "to_server", Job: 3, A0: 66000})
+	tr.Emit(obs.Event{Time: 60 * ms, Dur: 2 * ms, Kind: obs.KPageFault, Track: obs.TrackServer,
+		Name: "remote", Job: 3})
+	tr.Emit(obs.Event{Time: 70 * ms, Dur: 1 * ms, Kind: obs.KRemoteIO, Track: obs.TrackServer,
+		Name: "printf", Job: 3})
+	tr.Emit(obs.Event{Time: 86 * ms, Dur: 4 * ms, Kind: obs.KWriteBack, Track: obs.TrackServer,
+		Job: 3})
+	return tr
+}
+
+func TestCritDecomposesBothRootShapes(t *testing.T) {
+	ms := simtime.Millisecond
+	cs := Crit(critTracer().Events())
+	if len(cs.Jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(cs.Jobs))
+	}
+	byJob := map[int64]*CritPath{}
+	for _, cp := range cs.Jobs {
+		byJob[cp.Job] = cp
+	}
+
+	// Fleet exemplar: segments verbatim, no remainder appended.
+	fl := byJob[42]
+	if fl == nil || !fl.Complete {
+		t.Fatal("fleet job 42 missing or incomplete")
+	}
+	if got := len(fl.Segments); got != 3 {
+		t.Fatalf("fleet job has %d segments, want 3 (no synthetic remainder)", got)
+	}
+	if fl.SegSum() != fl.Total || fl.Total != 20*ms {
+		t.Errorf("fleet job: segments %v, total %v, want exact 20ms partition", fl.SegSum(), fl.Total)
+	}
+
+	// Session offload: init + fault + io + write-back, with the server's
+	// compute charged as the exact remainder.
+	se := byJob[3]
+	if se == nil || !se.Complete {
+		t.Fatal("session job 3 missing or incomplete (the gate instant must not break completeness)")
+	}
+	if se.SegSum() != se.Total || se.Total != 40*ms {
+		t.Errorf("session job: segments %v, total %v, want exact 40ms partition", se.SegSum(), se.Total)
+	}
+	var compute simtime.PS
+	names := map[string]bool{}
+	for _, s := range se.Segments {
+		names[s.Name] = true
+		if s.Name == "remote.compute" {
+			compute = s.Dur
+		}
+	}
+	for _, want := range []string{"init", "page.fault", "remote.io", "write.back", "remote.compute"} {
+		if !names[want] {
+			t.Errorf("session decomposition missing segment %q (got %v)", want, names)
+		}
+	}
+	if want := 40*ms - 3*ms - 2*ms - 1*ms - 4*ms; compute != want {
+		t.Errorf("remote.compute = %v, want the exact %v remainder", compute, want)
+	}
+}
+
+func TestTailAndTopOrderSlowestFirst(t *testing.T) {
+	cs := Crit(critTracer().Events())
+	top := cs.Top(1)
+	if len(top.Jobs) != 1 || top.Jobs[0].Job != 3 {
+		t.Fatalf("Top(1) = %v, want the 40ms session job", top.Jobs)
+	}
+	all := cs.Top(0)
+	if len(all.Jobs) != 2 || all.Jobs[0].Total < all.Jobs[1].Total {
+		t.Errorf("Top(0) must return everything slowest-first, got %v", all.Jobs)
+	}
+	if tail := cs.Tail(0.99); len(tail) != 1 || tail[0].Job != 3 {
+		t.Errorf("Tail(0.99) = %v, want just the slowest job", tail)
+	}
+}
+
+func TestCritTablesRender(t *testing.T) {
+	cs := Crit(critTracer().Events())
+	if s := CritTable(cs).String(); !strings.Contains(s, "uplink + queue + run") {
+		t.Errorf("crit table missing the causal segment chain:\n%s", s)
+	}
+	ws := WhereTable(cs, 0.5).String()
+	for _, want := range []string{"remote.compute", "%"} {
+		if !strings.Contains(ws, want) {
+			t.Errorf("where-table missing %q:\n%s", want, ws)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Chrome trace_event exporter. The output loads directly into
@@ -26,6 +27,8 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -91,6 +94,12 @@ func chromeArgs(ev Event) map[string]any {
 	if ev.Name != "" && ev.Kind != KRadio && ev.Kind != KRemoteIO {
 		args["detail"] = ev.Name
 	}
+	if ev.Job != 0 {
+		args["job_id"] = ev.Job
+	}
+	if ev.Parent != 0 {
+		args["parent_job_id"] = ev.Parent
+	}
 	if len(args) == 0 {
 		return nil
 	}
@@ -155,7 +164,61 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 	}
 
+	out.TraceEvents = append(out.TraceEvents, flowEvents(events)...)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
+}
+
+// flowEvents links each job's spans across tracks with Chrome flow
+// records (ph "s"/"t"/"f", one chain per job id): the arrows Perfetto
+// draws from a job's client-side root through its edge/cloud segments.
+// Flows bind to complete (X) spans, so only span events participate; a
+// job entirely on one track needs no arrow. Jobs are emitted in id order
+// and spans in stream order, keeping the export deterministic.
+func flowEvents(events []Event) []chromeEvent {
+	spans := make(map[int64][]Event)
+	var ids []int64
+	for _, ev := range events {
+		if ev.Job == 0 || ev.Dur <= 0 || ev.Kind == KTaskEnter || ev.Kind == KTaskExit {
+			continue
+		}
+		if _, ok := spans[ev.Job]; !ok {
+			ids = append(ids, ev.Job)
+		}
+		spans[ev.Job] = append(spans[ev.Job], ev)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	var out []chromeEvent
+	for _, id := range ids {
+		chain := spans[id]
+		tracks := make(map[Track]bool)
+		for _, ev := range chain {
+			tracks[ev.Track] = true
+		}
+		if len(chain) < 2 || len(tracks) < 2 {
+			continue
+		}
+		for i, ev := range chain {
+			ph := "t"
+			switch i {
+			case 0:
+				ph = "s"
+			case len(chain) - 1:
+				ph = "f"
+			}
+			ce := chromeEvent{
+				Name: "job", Cat: "flow", Ph: ph, ID: id,
+				Ts:  usec(int64(ev.Time)),
+				Pid: chromePid, Tid: int(ev.Track) + 1,
+			}
+			if ph == "f" {
+				ce.BP = "e" // bind to the enclosing slice, not the next one
+			}
+			out = append(out, ce)
+		}
+	}
+	return out
 }

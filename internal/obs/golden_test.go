@@ -45,6 +45,22 @@ func goldenTracer() *Tracer {
 		A0: 7, A1: 2, A2: 3, A3: int64(12 * ms)})
 	tr.Emit(Event{Time: 72 * ms, Kind: KQueue, Track: TrackFleet, A0: 7, A1: 2, A2: int64(12 * ms)})
 	tr.Emit(Event{Time: 75 * ms, Kind: KShed, Track: TrackFleet, A0: 9, A1: 2, A2: 8})
+	// Per-job span kinds: a retained exemplar's KJob root, the KJobSeg
+	// critical-path partition of it (crossing the link and edge tracks, so
+	// the exporter links them with a flow chain), and a cross-tier promotion
+	// carrying its causal parent job.
+	tr.Emit(Event{Time: 80 * ms, Dur: 20 * ms, Kind: KJob, Track: TrackMobile, Name: "offload",
+		Job: 42, A0: 7, A1: 2, A2: int64(60 * ms), A3: 1 << 20})
+	tr.Emit(Event{Time: 80 * ms, Dur: 4 * ms, Kind: KJobSeg, Track: TrackLink, Name: "uplink",
+		Job: 42, A0: 7, A1: -1})
+	tr.Emit(Event{Time: 84 * ms, Dur: 2 * ms, Kind: KJobSeg, Track: TrackEdge, Name: "queue",
+		Job: 42, A0: 7, A1: 2})
+	tr.Emit(Event{Time: 85 * ms, Kind: KTierMigrate, Track: TrackFleet, Name: "promote",
+		A0: 7, A1: 5, A2: 2, A3: int64(3 * ms), Job: 42, Parent: 17})
+	tr.Emit(Event{Time: 86 * ms, Dur: 10 * ms, Kind: KJobSeg, Track: TrackEdge, Name: "run",
+		Job: 42, A0: 7, A1: 2})
+	tr.Emit(Event{Time: 96 * ms, Dur: 4 * ms, Kind: KJobSeg, Track: TrackLink, Name: "reply",
+		Job: 42, A0: 7, A1: -1})
 	tr.Emit(Event{Time: 0, Dur: 1 * ms, Kind: KRadio, Track: TrackRadio, Name: "compute"})
 	tr.Emit(Event{Time: 1 * ms, Dur: 3 * ms, Kind: KRadio, Track: TrackRadio, Name: "tx"})
 	tr.Emit(Event{Time: 4 * ms, Dur: 36 * ms, Kind: KRadio, Track: TrackRadio, Name: "wait"})
@@ -64,10 +80,11 @@ func TestChromeExportGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("exporter produced invalid JSON: %v", err)
 	}
-	// 21 events + 1 process metadata + 5 tracks * 2 metadata records +
+	// 27 events + 1 process metadata + 7 tracks * 2 metadata records +
 	// 5 latency counter samples (offload, page_fault, remote_io,
-	// write_back, queue).
-	if want := 21 + 1 + 10 + 5; len(parsed.TraceEvents) != want {
+	// write_back, queue) + 5 flow records for job 42's span chain
+	// (KJob root + 4 KJobSeg spans across mobile/link/edge).
+	if want := 27 + 1 + 14 + 5 + 5; len(parsed.TraceEvents) != want {
 		t.Errorf("traceEvents count = %d, want %d", len(parsed.TraceEvents), want)
 	}
 	goldentest.Check(t, "chrome_golden.json", buf.Bytes())

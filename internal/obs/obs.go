@@ -20,7 +20,9 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simtime"
 )
@@ -41,11 +43,16 @@ const (
 	// TrackFleet carries the server-fleet scheduler: dispatch decisions,
 	// queue waits and admission sheds.
 	TrackFleet
+	// TrackEdge and TrackCloud carry per-tier execution segments of the
+	// tiered fleet (queue waits and service intervals of retained exemplar
+	// jobs), so a job's flow renders across client -> edge -> cloud.
+	TrackEdge
+	TrackCloud
 	numTracks
 )
 
 func (t Track) String() string {
-	return [...]string{"mobile", "server", "link", "radio", "fleet"}[t]
+	return [...]string{"mobile", "server", "link", "radio", "fleet", "edge", "cloud"}[t]
 }
 
 // Kind is the event taxonomy. Each kind documents the meaning of the
@@ -139,6 +146,19 @@ const (
 	// Name is the direction ("promote" cloud->edge, "demote" edge->cloud);
 	// A0=client, A1=from server, A2=to server, A3=ship time (ps).
 	KTierMigrate
+	// KJob spans one whole fleet job from its decision instant to the
+	// result in hand — the root of a retained exemplar's span tree, and
+	// the cheap per-job summary every completion emits. Name is the
+	// outcome ("offload", "decline", "shed", "fallback"); A0=client,
+	// A1=final server (-1 local), A2=Tm (ps), A3=M (bytes). Dur is the
+	// job's end-to-end latency, the exact quantity Stats records.
+	KJob
+	// KJobSeg is one causally-ordered critical-path segment of a retained
+	// exemplar job: the segments of a job partition its KJob span exactly.
+	// Name is the segment ("gate", "uplink", "queue", "run", "reply",
+	// "wan.ship", "fault.detect", "resend", "run.lost", "shed.notice",
+	// "deadline.wait", "local.exec"); A0=client, A1=server (-1 n/a).
+	KJobSeg
 	numKinds
 )
 
@@ -157,7 +177,9 @@ var kindMeta = [numKinds]struct {
 	KRadio:     {"radio", [4]string{"", "", "", ""}},
 	KLinkPhase: {"link_phase", [4]string{"bw_bps", "phase", "", ""}},
 	KTaskEnter: {"task", [4]string{"task", "", "", ""}},
-	KTaskExit:  {"task", [4]string{"", "", "", ""}},
+	// The exporter names E records "task" itself (Chrome ignores them);
+	// the meta name stays unique so the taxonomy lint can hold.
+	KTaskExit: {"task.exit", [4]string{"", "", "", ""}},
 
 	KFault:      {"fault.injected", [4]string{"bytes", "delay_ps", "", ""}},
 	KRetry:      {"rpc.retry", [4]string{"attempt", "backoff_ps", "", ""}},
@@ -176,6 +198,9 @@ var kindMeta = [numKinds]struct {
 	KMigrateResume:     {"migrate.resume", [4]string{"task", "from_host", "to_host", ""}},
 	KTierPlace:         {"tier.place", [4]string{"client", "server", "est_ps", "wait_ps"}},
 	KTierMigrate:       {"tier.migrate", [4]string{"client", "from_server", "to_server", "ship_ps"}},
+
+	KJob:    {"job", [4]string{"client", "server", "tm_ps", "mem_bytes"}},
+	KJobSeg: {"job.seg", [4]string{"client", "server", "", ""}},
 }
 
 func (k Kind) String() string { return kindMeta[k].name }
@@ -194,6 +219,18 @@ type Event struct {
 	Name string
 	// A0..A3 are kind-specific arguments (see the Kind constants).
 	A0, A1, A2, A3 int64
+	// Job attributes the event to one logical offload request: every event
+	// of a job's life (gate verdict, dispatch, queue wait, run, retry,
+	// migration, completion) carries the same id, which is what lets the
+	// span assembler reconstruct the job's causal tree from a flat stream.
+	// Zero means unattributed (session-global events: radio states, link
+	// phases, health probes).
+	Job int64
+	// Parent, when non-zero, names the job that causally triggered this
+	// event when that is a *different* job — e.g. a cross-tier promotion
+	// carries the finishing job whose freed slot pulled this one back.
+	// The Chrome exporter renders it as a cross-job flow argument.
+	Parent int64
 }
 
 // Tracer records events into a bounded ring buffer. When the ring is full
@@ -201,6 +238,11 @@ type Event struct {
 // workload degrades the trace instead of memory. A nil *Tracer is a valid
 // disabled tracer: Emit is a no-op.
 type Tracer struct {
+	// kinds is the kind-mask filter: bit k admits Kind k. Zero (the
+	// initial state) admits everything, so SetKinds is pay-for-use. It is
+	// atomic so Emit's hot path checks it before taking the ring lock.
+	kinds atomic.Uint64
+
 	mu      sync.Mutex
 	buf     []Event
 	head    int // next write position
@@ -223,9 +265,29 @@ func NewTracer(capacity int) *Tracer {
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// SetKinds restricts the tracer to the given event kinds: Emit discards
+// everything else before touching the ring (filtered events are not
+// counted as dropped — they were never wanted). Calling SetKinds with no
+// arguments re-admits every kind. Safe on nil, safe concurrently with
+// Emit, and the filtered path stays allocation-free — the cheap way to
+// mute a hot-path emitter without tearing out the tracer.
+func (t *Tracer) SetKinds(keep ...Kind) {
+	if t == nil {
+		return
+	}
+	var mask uint64
+	for _, k := range keep {
+		mask |= 1 << k
+	}
+	t.kinds.Store(mask)
+}
+
 // Emit records one event. Safe on a nil tracer; never allocates.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
+		return
+	}
+	if mask := t.kinds.Load(); mask != 0 && mask&(1<<ev.Kind) == 0 {
 		return
 	}
 	t.mu.Lock()
@@ -279,6 +341,30 @@ func (t *Tracer) Events() []Event {
 	n := copy(out, t.buf[start:])
 	copy(out[n:], t.buf[:t.n-n])
 	return out
+}
+
+// DroppedCounter is the metrics name under which PublishDropped surfaces
+// the ring's drop count, so every consumer of Metrics.Summary sees a
+// truncated trace by the same key.
+const DroppedCounter = "trace.dropped_events"
+
+// PublishDropped surfaces the drop counter on a metrics registry (no-op
+// when nothing was dropped or m is nil). Safe on a nil tracer.
+func (t *Tracer) PublishDropped(m *Metrics) {
+	if d := t.Dropped(); d > 0 {
+		m.Counter(DroppedCounter).Set(d)
+	}
+}
+
+// DropWarning returns a one-line operator warning when the ring dropped
+// events, and "" when the trace is complete. Callers print it to stderr so
+// a silently truncated trace never masquerades as a full one.
+func (t *Tracer) DropWarning() string {
+	d := t.Dropped()
+	if d == 0 {
+		return ""
+	}
+	return fmt.Sprintf("warning: trace ring dropped %d event(s) (oldest overwritten); raise the ring capacity or mute kinds with SetKinds", d)
 }
 
 // Reset drops all retained events and the dropped counter.

@@ -93,7 +93,7 @@ func (s *Session) heartbeat(op string) {
 	// is untouched — only the clock moves.
 	if extra := s.serverPlan.SlowExtra(s.hostID, s.lastBeat, s.Server.Clock); extra > 0 {
 		s.Server.AddTime(extra, interp.CompCompute)
-		s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KServerFault, Track: obs.TrackServer,
+		s.emit(obs.Event{Time: s.Server.Clock, Kind: obs.KServerFault, Track: obs.TrackServer,
 			Name: "slow", A0: int64(s.hostID), A1: int64(extra)})
 	}
 	// Stall: the host freezes until the window closes; the boundary simply
@@ -101,7 +101,7 @@ func (s *Session) heartbeat(op string) {
 	if until, ok := s.serverPlan.StallUntil(s.hostID, s.Server.Clock); ok {
 		d := until - s.Server.Clock
 		s.Server.AddTime(d, interp.CompCompute)
-		s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KServerFault, Track: obs.TrackServer,
+		s.emit(obs.Event{Time: s.Server.Clock, Kind: obs.KServerFault, Track: obs.TrackServer,
 			Name: "stall", A0: int64(s.hostID), A1: int64(d)})
 	}
 	now := s.Server.Clock
@@ -109,7 +109,7 @@ func (s *Session) heartbeat(op string) {
 	// left to checkpoint. With a spare available the mobile re-sends the
 	// offload from scratch there; otherwise it falls back locally.
 	if s.serverPlan.CrashAt(s.hostID, now) {
-		s.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackServer,
+		s.emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackServer,
 			Name: "crash", A0: int64(s.hostID)})
 		if s.migOn && s.hostID+1 < s.hosts {
 			s.hostID++
@@ -123,7 +123,7 @@ func (s *Session) heartbeat(op string) {
 		// Scheduled drain: the host announces it is going away, so the
 		// checkpoint can be cut cleanly. Finishing in place is not an
 		// option.
-		s.Tracer.Emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackServer,
+		s.emit(obs.Event{Time: now, Kind: obs.KServerFault, Track: obs.TrackServer,
 			Name: "drain", A0: int64(s.hostID)})
 		s.decideMigration("drain", false)
 		s.lastBeat = s.Server.Clock
@@ -140,7 +140,7 @@ func (s *Session) heartbeat(op string) {
 			allowed := simtime.PS(s.mig.HealthSlack*s.ewmaGap) + s.mig.HealthFloor
 			if gap > allowed {
 				s.strikes++
-				s.Tracer.Emit(obs.Event{Time: now, Kind: obs.KHealth, Track: obs.TrackServer,
+				s.emit(obs.Event{Time: now, Kind: obs.KHealth, Track: obs.TrackServer,
 					Name: op, A0: int64(gap), A1: int64(allowed), A2: int64(s.strikes)})
 				if s.strikes >= s.mig.Strikes {
 					s.decideMigration("health", true)
@@ -208,7 +208,7 @@ func (s *Session) decideMigration(reason string, canFinish bool) {
 func (s *Session) shipCheckpoint(reason string, st *interp.State, wire []byte) {
 	from := s.hostID
 	start := s.Server.Clock
-	s.Tracer.Emit(obs.Event{Time: start, Kind: obs.KMigrateCheckpoint, Track: obs.TrackServer,
+	s.emit(obs.Event{Time: start, Kind: obs.KMigrateCheckpoint, Track: obs.TrackServer,
 		A0: int64(s.cur.taskID), A1: int64(st.NumPages()), A2: int64(st.Bytes())})
 
 	// The frame crosses the backhaul for real: decode what was encoded,
@@ -245,9 +245,9 @@ func (s *Session) shipCheckpoint(reason string, st *interp.State, wire []byte) {
 	s.Stats.MigratedPages += st.NumPages()
 	s.Stats.MigratedBytes += int64(len(wire))
 	s.hMigrate.Record(int64(d))
-	s.Tracer.Emit(obs.Event{Time: start, Dur: d, Kind: obs.KMigrateShip, Track: obs.TrackServer,
+	s.emit(obs.Event{Time: start, Dur: d, Kind: obs.KMigrateShip, Track: obs.TrackServer,
 		A0: int64(s.cur.taskID), A1: int64(len(wire))})
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KMigrateResume, Track: obs.TrackServer,
+	s.emit(obs.Event{Time: s.Server.Clock, Kind: obs.KMigrateResume, Track: obs.TrackServer,
 		Name: reason, A0: int64(s.cur.taskID), A1: int64(from), A2: int64(s.hostID)})
 }
 

@@ -130,7 +130,7 @@ func (s *Session) sendReliable(toServer bool, size int64, at simtime.PS, op stri
 		elapsed += backoff
 		s.hBackoff.Record(int64(backoff))
 		s.Stats.Retries++
-		s.Tracer.Emit(obs.Event{Time: at + elapsed, Kind: obs.KRetry, Track: obs.TrackLink,
+		s.emit(obs.Event{Time: at + elapsed, Kind: obs.KRetry, Track: obs.TrackLink,
 			Name: op, A0: int64(attempt + 1), A1: int64(backoff)})
 	}
 }
@@ -147,7 +147,7 @@ func (s *Session) abortTask(op string) {
 	}
 	s.aborted = true
 	s.Stats.Aborts++
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KAbort, Track: obs.TrackServer,
+	s.emit(obs.Event{Time: s.Server.Clock, Kind: obs.KAbort, Track: obs.TrackServer,
 		Name: op, A0: int64(s.cur.taskID)})
 }
 
@@ -186,7 +186,7 @@ func (s *Session) fallbackLocal(taskID int32, spec TaskSpec, args []uint64, ioSn
 	s.Stats.Fallbacks++
 	if s.rec.Cooldown > 0 {
 		s.quarantineUntil = s.Mobile.Clock + s.rec.Cooldown
-		s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KQuarantine, Track: obs.TrackMobile,
+		s.emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KQuarantine, Track: obs.TrackMobile,
 			A0: int64(taskID), A1: int64(s.rec.Cooldown)})
 	}
 	s.Recorder.Transition(s.Mobile.Clock, energy.Compute)
@@ -196,7 +196,7 @@ func (s *Session) fallbackLocal(taskID int32, spec TaskSpec, args []uint64, ioSn
 	}
 	begin := s.Mobile.Clock
 	ret, err := s.Mobile.CallFunc(f, args...)
-	s.Tracer.Emit(obs.Event{Time: begin, Dur: s.Mobile.Clock - begin, Kind: obs.KFallback,
+	s.emit(obs.Event{Time: begin, Dur: s.Mobile.Clock - begin, Kind: obs.KFallback,
 		Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
 	return ret, err
 }

@@ -169,6 +169,14 @@ type Session struct {
 	// leaves no partial output behind.
 	ioJournal []string
 
+	// jobSeq / curJob thread the logical JobID through the session's trace:
+	// every gate evaluation opens a new id (declines included — their
+	// verdict instant is still that job's trace), and every event of the
+	// offload's life through retries, migration and fallback carries it, so
+	// the span assembler can reconstruct one causal tree per request.
+	jobSeq int64
+	curJob int64
+
 	// outBuf accumulates batched r_printf output on the server side.
 	outBuf []byte
 
@@ -289,6 +297,8 @@ func (s *Session) linkAt(t simtime.PS) *netsim.Link {
 	if s.Tracer.Enabled() {
 		if idx, bw := s.Link.PhaseAt(t); idx != s.lastPhase {
 			s.lastPhase = idx
+			// Link phases are a property of the session's radio environment,
+			// not of whichever job happens to be in flight: unattributed.
 			s.Tracer.Emit(obs.Event{Time: t, Kind: obs.KLinkPhase, Track: obs.TrackLink,
 				A0: bw, A1: int64(idx)})
 		}
@@ -430,6 +440,23 @@ func (s *Session) RunMobile() (int32, error) {
 
 // ---- SysHost: mobile side ----
 
+// beginJob opens the next logical JobID: one per gate evaluation, carried
+// by every trace event of that request's life — gate verdict, wire
+// messages, retries, migration, fallback — so the span assembler can
+// reconstruct one causal tree per request. The link layer stamps its own
+// KMessage/KFault events through LinkStats.Job.
+func (s *Session) beginJob() {
+	s.jobSeq++
+	s.curJob = s.jobSeq
+	s.LinkStats.Job = s.curJob
+}
+
+// emit records ev attributed to the current job.
+func (s *Session) emit(ev obs.Event) {
+	ev.Job = s.curJob
+	s.Tracer.Emit(ev)
+}
+
 // Gate implements the dynamic performance estimation of Section 4: it
 // re-evaluates Equation 1 with the current network bandwidth, avoiding
 // offload in unfavourable conditions (gzip on 802.11n is the paper's star).
@@ -437,6 +464,7 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 	if s.Policy.DisableGate {
 		return false
 	}
+	s.beginJob()
 	if m.Clock < s.quarantineUntil {
 		// Post-abort cool-down: the link just failed an offload, don't
 		// trust it again yet. Overrides ForceOffload — a quarantined gate
@@ -447,7 +475,7 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 		}
 		if s.Tracer.Enabled() {
 			spec := s.tasks[taskID]
-			s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
+			s.emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
 				Name: "quarantine", A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
 				A2: s.est.BandwidthBps, A3: int64(s.est.R * 1000)})
 		}
@@ -456,7 +484,7 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 	if s.Policy.ForceOffload {
 		if s.Tracer.Enabled() {
 			spec := s.tasks[taskID]
-			s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
+			s.emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
 				Name: "offload", A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
 				A2: s.est.BandwidthBps, A3: int64(s.est.R * 1000)})
 		}
@@ -506,7 +534,7 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 		case estimate.PlaceCloud:
 			s.Stats.CloudPlaced++
 		}
-		s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KTierPlace, Track: obs.TrackMobile,
+		s.emit(obs.Event{Time: m.Clock, Kind: obs.KTierPlace, Track: obs.TrackMobile,
 			Name: choice.String(), A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
 			A2: int64(queue)})
 	}
@@ -518,7 +546,7 @@ func (s *Session) Gate(m *interp.Machine, taskID int32) bool {
 		if !ok {
 			name = "decline"
 		}
-		s.Tracer.Emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
+		s.emit(obs.Event{Time: m.Clock, Kind: obs.KGate, Track: obs.TrackMobile,
 			Name: name, A0: int64(spec.TimePerInvocation), A1: spec.MemBytes,
 			A2: est.BandwidthBps, A3: int64(est.R * 1000)})
 	}
@@ -541,6 +569,11 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 	st := s.PerTask[int(taskID)]
 	st.Offloads++
 	s.Stats.Offloads++
+	if s.curJob == 0 {
+		// Offload invoked without a prior Gate (direct callers, tests):
+		// the request still gets a JobID of its own.
+		s.beginJob()
+	}
 	start := s.Mobile.Clock
 
 	// Checkpoint the mobile I/O state while it is still untouched: if the
@@ -570,7 +603,7 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 		}
 		st.PrefetchPgs += len(req.Pages)
 		s.Stats.PrefetchPages += len(req.Pages)
-		s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KPrefetch, Track: obs.TrackMobile,
+		s.emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KPrefetch, Track: obs.TrackMobile,
 			A0: int64(len(req.Pages)), A1: int64(len(req.Pages)) * mem.PageSize})
 		s.mobilePresent = make(map[uint32]bool)
 		for _, pn := range present {
@@ -632,7 +665,7 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 					}
 				}
 				s.Stats.CrashRetries++
-				s.Tracer.Emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KRetry, Track: obs.TrackMobile,
+				s.emit(obs.Event{Time: s.Mobile.Clock, Kind: obs.KRetry, Track: obs.TrackMobile,
 					Name: "offload.restart", A0: int64(taskID), A1: int64(attempt + 1)})
 				continue
 			}
@@ -643,7 +676,7 @@ func (s *Session) Offload(m *interp.Machine, taskID int32, args []uint64) (uint6
 		}
 		s.Stats.E2ELatency += s.Mobile.Clock - start
 		s.hE2E.Record(int64(s.Mobile.Clock - start))
-		s.Tracer.Emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
+		s.emit(obs.Event{Time: start, Dur: s.Mobile.Clock - start, Kind: obs.KOffload,
 			Track: obs.TrackMobile, Name: spec.Name, A0: int64(taskID)})
 		return rep.ret, nil
 	}
@@ -750,7 +783,7 @@ func (s *Session) SendReturn(m *interp.Machine, v uint64) error {
 	}
 	s.Stats.WriteBackWireBytes += wire
 	s.hWriteBack.Record(int64(d))
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KWriteBack,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KWriteBack,
 		Track: obs.TrackServer, A0: int64(len(dirty)), A1: raw, A2: wire})
 	if st != nil {
 		st.TrafficBytes += wire
@@ -809,7 +842,7 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 		// The page table shipped at initialization says this page does
 		// not exist on the mobile device: zero-fill locally, no traffic.
 		if !s.aborted {
-			s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Kind: obs.KPageFault,
+			s.emit(obs.Event{Time: s.Server.Clock, Kind: obs.KPageFault,
 				Track: obs.TrackServer, Name: "zero-fill",
 				A0: int64(pn), A1: int64(mem.PageAddr(pn))})
 		}
@@ -837,7 +870,7 @@ func (s *Session) servePageFault(pn uint32) ([]byte, error) {
 	}
 	data := respMsg.Pages[0].Data
 	s.hFault.Record(int64(req + resp))
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: req + resp, Kind: obs.KPageFault,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: req + resp, Kind: obs.KPageFault,
 		Track: obs.TrackServer, Name: "remote",
 		A0: int64(pn), A1: int64(mem.PageAddr(pn)),
 		A2: reqMsg.WireSize() + respMsg.WireSize()})
@@ -876,7 +909,7 @@ func (s *Session) RemoteWrite(m *interp.Machine, out string) error {
 		s.abortTask("remote.printf")
 		return nil
 	}
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "printf", A0: int64(len(out))})
 	s.addTaskTraffic(int64(len(out)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
@@ -902,7 +935,7 @@ func (s *Session) flushOutput() error {
 		s.outBuf = nil
 		return nil
 	}
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "printf", A0: int64(len(s.outBuf))})
 	s.addTaskTraffic(int64(len(s.outBuf)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
@@ -931,7 +964,7 @@ func (s *Session) RemoteOpen(m *interp.Machine, name string) (int32, error) {
 		s.abortTask("remote.open")
 		return s.Mobile.IO.Open(name)
 	}
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "open", A0: int64(len(name))})
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)
@@ -963,7 +996,7 @@ func (s *Session) RemoteRead(m *interp.Machine, fd int32, n int) ([]byte, error)
 		s.abortTask("remote.read")
 		return data, nil
 	}
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "read", A0: int64(len(data))})
 	s.addTaskTraffic(int64(len(data)))
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
@@ -984,7 +1017,7 @@ func (s *Session) RemoteClose(m *interp.Machine, fd int32) error {
 		s.abortTask("remote.close")
 		return s.Mobile.IO.Close(fd)
 	}
-	s.Tracer.Emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
+	s.emit(obs.Event{Time: s.Server.Clock, Dur: d, Kind: obs.KRemoteIO,
 		Track: obs.TrackServer, Name: "close"})
 	s.Recorder.Pulse(s.Server.Clock, d+radioTail, energy.IOServe)
 	s.Server.AddTime(d, interp.CompRemoteIO)

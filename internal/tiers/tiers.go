@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -38,6 +39,16 @@ func (t Tier) String() string {
 		return "cloud"
 	}
 	return "edge"
+}
+
+// Track maps the tier onto its trace-exporter timeline, so every producer
+// of tier-attributed spans (the fleet's exemplar segments above all)
+// renders a given tier on the same Chrome track.
+func (t Tier) Track() obs.Track {
+	if t == Cloud {
+		return obs.TrackCloud
+	}
+	return obs.TrackEdge
 }
 
 // Pool describes one tier's server pool: homogeneous capacity, since a
